@@ -1,0 +1,84 @@
+// Shared setup for the experiment-reproduction binaries (one per paper
+// table/figure). Each binary prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/harness.hpp"
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod::bench {
+
+struct Experiment {
+  ZooModel model;
+  std::unique_ptr<SyntheticImageDataset> dataset;
+  std::unique_ptr<AnalysisHarness> harness;
+};
+
+struct ExperimentConfig {
+  // 20 synthetic classes: enough for the linear-head classifiers of the
+  // calibrated zoo models to reach paper-like top-1 accuracies (40-98%)
+  // with genuine decision margins (see DESIGN.md, substitutions).
+  int num_classes = 20;
+  std::uint64_t model_seed = 1234;
+  std::uint64_t data_seed = 42;
+  int calibration_images = 16;
+  int profile_images = 32;
+  int eval_images = 256;
+  int batch = 64;
+  // The experiment binaries measure accuracy against labels, as the paper
+  // does (see AccuracyMetric).
+  AccuracyMetric metric = AccuracyMetric::kLabels;
+};
+
+inline Experiment make_experiment(const std::string& name, const ExperimentConfig& cfg = {}) {
+  Experiment e;
+  ZooOptions zo;
+  zo.num_classes = cfg.num_classes;
+  zo.seed = cfg.model_seed;
+  zo.data_seed = cfg.data_seed;
+  zo.calibration_images = cfg.calibration_images;
+  e.model = build_model(name, zo);
+
+  DatasetConfig dc;
+  dc.num_classes = cfg.num_classes;
+  dc.channels = e.model.channels;
+  dc.height = e.model.height;
+  dc.width = e.model.width;
+  dc.seed = cfg.data_seed;
+  e.dataset = std::make_unique<SyntheticImageDataset>(dc);
+
+  HarnessConfig hc;
+  hc.profile_images = cfg.profile_images;
+  hc.eval_images = cfg.eval_images;
+  hc.batch = cfg.batch;
+  hc.metric = cfg.metric;
+  e.harness = std::make_unique<AnalysisHarness>(e.model.net, e.model.analyzed, *e.dataset, hc);
+  return e;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("==========================================================================\n");
+  std::printf("mupod-cpp reproduction | %s\n", experiment);
+  std::printf("paper reference        | %s\n", paper_ref);
+  std::printf("==========================================================================\n\n");
+}
+
+}  // namespace mupod::bench

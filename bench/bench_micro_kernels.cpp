@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark) of the kernels behind the experiment
+// harness: convolution, inner product, quantization, injection, and the
+// partial-forward machinery that makes profiling affordable. These support
+// the timing claims in bench_timing_resnet152.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/network.hpp"
+#include "quant/fixed_point.hpp"
+#include "stats/rng.hpp"
+#include "zoo/zoo.hpp"
+
+namespace {
+
+using namespace mupod;
+
+Tensor random_tensor(const Shape& s, std::uint64_t seed) {
+  Tensor t(s);
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.gaussian());
+  return t;
+}
+
+Shape out_of(const Layer& layer, const Shape& in) {
+  const Shape shapes[1] = {in};
+  return layer.output_shape(shapes);
+}
+
+void BM_Conv3x3(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  Conv2DLayer::Config cfg;
+  cfg.in_channels = channels;
+  cfg.out_channels = channels;
+  cfg.kernel_h = cfg.kernel_w = 3;
+  cfg.pad = 1;
+  Conv2DLayer conv(cfg);
+  Rng rng(1);
+  for (std::int64_t i = 0; i < conv.mutable_weights()->numel(); ++i)
+    (*conv.mutable_weights())[i] = static_cast<float>(rng.gaussian());
+
+  const Tensor x = random_tensor(Shape({4, channels, 16, 16}), 2);
+  Tensor y(out_of(conv, x.shape()));
+  const Tensor* ins[1] = {&x};
+  for (auto _ : state) {
+    conv.forward(ins, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const Shape shapes[1] = {x.shape()};
+  state.SetItemsProcessed(state.iterations() * conv.cost(shapes).macs * 4);
+}
+BENCHMARK(BM_Conv3x3)->Arg(16)->Arg(64);
+
+void BM_DepthwiseConv(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  Conv2DLayer::Config cfg;
+  cfg.in_channels = channels;
+  cfg.out_channels = channels;
+  cfg.kernel_h = cfg.kernel_w = 3;
+  cfg.pad = 1;
+  cfg.groups = channels;
+  Conv2DLayer conv(cfg);
+  const Tensor x = random_tensor(Shape({4, channels, 16, 16}), 3);
+  Tensor y(out_of(conv, x.shape()));
+  const Tensor* ins[1] = {&x};
+  for (auto _ : state) {
+    conv.forward(ins, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_DepthwiseConv)->Arg(64);
+
+void BM_InnerProduct(benchmark::State& state) {
+  InnerProductLayer fc(1024, 256);
+  Rng rng(4);
+  for (std::int64_t i = 0; i < fc.mutable_weights()->numel(); ++i)
+    (*fc.mutable_weights())[i] = static_cast<float>(rng.gaussian());
+  const Tensor x = random_tensor(Shape({16, 1024}), 5);
+  Tensor y(out_of(fc, x.shape()));
+  const Tensor* ins[1] = {&x};
+  for (auto _ : state) {
+    fc.forward(ins, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16LL * 1024 * 256);
+}
+BENCHMARK(BM_InnerProduct);
+
+void BM_QuantizeTensor(benchmark::State& state) {
+  Tensor t = random_tensor(Shape({1 << 16}), 6);
+  const FixedPointFormat fmt{.integer_bits = 4, .fraction_bits = 6};
+  for (auto _ : state) {
+    Tensor copy = t;
+    quantize_tensor(copy, fmt);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QuantizeTensor);
+
+void BM_UniformInjection(benchmark::State& state) {
+  Tensor t = random_tensor(Shape({1 << 16}), 7);
+  const InjectionSpec spec = InjectionSpec::uniform(0.01);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Tensor copy = t;
+    apply_injection(copy, spec, ++seed, 3);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_UniformInjection);
+
+// Full forward vs partial forward-from on a deep network: the speedup that
+// makes 156-layer profiling tractable.
+void BM_FullForward_ResNet50(benchmark::State& state) {
+  static ZooModel model = [] {
+    ZooOptions opts;
+    opts.calibration_images = 4;
+    return build_resnet50(opts);
+  }();
+  const Tensor x = random_tensor(Shape({4, 3, 32, 32}), 8);
+  for (auto _ : state) {
+    Tensor y = model.net.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FullForward_ResNet50);
+
+void BM_PartialForward_ResNet50_LastQuarter(benchmark::State& state) {
+  static ZooModel model = [] {
+    ZooOptions opts;
+    opts.calibration_images = 4;
+    return build_resnet50(opts);
+  }();
+  const Tensor x = random_tensor(Shape({4, 3, 32, 32}), 8);
+  const std::vector<Tensor> cache = model.net.forward_all(x);
+  const int from = model.net.num_nodes() * 3 / 4;
+  for (auto _ : state) {
+    Tensor y = model.net.forward_from(from, cache);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_PartialForward_ResNet50_LastQuarter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Sec. VI-A timing reproduction: the paper's headline efficiency claim is
+// that the analytic method replaces the search-based assignment with
+// (1) lambda/theta profiling ("a few minutes"), (2) a binary search on
+// sigma_YL ("< 1 hour on ResNet-152 with a P100"), and (3) an optimization
+// step ("5 minutes") that can be re-run for new constraints without
+// re-profiling. We reproduce the cost *structure* on the CPU-scaled
+// ResNet-152: profiling dominates, re-optimization is near-free, and the
+// whole flow costs orders of magnitude fewer network evaluations than the
+// per-layer search baseline.
+#include <cstdio>
+
+#include "baseline/search_baseline.hpp"
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace mupod;
+  using namespace mupod::bench;
+
+  print_header("Timing — ResNet-152 cost breakdown (156 layers)",
+               "Sec. VI-A: profiling minutes; sigma search < 1 h; re-optimization ~5 min");
+
+  ExperimentConfig cfg;
+  cfg.profile_images = 8;
+  cfg.eval_images = 128;
+  Stopwatch total;
+  Experiment e = make_experiment("resnet152", cfg);
+  const auto& analyzed = e.model.analyzed;
+  std::printf("network built: %d nodes, %zu analyzed layers, %lld MACs/image\n\n",
+              e.model.net.num_nodes(), analyzed.size(),
+              static_cast<long long>(e.model.net.total_macs()));
+
+  PipelineConfig pcfg;
+  pcfg.harness.profile_images = cfg.profile_images;
+  pcfg.harness.eval_images = cfg.eval_images;
+  pcfg.harness.metric = cfg.metric;
+  pcfg.profiler.points = 6;
+  pcfg.profiler.reps_per_point = 1;
+  pcfg.sigma.relative_accuracy_drop = 0.01;
+
+  const std::vector<ObjectiveSpec> objectives = {
+      objective_input_bits(e.model.net, analyzed),
+      objective_mac_energy(e.model.net, analyzed),
+  };
+  const PipelineResult r =
+      run_pipeline(const_cast<Network&>(e.harness->net()), analyzed, *e.dataset, objectives, pcfg);
+
+  TextTable t({"stage", "wall_time_s", "note"});
+  t.add_row({"harness (ranges + caches)", TextTable::fmt(r.timings.harness_ms / 1e3, 1),
+             "exact activations cached once"});
+  t.add_row({"profile lambda/theta", TextTable::fmt(r.timings.profile_ms / 1e3, 1),
+             "156 layers x 6 deltas, partial re-execution"});
+  t.add_row({"binary search sigma_YL", TextTable::fmt(r.timings.sigma_ms / 1e3, 1),
+             "Scheme 2: noise on cached logits"});
+  t.add_row({"xi optimization (2 objectives)", TextTable::fmt(r.timings.allocate_ms / 1e3, 3),
+             "re-runnable for new constraints"});
+  t.add_row({"validation (real quantization)", TextTable::fmt(r.timings.validate_ms / 1e3, 1),
+             "one quantized pass per objective"});
+  std::printf("%s\n", t.render_text().c_str());
+
+  std::printf("sigma_YL = %.3f (%d evals) | validated acc: %.3f / %.3f\n\n", r.sigma.sigma_yl,
+              r.sigma.evaluations, r.objectives[0].validated_accuracy,
+              r.objectives[1].validated_accuracy);
+
+  // Changing user constraints re-runs only the last step (paper claim).
+  Stopwatch reopt;
+  ObjectiveSpec custom;
+  custom.name = "custom_2x_input";
+  custom.rho = objectives[0].rho;
+  for (auto& v : custom.rho) v *= 2;
+  (void)allocate_bitwidths(r.models, r.sigma.sigma_yl, r.ranges, custom);
+  std::printf("re-optimization for a new objective: %.3f s (no re-profiling needed)\n\n",
+              reopt.seconds());
+
+  // Cost comparison vs the search-based baseline, in image-forward units.
+  const std::int64_t ours = r.forward_count;
+  std::printf("our pipeline issued ~%lld image-forward equivalents.\n",
+              static_cast<long long>(ours));
+  std::printf("a per-layer profile search needs ~#layers x #bit-candidates x #eval images\n");
+  std::printf("  = 156 x 15 x %d = %lld image-forwards for stage 1 alone (>= %.0fx more).\n",
+              cfg.eval_images, 156LL * 15 * cfg.eval_images,
+              static_cast<double>(156LL * 15 * cfg.eval_images) / static_cast<double>(ours));
+  std::printf("\ntotal wall time: %.1f s (paper: < 1 h 5 min on an Nvidia P100 at\n"
+              "ImageNet scale; our substrate is a scaled CPU simulator — the *structure*\n"
+              "of the cost, profiling-dominant with near-free re-optimization, is the claim)\n",
+              total.seconds());
+  return 0;
+}

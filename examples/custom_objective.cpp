@@ -1,0 +1,77 @@
+// "Our method can be used to optimize for different criteria" (paper
+// Sec. I / Conclusion): the objective weights rho_K are fully
+// user-definable. This example invents a realistic deployment constraint
+// the paper does not evaluate — a two-tier edge accelerator where early
+// layers run from on-chip SRAM (cheap reads) and late layers spill to
+// DRAM (expensive reads) — and optimizes bitwidths for total memory
+// energy under that cost model, comparing against the plain bandwidth
+// objective.
+#include <cstdio>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "io/table.hpp"
+#include "zoo/zoo.hpp"
+
+int main() {
+  using namespace mupod;
+
+  ZooOptions zo;
+  zo.num_classes = 20;  // paper-like top-1 accuracy band for the zoo heads
+  ZooModel model = build_squeezenet(zo);
+
+  DatasetConfig dc;
+  dc.num_classes = zo.num_classes;
+  dc.height = model.height;
+  dc.width = model.width;
+  SyntheticImageDataset dataset(dc);
+
+  const std::size_t L = model.analyzed.size();
+
+  // Plain bandwidth objective: rho = #input elements.
+  ObjectiveSpec bandwidth = objective_input_bits(model.net, model.analyzed);
+
+  // Custom tiered-memory objective: reads from DRAM cost ~20x an SRAM
+  // read per bit (typical 45nm numbers). Assume activations of the first
+  // half of the network fit in SRAM; the rest stream from DRAM.
+  ObjectiveSpec tiered;
+  tiered.name = "tiered_memory_energy";
+  tiered.rho = bandwidth.rho;
+  for (std::size_t k = L / 2; k < L; ++k) tiered.rho[k] *= 20;
+
+  PipelineConfig cfg;
+  cfg.harness.profile_images = 32;
+  cfg.harness.eval_images = 512;
+  cfg.harness.metric = AccuracyMetric::kLabels;  // accuracy vs labels, as the paper measures
+  cfg.sigma.relative_accuracy_drop = 0.05;
+
+  std::printf("SqueezeNet (26 layers), 5%% budget, bandwidth vs tiered-memory objective\n\n");
+  const PipelineResult r =
+      run_pipeline(model.net, model.analyzed, dataset, {bandwidth, tiered}, cfg);
+
+  TextTable t({"layer", "tier", "bits(bandwidth)", "bits(tiered)"});
+  for (std::size_t k = 0; k < L; ++k) {
+    t.add_row({model.net.node(model.analyzed[k]).name, k < L / 2 ? "SRAM" : "DRAM",
+               std::to_string(r.objectives[0].alloc.bits[k]),
+               std::to_string(r.objectives[1].alloc.bits[k])});
+  }
+  std::printf("%s\n", t.render_text().c_str());
+
+  const auto cost = [&](const ObjectiveSpec& spec, const std::vector<int>& bits) {
+    double c = 0;
+    for (std::size_t k = 0; k < L; ++k) c += static_cast<double>(spec.rho[k]) * bits[k];
+    return c;
+  };
+  const double plain = cost(tiered, r.objectives[0].alloc.bits);
+  const double opt = cost(tiered, r.objectives[1].alloc.bits);
+  std::printf("tiered-memory energy: bandwidth-opt = %.3g, tiered-opt = %.3g  (%.1f%% saving)\n",
+              plain, opt, (plain - opt) / plain * 100);
+  std::printf("validated accuracy: %.1f%% / %.1f%% of float (%.1f%%); budget: >= 95%% relative\n",
+              r.objectives[0].validated_accuracy / r.float_accuracy * 100,
+              r.objectives[1].validated_accuracy / r.float_accuracy * 100,
+              r.float_accuracy * 100);
+  std::printf("\nthe tiered objective pushes precision out of the DRAM-resident layers —\n"
+              "a criterion the original authors never hard-coded, expressed purely as rho.\n");
+  return 0;
+}

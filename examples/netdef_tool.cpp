@@ -1,0 +1,178 @@
+// netdef_tool: command-line precision optimizer for user-supplied network
+// descriptions — the "open source precision optimization framework" of the
+// paper's contribution list, decoupled from the built-in zoo.
+//
+// Usage:
+//   netdef_tool <net.netdef> [--drop 0.01] [--objective input|mac|both]
+//               [--weights file.bin] [--save-weights file.bin]
+//               [--classes 100] [--eval 512] [--csv] [--report out.md]
+//
+// With no arguments it runs a built-in demo network.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "io/model_io.hpp"
+#include "io/netdef.hpp"
+#include "io/report.hpp"
+#include "io/table.hpp"
+#include "nn/layers.hpp"
+#include "zoo/zoo.hpp"
+
+namespace {
+
+constexpr const char* kDemoNet = R"(
+name: demo
+input: 3 24 24
+layer conv1 type=conv in=data out=12 kernel=3 stride=1 pad=1
+layer relu1 type=relu in=conv1
+layer pool1 type=maxpool in=relu1 kernel=2 stride=2
+layer conv2a type=conv in=pool1 out=8 kernel=1
+layer relu2a type=relu in=conv2a
+layer conv2b type=conv in=pool1 out=8 kernel=3 pad=1
+layer relu2b type=relu in=conv2b
+layer cat type=concat in=relu2a,relu2b
+layer conv3 type=conv in=cat out=24 kernel=3 pad=1
+layer relu3 type=relu in=conv3
+layer gap type=avgpool in=relu3 global=1
+layer fc type=fc in=gap out=100
+)";
+
+void usage() {
+  std::printf(
+      "usage: netdef_tool [net.netdef] [--drop D] [--objective input|mac|both]\n"
+      "                   [--weights in.bin] [--save-weights out.bin]\n"
+      "                   [--classes N] [--eval N] [--csv]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mupod;
+
+  std::string netdef_path;
+  double drop = 0.01;
+  std::string objective = "both";
+  std::string weights_in, weights_out, report_out;
+  int classes = 100;
+  int eval_images = 512;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--drop") drop = std::atof(next());
+    else if (arg == "--objective") objective = next();
+    else if (arg == "--weights") weights_in = next();
+    else if (arg == "--save-weights") weights_out = next();
+    else if (arg == "--classes") classes = std::atoi(next());
+    else if (arg == "--eval") eval_images = std::atoi(next());
+    else if (arg == "--csv") csv = true;
+    else if (arg == "--report") report_out = next();
+    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+    else if (!arg.empty() && arg[0] == '-') { usage(); return 2; }
+    else netdef_path = arg;
+  }
+
+  Network net = [&] {
+    try {
+      if (netdef_path.empty()) {
+        std::fprintf(stderr, "no netdef given; running the built-in demo network\n");
+        return parse_netdef(kDemoNet);
+      }
+      return load_netdef_file(netdef_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
+
+  const auto& input = static_cast<const InputLayer&>(net.layer(net.input_node()));
+  DatasetConfig dc;
+  dc.num_classes = classes;
+  dc.channels = input.channels();
+  dc.height = input.height();
+  dc.width = input.width();
+  SyntheticImageDataset dataset(dc);
+
+  if (!weights_in.empty()) {
+    try {
+      load_weights(net, weights_in);
+      std::fprintf(stderr, "loaded weights from %s\n", weights_in.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error loading weights: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    init_weights_he(net, 1234);
+    calibrate_activations(net, dataset.make_batch(0, 16));
+    center_output_logits(net, dataset.make_batch(0, 16));
+    std::fprintf(stderr, "no weights given; He-initialized and calibrated\n");
+  }
+  if (!weights_out.empty()) {
+    if (!save_weights(net, weights_out)) {
+      std::fprintf(stderr, "error: cannot write %s\n", weights_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved weights to %s\n", weights_out.c_str());
+  }
+
+  const std::vector<int> analyzed = net.analyzable_nodes();
+  std::fprintf(stderr, "network '%s': %d nodes, %zu analyzable layers\n", net.name().c_str(),
+               net.num_nodes(), analyzed.size());
+
+  std::vector<ObjectiveSpec> objectives;
+  if (objective == "input" || objective == "both")
+    objectives.push_back(objective_input_bits(net, analyzed));
+  if (objective == "mac" || objective == "both")
+    objectives.push_back(objective_mac_energy(net, analyzed));
+  if (objectives.empty()) {
+    std::fprintf(stderr, "unknown objective '%s'\n", objective.c_str());
+    return 2;
+  }
+
+  PipelineConfig cfg;
+  cfg.harness.eval_images = eval_images;
+  cfg.sigma.relative_accuracy_drop = drop;
+
+  const PipelineResult r = run_pipeline(net, analyzed, dataset, objectives, cfg);
+  std::fprintf(stderr, "sigma_YL = %.4f (accuracy target: %.1f%% relative)\n\n", r.sigma.sigma_yl,
+               (1.0 - drop) * 100);
+
+  std::vector<std::string> header = {"layer", "max|X|", "lambda", "theta"};
+  for (const auto& obj : r.objectives) header.push_back("bits:" + obj.spec.name);
+  TextTable t(header);
+  for (std::size_t k = 0; k < analyzed.size(); ++k) {
+    std::vector<std::string> row = {net.node(analyzed[k]).name, TextTable::fmt(r.ranges[k], 2),
+                                    TextTable::fmt(r.models[k].lambda, 3),
+                                    TextTable::fmt(r.models[k].theta, 4)};
+    for (const auto& obj : r.objectives)
+      row.push_back(obj.alloc.formats[k].to_string() + " (" + std::to_string(obj.alloc.bits[k]) + ")");
+    t.add_row(row);
+  }
+  std::printf("%s\n", csv ? t.render_csv().c_str() : t.render_text().c_str());
+  for (const auto& obj : r.objectives) {
+    std::printf("objective %-12s validated accuracy: %.2f%%\n", obj.spec.name.c_str(),
+                obj.validated_accuracy * 100);
+  }
+
+  if (!report_out.empty()) {
+    ReportOptions ropts;
+    ropts.title = "precision report — " + net.name();
+    if (!write_report(report_out, net, analyzed, r, ropts)) {
+      std::fprintf(stderr, "error: cannot write report to %s\n", report_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote report to %s\n", report_out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,209 @@
+// zoo_tool: inspect and optimize the built-in model zoo from the command
+// line.
+//
+//   zoo_tool list
+//   zoo_tool summary <model>
+//   zoo_tool netdef <model>              # dump the topology as netdef text
+//   zoo_tool optimize <model> [--drop D] [--classes N] [--eval N]
+//                            [--report out.md] [--save-profile p.txt]
+//   zoo_tool reoptimize <profile.txt> [--objective input|mac]
+//       # re-runs ONLY the optimization step from a saved profile — the
+//       # paper's "changing the user constraints only requires re-running
+//       # the last optimization step" (Sec. VI-A), across processes
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "io/netdef.hpp"
+#include "io/profile_io.hpp"
+#include "io/report.hpp"
+#include "io/table.hpp"
+#include "nn/transforms.hpp"
+#include "zoo/zoo.hpp"
+
+namespace {
+
+void usage() {
+  std::printf("usage: zoo_tool list\n"
+              "       zoo_tool summary <model>\n"
+              "       zoo_tool netdef <model>\n"
+              "       zoo_tool optimize <model> [--drop D] [--classes N] [--eval N]\n"
+              "                                 [--report out.md] [--save-profile p.txt]\n"
+              "       zoo_tool reoptimize <profile.txt> [--objective input|mac]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mupod;
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+
+  if (cmd == "list") {
+    for (const std::string& name : zoo_model_names()) {
+      ZooOptions opts;
+      opts.calibration_images = 0;
+      opts.head_images = 0;
+      const ZooModel m = build_model(name, opts);
+      std::printf("%-11s %4zu analyzed layers  %10lld MACs/img  input %dx%dx%d\n", name.c_str(),
+                  m.analyzed.size(), static_cast<long long>(m.net.total_macs()), m.channels,
+                  m.height, m.width);
+    }
+    return 0;
+  }
+
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  const std::string model_name = argv[2];
+
+  if (cmd == "summary" || cmd == "netdef") {
+    ZooOptions opts;
+    opts.calibration_images = 0;
+    opts.head_images = 0;
+    ZooModel m = [&] {
+      try {
+        return build_model(model_name, opts);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+      }
+    }();
+    if (cmd == "summary") {
+      std::printf("%s", network_summary(m.net).c_str());
+    } else {
+      std::printf("%s", to_netdef(m.net).c_str());
+    }
+    return 0;
+  }
+
+  if (cmd == "reoptimize") {
+    std::string objective = "mac";
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--objective" && i + 1 < argc) objective = argv[++i];
+    }
+    ProfileBundle bundle = [&] {
+      try {
+        return load_profile(model_name);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+      }
+    }();
+    ObjectiveSpec spec;
+    spec.name = objective == "input" ? "input_bits" : "mac_energy";
+    spec.rho = objective == "input" ? bundle.input_elems : bundle.macs;
+    const BitwidthAllocation a =
+        allocate_bitwidths(bundle.models, bundle.sigma_calibrated, bundle.ranges, spec);
+    std::printf("re-optimized '%s' (%zu layers) from saved profile, sigma = %.4f\n",
+                bundle.network.c_str(), bundle.models.size(), bundle.sigma_calibrated);
+    TextTable t({"layer", "format I.F", "bits"});
+    for (std::size_t k = 0; k < bundle.models.size(); ++k) {
+      t.add_row({bundle.layer_names[k], a.formats[k].to_string(), std::to_string(a.bits[k])});
+    }
+    std::printf("%s", t.render_text().c_str());
+    return 0;
+  }
+
+  if (cmd != "optimize") {
+    usage();
+    return 2;
+  }
+
+  double drop = 0.01;
+  int classes = 20;
+  int eval_images = 192;
+  std::string report_out, profile_out;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--drop") drop = std::atof(next());
+    else if (arg == "--classes") classes = std::atoi(next());
+    else if (arg == "--eval") eval_images = std::atoi(next());
+    else if (arg == "--report") report_out = next();
+    else if (arg == "--save-profile") profile_out = next();
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  ZooOptions opts;
+  opts.num_classes = classes;
+  ZooModel m = [&] {
+    try {
+      return build_model(model_name, opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
+
+  DatasetConfig dc;
+  dc.num_classes = classes;
+  dc.channels = m.channels;
+  dc.height = m.height;
+  dc.width = m.width;
+  SyntheticImageDataset dataset(dc);
+
+  PipelineConfig cfg;
+  cfg.harness.eval_images = eval_images;
+  cfg.harness.metric = AccuracyMetric::kLabels;
+  cfg.sigma.relative_accuracy_drop = drop;
+  cfg.search_weights = true;
+
+  const std::vector<ObjectiveSpec> objectives = {
+      objective_input_bits(m.net, m.analyzed),
+      objective_mac_energy(m.net, m.analyzed),
+  };
+  std::fprintf(stderr, "optimizing %s (%zu layers) at %.1f%% relative drop...\n",
+               model_name.c_str(), m.analyzed.size(), drop * 100);
+  const PipelineResult r = run_pipeline(m.net, m.analyzed, dataset, objectives, cfg);
+
+  std::printf("sigma_YL = %.4f (calibrated %.4f); float accuracy on eval set\n",
+              r.sigma.sigma_yl, r.sigma_calibrated);
+  TextTable t({"layer", "bits:input_bits", "bits:mac_energy"});
+  for (std::size_t k = 0; k < m.analyzed.size(); ++k) {
+    t.add_row({m.net.node(m.analyzed[k]).name,
+               r.objectives[0].alloc.formats[k].to_string(),
+               r.objectives[1].alloc.formats[k].to_string()});
+  }
+  std::printf("%s", t.render_text().c_str());
+  for (const auto& obj : r.objectives) {
+    std::printf("%s: validated accuracy %.2f%%, weight bits %d\n", obj.spec.name.c_str(),
+                obj.validated_accuracy * 100, obj.weight_bits);
+  }
+
+  if (!profile_out.empty()) {
+    if (!save_profile(profile_out, make_profile_bundle(m.net, m.analyzed, r))) {
+      std::fprintf(stderr, "error writing profile\n");
+      return 1;
+    }
+    std::fprintf(stderr, "wrote profile to %s (reoptimize with: zoo_tool reoptimize %s)\n",
+                 profile_out.c_str(), profile_out.c_str());
+  }
+
+  if (!report_out.empty()) {
+    ReportOptions ropts;
+    ropts.title = "precision report — " + model_name;
+    if (!write_report(report_out, m.net, m.analyzed, r, ropts)) {
+      std::fprintf(stderr, "error writing report\n");
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", report_out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/bin/bash
+# Runs every experiment binary sequentially and collects outputs under
+# bench_logs/. Sequential on purpose: the binaries are internally
+# parallel, and on small machines concurrent runs distort the timing
+# experiments (Sec. VI-A reproduction).
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p bench_logs
+
+BENCHES=(
+  bench_fig2_linearity
+  bench_fig3_accuracy_vs_sigma
+  bench_table2_alexnet
+  bench_table3_networks
+  bench_fig4_nin_energy
+  bench_timing_resnet152
+  bench_accelerator
+  bench_ablation
+)
+
+for b in "${BENCHES[@]}"; do
+  echo "=== $b $(date +%H:%M:%S) ==="
+  ./build/bench/"$b" | tee "bench_logs/$b.txt"
+done
+
+echo "=== bench_micro_kernels $(date +%H:%M:%S) ==="
+./build/bench/bench_micro_kernels --benchmark_min_time=0.2 | tee bench_logs/bench_micro_kernels.txt
+echo "all benches done"

@@ -1,0 +1,131 @@
+#include "baseline/search_baseline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/allocator.hpp"
+#include "quant/fixed_point.hpp"
+
+namespace mupod {
+
+namespace {
+
+FixedPointFormat format_for(double range, int bits) {
+  FixedPointFormat f;
+  f.integer_bits = FixedPointFormat::integer_bits_for_range(range);
+  f.fraction_bits = bits - f.integer_bits;
+  return f;
+}
+
+std::unordered_map<int, InjectionSpec> quantize_all(const AnalysisHarness& harness,
+                                                    const std::vector<int>& bits) {
+  std::unordered_map<int, InjectionSpec> inject;
+  const auto& analyzed = harness.analyzed();
+  for (std::size_t k = 0; k < analyzed.size(); ++k) {
+    inject.emplace(analyzed[k],
+                   InjectionSpec::quantize(format_for(harness.input_ranges()[k], bits[k])));
+  }
+  return inject;
+}
+
+}  // namespace
+
+BaselineResult uniform_baseline(const AnalysisHarness& harness, const BaselineConfig& cfg) {
+  const double threshold = (1.0 - cfg.relative_accuracy_drop) * harness.float_accuracy();
+  const int L = harness.num_layers();
+  BaselineResult res;
+  res.method = "uniform";
+
+  const auto accuracy_at = [&](int b) {
+    std::vector<int> bits(static_cast<std::size_t>(L), b);
+    ++res.accuracy_evaluations;
+    return harness.accuracy_with_injection(quantize_all(harness, bits));
+  };
+
+  // Binary search the smallest satisfying uniform bitwidth.
+  int lo = cfg.min_bits, hi = cfg.max_bits;
+  double acc_hi = accuracy_at(hi);
+  int best = hi;
+  double best_acc = acc_hi;
+  if (acc_hi >= threshold) {
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      const double acc = accuracy_at(mid);
+      if (acc >= threshold) {
+        best = mid;
+        best_acc = acc;
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+  }
+  res.bits.assign(static_cast<std::size_t>(L), best);
+  res.accuracy = best_acc;
+  return res;
+}
+
+BaselineResult profile_search_baseline(const AnalysisHarness& harness,
+                                       const BaselineConfig& cfg) {
+  const double threshold = (1.0 - cfg.relative_accuracy_drop) * harness.float_accuracy();
+  const int L = harness.num_layers();
+  const auto& analyzed = harness.analyzed();
+  BaselineResult res;
+  res.method = "profile_search";
+
+  // Stage 1: per-layer profile. Evaluate every (layer, bitwidth) candidate
+  // with only that layer quantized; the harness amortizes this over shared
+  // activation caches.
+  const int n_bits = cfg.max_bits - cfg.min_bits + 1;
+  std::vector<std::pair<int, InjectionSpec>> candidates;
+  candidates.reserve(static_cast<std::size_t>(L * n_bits));
+  for (int k = 0; k < L; ++k) {
+    for (int b = cfg.min_bits; b <= cfg.max_bits; ++b) {
+      candidates.emplace_back(
+          analyzed[static_cast<std::size_t>(k)],
+          InjectionSpec::quantize(format_for(harness.input_ranges()[static_cast<std::size_t>(k)], b)));
+    }
+  }
+  const std::vector<double> acc = harness.accuracy_single_injections(candidates);
+  res.accuracy_evaluations += static_cast<int>(candidates.size());
+
+  // acc_table[k][b - min_bits]
+  const auto acc_of = [&](int k, int b) {
+    return acc[static_cast<std::size_t>(k * n_bits + (b - cfg.min_bits))];
+  };
+
+  res.bits.assign(static_cast<std::size_t>(L), cfg.max_bits);
+  for (int k = 0; k < L; ++k) {
+    for (int b = cfg.min_bits; b <= cfg.max_bits; ++b) {
+      if (acc_of(k, b) >= threshold) {
+        res.bits[static_cast<std::size_t>(k)] = b;
+        break;
+      }
+    }
+  }
+
+  // Stage 2: joint repair, as in Judd et al.: simultaneous quantization
+  // compounds the error, so scale the whole profile up uniformly (+1 bit
+  // to every layer) until the joint test passes. (A smarter repair that
+  // bumps only the most fragile layers is possible, but the published
+  // baselines the paper compares against used uniform scaling.)
+  double joint = harness.accuracy_with_injection(quantize_all(harness, res.bits));
+  ++res.accuracy_evaluations;
+  for (int it = 0; it < cfg.max_joint_iterations && joint < threshold; ++it) {
+    int bumped = 0;
+    for (std::size_t k = 0; k < static_cast<std::size_t>(L); ++k) {
+      if (res.bits[k] < cfg.max_bits) {
+        ++res.bits[k];
+        ++bumped;
+      }
+    }
+    if (bumped == 0) break;  // everything at max already
+    joint = harness.accuracy_with_injection(quantize_all(harness, res.bits));
+    ++res.accuracy_evaluations;
+  }
+  res.accuracy = joint;
+  return res;
+}
+
+}  // namespace mupod

@@ -1,0 +1,42 @@
+// Search-based per-layer bitwidth assignment — the state of the art the
+// paper compares against (Stripes [1], Loom [2], and the profile-search
+// method of Judd et al. [3]).
+//
+// Two baselines:
+//   * uniform_baseline: the smallest single bitwidth applied to every
+//     layer that meets the accuracy constraint (what the paper uses when
+//     no published Stripes bitwidths exist for a network);
+//   * profile_search_baseline: Judd-style per-layer profiling (minimum
+//     bitwidth per layer with only that layer quantized) followed by an
+//     iterative joint repair loop — the "empirical search that repeatedly
+//     assigns bitwidths followed by testing" of the paper's introduction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+
+namespace mupod {
+
+struct BaselineConfig {
+  double relative_accuracy_drop = 0.01;
+  int min_bits = 2;
+  int max_bits = 16;
+  // Joint repair iterations for the profile search.
+  int max_joint_iterations = 24;
+};
+
+struct BaselineResult {
+  std::string method;
+  std::vector<int> bits;   // per analyzed layer
+  double accuracy = 0.0;   // with every layer quantized to `bits`
+  int accuracy_evaluations = 0;
+};
+
+BaselineResult uniform_baseline(const AnalysisHarness& harness, const BaselineConfig& cfg = {});
+
+BaselineResult profile_search_baseline(const AnalysisHarness& harness,
+                                       const BaselineConfig& cfg = {});
+
+}  // namespace mupod

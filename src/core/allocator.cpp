@@ -1,0 +1,232 @@
+#include "core/allocator.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mupod {
+
+namespace {
+constexpr double kDeltaFloor = 1e-12;
+constexpr double kLn2 = 0.6931471805599453;
+
+// The Eq. 5 fit is only valid inside the profiled Delta band. When the
+// budget asks for a Delta below the smallest probed point (which happens
+// for layers with a negative fitted theta under tight accuracy budgets —
+// the line crosses zero above the origin), extrapolating is meaningless:
+// the measured contribution at the smallest probed Delta was already
+// negligible. Floor at half that Delta instead of chasing the fit to
+// (literally) 40-bit formats.
+double delta_floor(const LayerLinearModel& m) {
+  if (m.deltas.empty()) return kDeltaFloor;
+  return std::max(m.deltas.front() * 0.5, kDeltaFloor);
+}
+
+double delta_of(const LayerLinearModel& m, double sigma_yl, double xi) {
+  const double lambda = m.lambda > 0.0 ? m.lambda : 0.0;
+  const double d = lambda * sigma_yl * std::sqrt(xi) + m.theta;
+  return std::max(d, delta_floor(m));
+}
+}  // namespace
+
+double allocation_objective(const std::vector<LayerLinearModel>& models, double sigma_yl,
+                            const std::vector<std::int64_t>& rho,
+                            std::span<const double> xi) {
+  assert(models.size() == rho.size() && models.size() == xi.size());
+  double f = 0.0;
+  for (std::size_t k = 0; k < models.size(); ++k) {
+    f += static_cast<double>(rho[k]) * (-std::log2(delta_of(models[k], sigma_yl, xi[k])));
+  }
+  return f;
+}
+
+std::vector<double> closed_form_xi(const std::vector<std::int64_t>& rho, double min_xi) {
+  double total = 0.0;
+  for (std::int64_t r : rho) total += static_cast<double>(r);
+  std::vector<double> xi(rho.size(), 1.0 / static_cast<double>(rho.size()));
+  if (total <= 0.0) return xi;
+  for (std::size_t k = 0; k < rho.size(); ++k)
+    xi[k] = static_cast<double>(rho[k]) / total;
+  // Respect the lower bound by projecting.
+  return project_to_simplex(xi, 1.0, min_xi);
+}
+
+BitwidthAllocation allocate_bitwidths(const std::vector<LayerLinearModel>& models,
+                                      double sigma_yl, const std::vector<double>& ranges,
+                                      const ObjectiveSpec& objective,
+                                      const AllocatorConfig& cfg) {
+  const std::size_t L = models.size();
+  assert(objective.rho.size() == L && ranges.size() == L);
+
+  BitwidthAllocation out;
+
+  // A non-positive budget means "no tolerable noise was found": fall back
+  // to the safest profiled precision per layer (Delta at the floor) and
+  // skip the optimization entirely.
+  if (sigma_yl <= 0.0) {
+    out.xi.assign(L, 1.0 / static_cast<double>(L));
+    out.deltas.resize(L);
+    out.formats.resize(L);
+    out.bits.resize(L);
+    for (std::size_t k = 0; k < L; ++k) {
+      out.deltas[k] = delta_floor(models[k]);
+      FixedPointFormat fmt = FixedPointFormat::for_range_and_delta(ranges[k], out.deltas[k]);
+      if (fmt.fraction_bits > cfg.max_fraction_bits) fmt.fraction_bits = cfg.max_fraction_bits;
+      if (fmt.total_bits() < cfg.min_total_bits)
+        fmt.fraction_bits = cfg.min_total_bits - fmt.integer_bits;
+      out.formats[k] = fmt;
+      out.bits[k] = fmt.total_bits();
+    }
+    return out;
+  }
+
+  SimplexProblem prob;
+  prob.objective = [&](std::span<const double> xi) {
+    return allocation_objective(models, sigma_yl, objective.rho, xi);
+  };
+  prob.gradient = [&](std::span<const double> xi, std::span<double> g) {
+    for (std::size_t k = 0; k < L; ++k) {
+      const LayerLinearModel& m = models[k];
+      const double lambda = m.lambda > 0.0 ? m.lambda : 0.0;
+      const double d = delta_of(m, sigma_yl, xi[k]);
+      if (lambda == 0.0 || d <= delta_floor(m)) {
+        g[k] = 0.0;  // floored: more xi cannot widen this layer's format
+        continue;
+      }
+      // dF/dxi_K = -rho_K / (ln2 * Delta) * lambda * sigma / (2 sqrt(xi)).
+      const double sq = std::sqrt(std::max(xi[k], 1e-300));
+      g[k] = -static_cast<double>(objective.rho[k]) * lambda * sigma_yl /
+             (2.0 * sq * d * kLn2);
+    }
+  };
+
+  switch (cfg.solver) {
+    case XiSolver::kClosedForm:
+      out.xi = closed_form_xi(objective.rho, cfg.min_xi);
+      out.objective_value = prob.objective(out.xi);
+      out.solver_iterations = 0;
+      break;
+    case XiSolver::kProjectedGradient: {
+      const SimplexSolverOptions so = [&] {
+        SimplexSolverOptions o = cfg.solver_options;
+        o.min_xi = cfg.min_xi;
+        return o;
+      }();
+      // Warm-start from the closed-form relaxation.
+      const std::vector<double> init = closed_form_xi(objective.rho, cfg.min_xi);
+      SimplexResult r = minimize_on_simplex(static_cast<int>(L), prob, so, init);
+      out.xi = std::move(r.xi);
+      out.objective_value = r.objective;
+      out.solver_iterations = r.iterations;
+      break;
+    }
+    case XiSolver::kSqp: {
+      const SimplexSolverOptions so = [&] {
+        SimplexSolverOptions o = cfg.solver_options;
+        o.min_xi = cfg.min_xi;
+        return o;
+      }();
+      const std::vector<double> init = closed_form_xi(objective.rho, cfg.min_xi);
+      SimplexResult r = sqp_minimize_on_simplex(static_cast<int>(L), prob, so, init);
+      out.xi = std::move(r.xi);
+      out.objective_value = r.objective;
+      out.solver_iterations = r.iterations;
+      break;
+    }
+  }
+
+  // Translate xi -> Delta -> fixed point formats (Sec. II-A).
+  out.deltas.resize(L);
+  out.formats.resize(L);
+  out.bits.resize(L);
+  for (std::size_t k = 0; k < L; ++k) {
+    out.deltas[k] = delta_of(models[k], sigma_yl, out.xi[k]);
+    FixedPointFormat fmt = FixedPointFormat::for_range_and_delta(ranges[k], out.deltas[k]);
+    if (fmt.fraction_bits > cfg.max_fraction_bits) fmt.fraction_bits = cfg.max_fraction_bits;
+    if (fmt.total_bits() < cfg.min_total_bits)
+      fmt.fraction_bits = cfg.min_total_bits - fmt.integer_bits;
+    out.formats[k] = fmt;
+    out.bits[k] = fmt.total_bits();
+  }
+
+  // Integer polish: rounding the fraction bits up makes each realized
+  // Delta' = 2^-(F+1) <= the requested Delta, so the implied error budget
+  // sum(xi'_K) is strictly below 1 — slack the continuous solution paid
+  // for but the formats don't use. Greedily spend it: drop one fraction
+  // bit (Delta' x2) on the highest-rho layer whose move keeps
+  // sum(xi'_K) <= 1. Every accepted move removes rho_K bits from the
+  // objective while preserving the Eq. 6 variance budget.
+  {
+    const auto xi_of = [&](std::size_t k, double delta) {
+      const double lambda = models[k].lambda > 0.0 ? models[k].lambda : 0.0;
+      if (lambda <= 0.0 || sigma_yl <= 0.0) return 1e12;  // never "free"
+      const double u = (delta - models[k].theta) / (lambda * sigma_yl);
+      if (!std::isfinite(u)) return 1e12;
+      return u > 0.0 ? u * u : 0.0;
+    };
+    std::vector<double> xi_used(L);
+    double total_xi = 0.0;
+    for (std::size_t k = 0; k < L; ++k) {
+      xi_used[k] = xi_of(k, out.formats[k].delta());
+      total_xi += xi_used[k];
+    }
+    for (;;) {
+      int pick = -1;
+      std::int64_t best_rho = -1;
+      double pick_new_xi = 0.0;
+      for (std::size_t k = 0; k < L; ++k) {
+        if (models[k].lambda <= 0.0) continue;
+        if (out.formats[k].total_bits() <= cfg.min_total_bits) continue;
+        FixedPointFormat wider = out.formats[k];
+        --wider.fraction_bits;
+        const double new_xi = xi_of(k, wider.delta());
+        if (total_xi - xi_used[k] + new_xi > 1.0) continue;
+        if (objective.rho[k] > best_rho) {
+          best_rho = objective.rho[k];
+          pick = static_cast<int>(k);
+          pick_new_xi = new_xi;
+        }
+      }
+      if (pick < 0) break;
+      const auto kk = static_cast<std::size_t>(pick);
+      --out.formats[kk].fraction_bits;
+      total_xi += pick_new_xi - xi_used[kk];
+      xi_used[kk] = pick_new_xi;
+      out.deltas[kk] = out.formats[kk].delta();
+      out.bits[kk] = out.formats[kk].total_bits();
+    }
+  }
+  return out;
+}
+
+std::vector<FixedPointFormat> formats_for_bits(const std::vector<double>& ranges,
+                                               const std::vector<int>& bits) {
+  assert(ranges.size() == bits.size());
+  std::vector<FixedPointFormat> fmts(ranges.size());
+  for (std::size_t k = 0; k < ranges.size(); ++k) {
+    FixedPointFormat f;
+    f.integer_bits = FixedPointFormat::integer_bits_for_range(ranges[k]);
+    f.fraction_bits = bits[k] - f.integer_bits;
+    fmts[k] = f;
+  }
+  return fmts;
+}
+
+std::unordered_map<int, InjectionSpec> injection_for_formats(
+    const std::vector<LayerLinearModel>& models, const std::vector<FixedPointFormat>& formats) {
+  assert(models.size() == formats.size());
+  std::unordered_map<int, InjectionSpec> inject;
+  for (std::size_t k = 0; k < models.size(); ++k)
+    inject.emplace(models[k].node, InjectionSpec::uniform(formats[k].delta()));
+  return inject;
+}
+
+std::unordered_map<int, InjectionSpec> quantization_for_formats(
+    const std::vector<LayerLinearModel>& models, const std::vector<FixedPointFormat>& formats) {
+  assert(models.size() == formats.size());
+  std::unordered_map<int, InjectionSpec> inject;
+  for (std::size_t k = 0; k < models.size(); ++k)
+    inject.emplace(models[k].node, InjectionSpec::quantize(formats[k]));
+  return inject;
+}
+
+}  // namespace mupod

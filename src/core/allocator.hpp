@@ -1,0 +1,81 @@
+// Multi-objective bitwidth allocation (paper Sec. V-D).
+//
+// Given the per-layer linear models (lambda_K, theta_K), the accuracy-
+// derived error budget sigma_{Y_L}, and an objective weighting rho_K
+// (#inputs for bandwidth, #MACs for energy, or any user-defined cost),
+// solve
+//     min F(xi) = sum_K rho_K * (-log2(Delta_XK(xi)))
+//     s.t. sum_K xi_K = 1,  xi_K >= min_xi
+// with Delta_XK(xi) = lambda_K * sigma_YL * sqrt(xi_K) + theta_K (Eq. 7),
+// then translate each Delta_XK into a fixed point format: fraction bits
+// from Delta, integer bits from the profiled max |X_K| (Sec. II-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "opt/simplex.hpp"
+#include "quant/fixed_point.hpp"
+
+namespace mupod {
+
+struct ObjectiveSpec {
+  std::string name;                // e.g. "input_bits", "mac_energy"
+  std::vector<std::int64_t> rho;   // one weight per analyzed layer
+};
+
+enum class XiSolver {
+  kProjectedGradient,  // robust default
+  kSqp,                // diagonal-Newton SQP-style (the paper used Octave sqp)
+  kClosedForm,         // exact KKT solution of the theta = 0 relaxation
+};
+
+struct AllocatorConfig {
+  XiSolver solver = XiSolver::kSqp;
+  double min_xi = 1e-4;
+  int min_total_bits = 1;
+  // Cap on fraction bits: when a fitted theta_K is negative and xi_K is
+  // driven to its floor, Eq. 7 can request a (meaningless) near-zero
+  // Delta; no edge accelerator uses more fraction precision than this.
+  int max_fraction_bits = 16;
+  SimplexSolverOptions solver_options;
+};
+
+struct BitwidthAllocation {
+  std::vector<double> xi;
+  std::vector<double> deltas;              // Eq. 7 Delta per layer
+  std::vector<FixedPointFormat> formats;   // derived I.F per layer
+  std::vector<int> bits;                   // total bits (I + F) per layer
+  double objective_value = 0.0;            // F(xi) at the solution
+  int solver_iterations = 0;
+};
+
+// The Eq. 8 objective. Exposed for tests and the ablation bench.
+double allocation_objective(const std::vector<LayerLinearModel>& models, double sigma_yl,
+                            const std::vector<std::int64_t>& rho,
+                            std::span<const double> xi);
+
+// KKT solution of the theta = 0 relaxation: xi_K proportional to rho_K.
+std::vector<double> closed_form_xi(const std::vector<std::int64_t>& rho, double min_xi = 1e-4);
+
+BitwidthAllocation allocate_bitwidths(const std::vector<LayerLinearModel>& models,
+                                      double sigma_yl, const std::vector<double>& ranges,
+                                      const ObjectiveSpec& objective,
+                                      const AllocatorConfig& cfg = {});
+
+// Formats for an explicit per-layer total bitwidth (used for baselines):
+// integer bits from the range, fraction bits = total - integer.
+std::vector<FixedPointFormat> formats_for_bits(const std::vector<double>& ranges,
+                                               const std::vector<int>& bits);
+
+// Uniform-noise injection map that *models* quantizing each analyzed layer
+// to its allocated format (Delta of the format, zeros excluded).
+std::unordered_map<int, InjectionSpec> injection_for_formats(
+    const std::vector<LayerLinearModel>& models, const std::vector<FixedPointFormat>& formats);
+
+// Real-quantization injection map for final validation.
+std::unordered_map<int, InjectionSpec> quantization_for_formats(
+    const std::vector<LayerLinearModel>& models, const std::vector<FixedPointFormat>& formats);
+
+}  // namespace mupod

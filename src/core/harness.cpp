@@ -1,0 +1,239 @@
+#include "core/harness.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/summary.hpp"
+
+namespace mupod {
+
+namespace {
+// Cap on memory spent caching eval-set activations; beyond this the
+// baseline's single-injection evaluation recomputes caches per batch.
+constexpr std::int64_t kEvalActCacheBytes = 256LL * 1024 * 1024;
+
+std::int64_t acts_bytes(const std::vector<Tensor>& acts) {
+  std::int64_t total = 0;
+  for (const Tensor& t : acts) total += t.numel() * static_cast<std::int64_t>(sizeof(float));
+  return total;
+}
+}  // namespace
+
+AnalysisHarness::AnalysisHarness(const Network& net, std::vector<int> analyzed,
+                                 const SyntheticImageDataset& dataset, const HarnessConfig& cfg)
+    : net_(&net), analyzed_(std::move(analyzed)), cfg_(cfg) {
+  assert(net.finalized());
+  assert(!analyzed_.empty());
+
+  ranges_.assign(analyzed_.size(), 0.0);
+
+  // --- profiling set with cached exact activations -----------------------
+  std::int64_t per_image_bytes = 0;
+  {
+    std::int64_t index = 0;
+    int remaining = cfg_.profile_images;
+    while (remaining > 0) {
+      const int n = std::min(remaining, cfg_.batch);
+      Batch b;
+      b.images = dataset.make_batch(index, n);
+      b.acts = net.forward_all(b.images);
+      forward_count_ += n;
+      const Tensor& logits = b.acts[static_cast<std::size_t>(net.output_node())];
+      b.reference = argmax_rows(logits);
+      // Range profiling on the same batch.
+      for (std::size_t k = 0; k < analyzed_.size(); ++k) {
+        const int in_node = net.node(analyzed_[k]).inputs[0];
+        ranges_[k] = std::max(ranges_[k],
+                              static_cast<double>(b.acts[static_cast<std::size_t>(in_node)].max_abs()));
+      }
+      per_image_bytes = acts_bytes(b.acts) / n;
+      profile_batches_.push_back(std::move(b));
+      index += n;
+      remaining -= n;
+    }
+  }
+
+  // --- evaluation set ------------------------------------------------------
+  eval_acts_cached_ = per_image_bytes * cfg_.eval_images <= kEvalActCacheBytes;
+  {
+    // Disjoint from the profiling images.
+    std::int64_t index = cfg_.eval_start_index;
+    int remaining = cfg_.eval_images;
+    std::int64_t float_hits = 0;
+    while (remaining > 0) {
+      const int n = std::min(remaining, cfg_.batch);
+      Batch b;
+      b.images = dataset.make_batch(index, n);
+      std::vector<Tensor> acts = net.forward_all(b.images);
+      forward_count_ += n;
+      const std::vector<int> float_pred =
+          argmax_rows(acts[static_cast<std::size_t>(net.output_node())]);
+      if (cfg_.metric == AccuracyMetric::kLabels) {
+        b.reference = dataset.labels(index, n);
+        for (int i = 0; i < n; ++i)
+          if (float_pred[static_cast<std::size_t>(i)] == b.reference[static_cast<std::size_t>(i)])
+            ++float_hits;
+      } else {
+        b.reference = float_pred;
+        float_hits += n;
+      }
+      if (eval_acts_cached_) b.acts = std::move(acts);
+      eval_batches_.push_back(std::move(b));
+      index += n;
+      remaining -= n;
+    }
+    float_accuracy_ = cfg_.eval_images > 0
+                          ? static_cast<double>(float_hits) / cfg_.eval_images
+                          : 1.0;
+  }
+}
+
+std::uint64_t AnalysisHarness::rep_seed(int rep) const {
+  std::uint64_t s = cfg_.noise_seed + 0x51eb851eb851eb85ULL * static_cast<std::uint64_t>(rep + 1);
+  return splitmix64(s);
+}
+
+double AnalysisHarness::output_sigma_for_injection(int node, double delta, int rep) const {
+  std::unordered_map<int, InjectionSpec> inject;
+  inject.emplace(node, InjectionSpec::uniform(delta));
+  return output_sigma_for_injection_map(inject, rep);
+}
+
+double AnalysisHarness::output_sigma_for_injection_map(
+    const std::unordered_map<int, InjectionSpec>& inject, int rep) const {
+  RunningStats rs;
+  ForwardOptions opts;
+  opts.inject = &inject;
+  opts.seed = rep_seed(rep);
+  const int out_node = net_->output_node();
+
+  // Single-node injections re-execute only the downstream sub-DAG.
+  const bool single = inject.size() == 1;
+  const int from = single ? inject.begin()->first : 0;
+
+  for (const Batch& b : profile_batches_) {
+    Tensor hat = single ? net_->forward_from(from, b.acts, opts) : net_->forward(b.images, opts);
+    forward_count_ += b.images.shape().n();
+    const Tensor& exact = b.acts[static_cast<std::size_t>(out_node)];
+    assert(hat.same_shape(exact));
+    for (std::int64_t i = 0; i < hat.numel(); ++i)
+      rs.add(static_cast<double>(hat[i]) - exact[i]);
+  }
+  return rs.stddev();
+}
+
+double AnalysisHarness::output_sigma_recompute_from(int node) const {
+  RunningStats rs;
+  const int out_node = net_->output_node();
+  for (const Batch& b : profile_batches_) {
+    Tensor hat = net_->forward_from(node, b.acts);
+    forward_count_ += b.images.shape().n();
+    const Tensor& exact = b.acts[static_cast<std::size_t>(out_node)];
+    for (std::int64_t i = 0; i < hat.numel(); ++i)
+      rs.add(static_cast<double>(hat[i]) - exact[i]);
+  }
+  return rs.stddev();
+}
+
+std::vector<float> AnalysisHarness::output_errors_for_injection(
+    const std::unordered_map<int, InjectionSpec>& inject, int rep) const {
+  std::vector<float> errors;
+  ForwardOptions opts;
+  opts.inject = &inject;
+  opts.seed = rep_seed(rep);
+  const int out_node = net_->output_node();
+  for (const Batch& b : profile_batches_) {
+    Tensor hat = net_->forward(b.images, opts);
+    forward_count_ += b.images.shape().n();
+    const Tensor& exact = b.acts[static_cast<std::size_t>(out_node)];
+    for (std::int64_t i = 0; i < hat.numel(); ++i)
+      errors.push_back(hat[i] - exact[i]);
+  }
+  return errors;
+}
+
+double AnalysisHarness::accuracy_with_injection(
+    const std::unordered_map<int, InjectionSpec>& inject, int rep) const {
+  ForwardOptions opts;
+  opts.inject = &inject;
+  opts.seed = rep_seed(rep);
+  std::int64_t hits = 0, total = 0;
+  for (const Batch& b : eval_batches_) {
+    Tensor logits = net_->forward(b.images, opts);
+    forward_count_ += b.images.shape().n();
+    const int n = logits.shape().dim(0);
+    for (int i = 0; i < n; ++i)
+      if (logits.argmax_row(i) == b.reference[static_cast<std::size_t>(i)]) ++hits;
+    total += n;
+  }
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+}
+
+double AnalysisHarness::accuracy_full_forward(
+    const std::unordered_map<int, InjectionSpec>& inject, int rep) const {
+  return accuracy_with_injection(inject, rep);
+}
+
+double AnalysisHarness::accuracy_with_output_gaussian(double sigma, int rep) const {
+  Rng rng(rep_seed(rep) ^ 0xfeedface12345678ULL);
+  std::int64_t hits = 0, total = 0;
+  for (const Batch& b : eval_batches_) {
+    // The float logits are already known: either cached, or recomputed once.
+    Tensor logits;
+    const Tensor* base = nullptr;
+    if (eval_acts_cached_) {
+      base = &b.acts[static_cast<std::size_t>(net_->output_node())];
+    } else {
+      logits = net_->forward(b.images);
+      forward_count_ += b.images.shape().n();
+      base = &logits;
+    }
+    Tensor noisy = *base;
+    for (std::int64_t i = 0; i < noisy.numel(); ++i)
+      noisy[i] += static_cast<float>(rng.gaussian(0.0, sigma));
+    const int n = noisy.shape().dim(0);
+    for (int i = 0; i < n; ++i)
+      if (noisy.argmax_row(i) == b.reference[static_cast<std::size_t>(i)]) ++hits;
+    total += n;
+  }
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+}
+
+std::vector<double> AnalysisHarness::accuracy_single_injections(
+    const std::vector<std::pair<int, InjectionSpec>>& candidates) const {
+  std::vector<std::int64_t> hits(candidates.size(), 0);
+  std::int64_t total = 0;
+
+  for (const Batch& b : eval_batches_) {
+    // Activation cache for this batch: persistent or recomputed on the fly.
+    const std::vector<Tensor>* acts = nullptr;
+    std::vector<Tensor> local;
+    if (eval_acts_cached_) {
+      acts = &b.acts;
+    } else {
+      local = net_->forward_all(b.images);
+      forward_count_ += b.images.shape().n();
+      acts = &local;
+    }
+    const int n = b.images.shape().n();
+    total += n;
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      std::unordered_map<int, InjectionSpec> inject;
+      inject.emplace(candidates[ci].first, candidates[ci].second);
+      ForwardOptions opts;
+      opts.inject = &inject;
+      opts.seed = rep_seed(0);
+      Tensor logits = net_->forward_from(candidates[ci].first, *acts, opts);
+      forward_count_ += n;
+      for (int i = 0; i < n; ++i)
+        if (logits.argmax_row(i) == b.reference[static_cast<std::size_t>(i)]) ++hits[ci];
+    }
+  }
+
+  std::vector<double> acc(candidates.size(), 0.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    acc[i] = total > 0 ? static_cast<double>(hits[i]) / static_cast<double>(total) : 0.0;
+  return acc;
+}
+
+}  // namespace mupod

@@ -1,0 +1,114 @@
+#include "core/pipeline.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace mupod {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+}  // namespace
+
+ObjectiveSpec objective_input_bits(const Network& net, const std::vector<int>& analyzed) {
+  ObjectiveSpec spec;
+  spec.name = "input_bits";
+  spec.rho.reserve(analyzed.size());
+  for (int id : analyzed) spec.rho.push_back(net.node(id).cost.input_elems);
+  return spec;
+}
+
+ObjectiveSpec objective_mac_energy(const Network& net, const std::vector<int>& analyzed) {
+  ObjectiveSpec spec;
+  spec.name = "mac_energy";
+  spec.rho.reserve(analyzed.size());
+  for (int id : analyzed) spec.rho.push_back(net.node(id).cost.macs);
+  return spec;
+}
+
+PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
+                            const SyntheticImageDataset& dataset,
+                            const std::vector<ObjectiveSpec>& objectives,
+                            const PipelineConfig& cfg) {
+  PipelineResult res;
+
+  auto t0 = Clock::now();
+  AnalysisHarness harness(net, analyzed, dataset, cfg.harness);
+  res.timings.harness_ms = ms_since(t0);
+  res.ranges = harness.input_ranges();
+
+  t0 = Clock::now();
+  res.models = profile_lambda_theta(harness, cfg.profiler);
+  res.timings.profile_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  res.sigma = search_sigma_yl(harness, res.models, cfg.sigma);
+  res.timings.sigma_ms = ms_since(t0);
+
+  // Correlation calibration: rescale the budget so the *realized* output
+  // error under an equal-xi injection matches the searched sigma.
+  res.sigma_calibrated = res.sigma.sigma_yl;
+  if (cfg.calibrate_sigma && res.sigma.sigma_yl > 0.0) {
+    const std::vector<double> equal_xi(analyzed.size(), 1.0 / static_cast<double>(analyzed.size()));
+    const auto inject = injection_for_xi(res.models, res.sigma.sigma_yl, equal_xi);
+    const double measured = harness.output_sigma_for_injection_map(inject);
+    if (measured > 0.0) {
+      const double correction = res.sigma.sigma_yl / measured;
+      if (correction > 0.3 && correction < 3.0)
+        res.sigma_calibrated = res.sigma.sigma_yl * correction;
+    }
+  }
+
+  const double threshold =
+      (1.0 - cfg.sigma.relative_accuracy_drop) * harness.float_accuracy();
+
+  for (const ObjectiveSpec& spec : objectives) {
+    assert(spec.rho.size() == analyzed.size());
+    ObjectiveResult obj;
+    obj.spec = spec;
+    obj.sigma_used = res.sigma_calibrated;
+
+    t0 = Clock::now();
+    obj.alloc = allocate_bitwidths(res.models, obj.sigma_used, res.ranges, spec, cfg.allocator);
+    res.timings.allocate_ms += ms_since(t0);
+
+    if (cfg.validate) {
+      t0 = Clock::now();
+      const auto inject = quantization_for_formats(res.models, obj.alloc.formats);
+      obj.validated_accuracy = harness.accuracy_with_injection(inject);
+      // The sigma schemes estimate accuracy; real quantization may land
+      // slightly below the budget. Shrink the budget until validation
+      // passes (paper: "no accuracy criterion was violated").
+      while (cfg.refine_on_violation && obj.validated_accuracy < threshold &&
+             obj.refinements < cfg.max_refinements) {
+        ++obj.refinements;
+        obj.sigma_used *= cfg.refinement_shrink;
+        obj.alloc = allocate_bitwidths(res.models, obj.sigma_used, res.ranges, spec,
+                                       cfg.allocator);
+        const auto retry = quantization_for_formats(res.models, obj.alloc.formats);
+        obj.validated_accuracy = harness.accuracy_with_injection(retry);
+      }
+      res.timings.validate_ms += ms_since(t0);
+    }
+
+    if (cfg.search_weights) {
+      t0 = Clock::now();
+      WeightSearchConfig wcfg = cfg.weights;
+      wcfg.relative_accuracy_drop = cfg.sigma.relative_accuracy_drop;
+      const auto inject = quantization_for_formats(res.models, obj.alloc.formats);
+      const WeightSearchResult w = search_weight_bitwidth(net, harness, inject, wcfg);
+      obj.weight_bits = w.bits;
+      obj.weight_search_accuracy = w.accuracy;
+      res.timings.weights_ms += ms_since(t0);
+    }
+
+    res.objectives.push_back(std::move(obj));
+  }
+  res.float_accuracy = harness.float_accuracy();
+  res.forward_count = harness.forward_count();
+  return res;
+}
+
+}  // namespace mupod

@@ -1,0 +1,97 @@
+// PrecisionOptimizer pipeline: the end-to-end flow of the paper.
+//
+//   1. Build the analysis harness (profiling + eval sets, ranges).
+//   2. Profile lambda_K / theta_K per layer (Sec. V-A).
+//   3. Binary-search sigma_{Y_L} for the accuracy constraint (Sec. V-C).
+//   4. For each hardware objective rho: solve Eq. 8 for xi, derive
+//      Delta_XK and the per-layer fixed point formats (Sec. V-D).
+//   5. Validate by running the net with real input quantization.
+//   6. Optionally search the uniform weight bitwidth (Sec. V-E).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/harness.hpp"
+#include "core/profiler.hpp"
+#include "core/sigma_search.hpp"
+#include "core/weight_search.hpp"
+
+namespace mupod {
+
+struct PipelineConfig {
+  HarnessConfig harness;
+  ProfilerConfig profiler;
+  SigmaSearchConfig sigma;
+  AllocatorConfig allocator;
+  // Eq. 6 assumes the per-layer error sources are independent; on narrow
+  // networks they correlate and the realized output error exceeds the
+  // budget. When enabled, the pipeline measures the realized sigma under
+  // an equal-xi injection at the searched budget and rescales the budget
+  // by (target / measured) before allocating.
+  bool calibrate_sigma = true;
+  bool validate = true;
+  // When the real-quantization validation violates the accuracy budget
+  // (the sigma schemes are estimates), shrink the error budget and
+  // re-allocate — this is what guarantees the paper's "no accuracy
+  // criterion was violated". Requires validate.
+  bool refine_on_violation = true;
+  int max_refinements = 5;
+  double refinement_shrink = 0.65;
+  bool search_weights = false;
+  WeightSearchConfig weights;
+};
+
+struct ObjectiveResult {
+  ObjectiveSpec spec;
+  BitwidthAllocation alloc;
+  // Agreement accuracy with real per-layer input quantization applied.
+  double validated_accuracy = -1.0;
+  // Error budget actually used (== the searched sigma_YL unless the
+  // refinement loop shrank it).
+  double sigma_used = 0.0;
+  int refinements = 0;
+  // Uniform weight bitwidth from the Sec. V-E search (-1 if not searched).
+  int weight_bits = -1;
+  double weight_search_accuracy = -1.0;
+};
+
+struct PipelineTimings {
+  double harness_ms = 0.0;
+  double profile_ms = 0.0;
+  double sigma_ms = 0.0;
+  double allocate_ms = 0.0;
+  double validate_ms = 0.0;
+  double weights_ms = 0.0;
+};
+
+struct PipelineResult {
+  std::vector<LayerLinearModel> models;
+  std::vector<double> ranges;  // max |X_K| per analyzed layer
+  SigmaSearchResult sigma;
+  // Budget after the correlation calibration (== sigma.sigma_yl when
+  // calibrate_sigma is off or the correction was out of bounds).
+  double sigma_calibrated = 0.0;
+  std::vector<ObjectiveResult> objectives;
+  PipelineTimings timings;
+  // Float accuracy of the network on the pipeline's eval set (1.0 under
+  // the agreement metric); validated accuracies are relative to this.
+  double float_accuracy = 1.0;
+  // Image-forward equivalents issued by the whole pipeline (cost
+  // accounting for the Sec. VI-A comparison against search methods).
+  std::int64_t forward_count = 0;
+};
+
+// Standard objective weights from layer cost metadata.
+ObjectiveSpec objective_input_bits(const Network& net, const std::vector<int>& analyzed);
+ObjectiveSpec objective_mac_energy(const Network& net, const std::vector<int>& analyzed);
+
+// Runs the full pipeline. `net` is non-const only for the optional weight
+// search (weights are restored afterwards).
+PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
+                            const SyntheticImageDataset& dataset,
+                            const std::vector<ObjectiveSpec>& objectives,
+                            const PipelineConfig& cfg = {});
+
+}  // namespace mupod

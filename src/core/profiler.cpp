@@ -1,0 +1,71 @@
+#include "core/profiler.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mupod {
+
+LayerLinearModel profile_layer(const AnalysisHarness& harness, int layer_index,
+                               const ProfilerConfig& cfg) {
+  assert(layer_index >= 0 && layer_index < harness.num_layers());
+  assert(cfg.points >= 2);
+  LayerLinearModel m;
+  m.layer_index = layer_index;
+  m.node = harness.analyzed()[static_cast<std::size_t>(layer_index)];
+
+  const double range = harness.input_ranges()[static_cast<std::size_t>(layer_index)];
+  // A layer whose input is identically zero cannot be profiled; report a
+  // degenerate model (lambda 0) that the allocator treats as "free".
+  if (range <= 0.0) return m;
+
+  m.deltas.reserve(static_cast<std::size_t>(cfg.points));
+  m.sigmas.reserve(static_cast<std::size_t>(cfg.points));
+  const int reps = std::max(cfg.reps_per_point, 1);
+  for (int p = 0; p < cfg.points; ++p) {
+    const double t = cfg.points == 1
+                         ? 0.0
+                         : static_cast<double>(p) / static_cast<double>(cfg.points - 1);
+    const double log2_scale = cfg.log2_lo_scale + t * (cfg.log2_hi_scale - cfg.log2_lo_scale);
+    const double delta = range * std::exp2(log2_scale);
+    double var = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double s = harness.output_sigma_for_injection(m.node, delta, p * reps + rep);
+      var += s * s;
+    }
+    m.deltas.push_back(delta);
+    m.sigmas.push_back(std::sqrt(var / reps));
+  }
+
+  // Regress sigma on Delta and invert. Delta is the *controlled* variable
+  // (exact); sigma is the noisy measurement. Regressing the other way
+  // round (as a naive reading of Eq. 5 suggests) suffers errors-in-
+  // variables attenuation when the sigma estimates are noisy.
+  const LinearFit raw = cfg.no_intercept ? fit_linear_no_intercept(m.deltas, m.sigmas)
+                                         : fit_linear(m.deltas, m.sigmas);
+  if (raw.slope > 0.0) {
+    m.lambda = 1.0 / raw.slope;                 // Delta = (sigma - b) / a
+    m.theta = -raw.intercept / raw.slope;
+    m.r2 = raw.r2;
+  }
+
+  // Prediction quality is assessed over the upper half of the sweep — the
+  // operating region of the bitwidth allocator. (At the smallest Deltas the
+  // intercept theta dominates and relative error is meaningless, exactly as
+  // in the paper's Fig. 2 where measurements start at moderate Deltas.)
+  for (std::size_t i = m.deltas.size() / 2; i < m.deltas.size(); ++i) {
+    const double pred = m.delta_for_sigma(m.sigmas[i]);
+    if (m.deltas[i] > 0.0)
+      m.max_rel_error = std::max(m.max_rel_error, std::fabs(pred - m.deltas[i]) / m.deltas[i]);
+  }
+  return m;
+}
+
+std::vector<LayerLinearModel> profile_lambda_theta(const AnalysisHarness& harness,
+                                                   const ProfilerConfig& cfg) {
+  std::vector<LayerLinearModel> models;
+  models.reserve(static_cast<std::size_t>(harness.num_layers()));
+  for (int k = 0; k < harness.num_layers(); ++k) models.push_back(profile_layer(harness, k, cfg));
+  return models;
+}
+
+}  // namespace mupod

@@ -1,0 +1,57 @@
+// LambdaThetaProfiler (paper Sec. V-A): for every analyzed layer K,
+// sweep the injected uniform-noise boundary Delta_XK, measure the induced
+// final-layer error s.d. sigma_{Y_{K->L}}, and fit the per-layer linear
+// law of Eq. 5:
+//     Delta_XK ~= lambda_K * sigma_{Y_{K->L}} + theta_K.
+#pragma once
+
+#include <vector>
+
+#include "core/harness.hpp"
+#include "stats/regression.hpp"
+
+namespace mupod {
+
+struct LayerLinearModel {
+  int node = -1;            // network node id
+  int layer_index = -1;     // position within the analyzed list (K)
+  double lambda = 0.0;      // slope
+  double theta = 0.0;       // intercept
+  double r2 = 0.0;          // regression fit quality
+  double max_rel_error = 0.0;  // worst |Delta_pred - Delta| / Delta over the sweep
+  std::vector<double> deltas;  // injected boundaries (measurement x... y axis in Fig. 2)
+  std::vector<double> sigmas;  // measured final-layer error s.d.
+
+  // Eq. 5 forward: predicted Delta for a target output sigma.
+  double delta_for_sigma(double sigma) const { return lambda * sigma + theta; }
+};
+
+struct ProfilerConfig {
+  // Number of Delta points per layer ("we found 20 to be sufficient").
+  int points = 12;
+  // Independent noise realizations averaged (in variance) per point.
+  // Layers whose propagated error reaches the output through few effective
+  // modes have high single-shot variance in the measured sigma; averaging
+  // realizations substitutes for the paper's larger (500-image) probe set.
+  int reps_per_point = 2;
+  // The sweep covers Delta in
+  // [max|X_K| * 2^log2_lo_scale, max|X_K| * 2^log2_hi_scale], log-spaced.
+  // The upper end stays ~3% of the input range: beyond that the injected
+  // noise starts flipping ReLUs and the Delta-sigma relationship bends
+  // sublinear (Eq. 5 is a small-perturbation law; the paper's Fig. 2
+  // measurements likewise cover moderate Deltas).
+  double log2_lo_scale = -10.0;
+  double log2_hi_scale = -5.0;
+  // Fit through the origin instead of with an intercept (theta ablation).
+  bool no_intercept = false;
+};
+
+// Profiles every analyzed layer. Deterministic given the harness seed.
+std::vector<LayerLinearModel> profile_lambda_theta(const AnalysisHarness& harness,
+                                                   const ProfilerConfig& cfg = {});
+
+// Single-layer variant.
+LayerLinearModel profile_layer(const AnalysisHarness& harness, int layer_index,
+                               const ProfilerConfig& cfg = {});
+
+}  // namespace mupod

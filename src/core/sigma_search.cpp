@@ -1,0 +1,51 @@
+#include "core/sigma_search.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mupod {
+
+std::unordered_map<int, InjectionSpec> injection_for_xi(
+    const std::vector<LayerLinearModel>& models, double sigma_yl,
+    const std::vector<double>& xi) {
+  assert(models.size() == xi.size());
+  std::unordered_map<int, InjectionSpec> inject;
+  for (std::size_t k = 0; k < models.size(); ++k) {
+    const LayerLinearModel& m = models[k];
+    if (m.lambda <= 0.0) continue;  // degenerate layer: nothing to inject
+    const double delta = m.lambda * sigma_yl * std::sqrt(xi[k]) + m.theta;
+    if (delta <= 0.0) continue;
+    inject.emplace(m.node, InjectionSpec::uniform(delta));
+  }
+  return inject;
+}
+
+double accuracy_for_sigma(const AnalysisHarness& harness,
+                          const std::vector<LayerLinearModel>& models, double sigma_yl,
+                          AccuracyScheme scheme, int rep) {
+  if (scheme == AccuracyScheme::kGaussianOutput) {
+    return harness.accuracy_with_output_gaussian(sigma_yl, rep);
+  }
+  const std::vector<double> xi(models.size(), 1.0 / static_cast<double>(models.size()));
+  const auto inject = injection_for_xi(models, sigma_yl, xi);
+  return harness.accuracy_with_injection(inject, rep);
+}
+
+SigmaSearchResult search_sigma_yl(const AnalysisHarness& harness,
+                                  const std::vector<LayerLinearModel>& models,
+                                  const SigmaSearchConfig& cfg) {
+  const double threshold = (1.0 - cfg.relative_accuracy_drop) * harness.float_accuracy();
+  SigmaSearchResult res;
+
+  const auto satisfied = [&](double sigma) {
+    return accuracy_for_sigma(harness, models, sigma, cfg.scheme) >= threshold;
+  };
+  const BinarySearchResult bs = binary_search_max_satisfying(satisfied, cfg.search);
+  res.sigma_yl = bs.value;
+  res.evaluations = bs.evaluations;
+  res.accuracy_at_sigma =
+      res.sigma_yl > 0.0 ? accuracy_for_sigma(harness, models, res.sigma_yl, cfg.scheme) : 1.0;
+  return res;
+}
+
+}  // namespace mupod

@@ -1,0 +1,66 @@
+// SigmaSearch (paper Sec. V-C): find the largest final-layer error s.d.
+// sigma_{Y_L} whose induced classification accuracy still satisfies the
+// user's relative accuracy-drop constraint, by binary search on reals.
+//
+// Two accuracy-test schemes, as in the paper:
+//   Scheme 1 (equal_scheme):   xi_K = 1/L for all K; derive Delta_XK from
+//     Eq. 7 and inject uniform noise into every layer simultaneously.
+//   Scheme 2 (gaussian_approx): inject N(0, sigma^2) into the final layer
+//     only — valid because the aggregated output error is ~Gaussian
+//     (Fig. 3 right), and much cheaper.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "core/profiler.hpp"
+#include "opt/search.hpp"
+
+namespace mupod {
+
+enum class AccuracyScheme {
+  kEqualInjection,  // Scheme 1
+  kGaussianOutput,  // Scheme 2
+};
+
+// Default bracket options for the sigma search: a scale-free 2% relative
+// stop, since the satisfying sigma's magnitude depends on the logits scale
+// of the network under analysis (the paper's 0.01 absolute tolerance
+// presumes ImageNet-scale logits).
+inline BinarySearchOptions default_sigma_search_options() {
+  BinarySearchOptions o;
+  o.tolerance = 1e-9;
+  o.relative_tolerance = 0.02;
+  return o;
+}
+
+struct SigmaSearchConfig {
+  // Maximum tolerated relative top-1 accuracy drop (1% and 5% in Table III).
+  double relative_accuracy_drop = 0.01;
+  AccuracyScheme scheme = AccuracyScheme::kGaussianOutput;
+  BinarySearchOptions search = default_sigma_search_options();
+};
+
+struct SigmaSearchResult {
+  double sigma_yl = 0.0;
+  int evaluations = 0;
+  double accuracy_at_sigma = 0.0;  // measured accuracy at the returned sigma
+};
+
+// Eq. 7 realized as an injection map: Delta_XK = lambda_K*sigma*sqrt(xi_K)
+// + theta_K for every analyzed layer (non-positive Delta -> no injection).
+std::unordered_map<int, InjectionSpec> injection_for_xi(
+    const std::vector<LayerLinearModel>& models, double sigma_yl,
+    const std::vector<double>& xi);
+
+// Accuracy at a candidate sigma under the chosen scheme.
+double accuracy_for_sigma(const AnalysisHarness& harness,
+                          const std::vector<LayerLinearModel>& models, double sigma_yl,
+                          AccuracyScheme scheme, int rep = 0);
+
+SigmaSearchResult search_sigma_yl(const AnalysisHarness& harness,
+                                  const std::vector<LayerLinearModel>& models,
+                                  const SigmaSearchConfig& cfg = {});
+
+}  // namespace mupod

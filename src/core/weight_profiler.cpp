@@ -1,0 +1,103 @@
+#include "core/weight_profiler.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace mupod {
+
+namespace {
+void perturb_weights(Tensor& w, double delta, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < w.numel(); ++i)
+    w[i] += static_cast<float>(rng.uniform(-delta, delta));
+}
+}  // namespace
+
+LayerLinearModel profile_weight_layer(Network& net, const AnalysisHarness& harness,
+                                      int layer_index, const ProfilerConfig& cfg) {
+  assert(&net == &harness.net());
+  assert(layer_index >= 0 && layer_index < harness.num_layers());
+  LayerLinearModel m;
+  m.layer_index = layer_index;
+  m.node = harness.analyzed()[static_cast<std::size_t>(layer_index)];
+
+  Tensor* w = net.layer(m.node).mutable_weights();
+  if (w == nullptr) return m;  // nothing to profile; lambda stays 0
+  const double range = w->max_abs();
+  if (range <= 0.0) return m;
+
+  const Tensor original = *w;
+  const int reps = std::max(cfg.reps_per_point, 1);
+  for (int p = 0; p < cfg.points; ++p) {
+    const double t = cfg.points == 1
+                         ? 0.0
+                         : static_cast<double>(p) / static_cast<double>(cfg.points - 1);
+    const double log2_scale = cfg.log2_lo_scale + t * (cfg.log2_hi_scale - cfg.log2_lo_scale);
+    const double delta = range * std::exp2(log2_scale);
+    double var = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      perturb_weights(*w, delta, 0xC0FFEEULL + static_cast<std::uint64_t>(m.node) * 1009 +
+                                     static_cast<std::uint64_t>(p * reps + rep));
+      const double s = harness.output_sigma_recompute_from(m.node);
+      *w = original;
+      var += s * s;
+    }
+    m.deltas.push_back(delta);
+    m.sigmas.push_back(std::sqrt(var / reps));
+  }
+
+  const LinearFit raw = cfg.no_intercept ? fit_linear_no_intercept(m.deltas, m.sigmas)
+                                         : fit_linear(m.deltas, m.sigmas);
+  if (raw.slope > 0.0) {
+    m.lambda = 1.0 / raw.slope;
+    m.theta = -raw.intercept / raw.slope;
+    m.r2 = raw.r2;
+  }
+  for (std::size_t i = m.deltas.size() / 2; i < m.deltas.size(); ++i) {
+    const double pred = m.delta_for_sigma(m.sigmas[i]);
+    if (m.deltas[i] > 0.0)
+      m.max_rel_error = std::max(m.max_rel_error, std::fabs(pred - m.deltas[i]) / m.deltas[i]);
+  }
+  return m;
+}
+
+std::vector<LayerLinearModel> profile_weight_lambda_theta(Network& net,
+                                                          const AnalysisHarness& harness,
+                                                          const ProfilerConfig& cfg) {
+  std::vector<LayerLinearModel> models;
+  models.reserve(static_cast<std::size_t>(harness.num_layers()));
+  for (int k = 0; k < harness.num_layers(); ++k)
+    models.push_back(profile_weight_layer(net, harness, k, cfg));
+  return models;
+}
+
+std::vector<double> weight_ranges(const Network& net, const std::vector<int>& analyzed) {
+  std::vector<double> out;
+  out.reserve(analyzed.size());
+  for (int id : analyzed) {
+    const Tensor* w = net.layer(id).weights();
+    out.push_back(w != nullptr ? w->max_abs() : 0.0);
+  }
+  return out;
+}
+
+BitwidthAllocation allocate_weight_bitwidths(const std::vector<LayerLinearModel>& models,
+                                             double sigma_w, const std::vector<double>& ranges,
+                                             const ObjectiveSpec& objective,
+                                             const AllocatorConfig& cfg) {
+  // Same mathematics: Eq. 7/8 with weight lambdas and weight ranges.
+  return allocate_bitwidths(models, sigma_w, ranges, objective, cfg);
+}
+
+void apply_weight_formats(Network& net, const std::vector<int>& analyzed,
+                          const std::vector<FixedPointFormat>& formats) {
+  assert(analyzed.size() == formats.size());
+  for (std::size_t k = 0; k < analyzed.size(); ++k) {
+    Tensor* w = net.layer(analyzed[k]).mutable_weights();
+    if (w != nullptr) quantize_tensor(*w, formats[k]);
+  }
+}
+
+}  // namespace mupod

@@ -1,0 +1,47 @@
+// Analytic weight-precision extension.
+//
+// The paper's Eq. 2 contains a weight-error term (x_i * delta_w_i) that
+// Sec. V-E handles by plain search. But the same statistical argument
+// that gives Eq. 5 for activations applies to weights: injecting uniform
+// noise U[-Delta, Delta] into layer K's *weights* induces a final-layer
+// error whose s.d. is linear in Delta. Profiling those constants
+// (lambda^w_K, theta^w_K) lets the Eq. 7/8 machinery allocate per-layer
+// WEIGHT bitwidths analytically — an extension beyond the paper, compared
+// against its search in the tests and bench_ablation.
+#pragma once
+
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/harness.hpp"
+#include "core/profiler.hpp"
+
+namespace mupod {
+
+// Profiles the weight-error propagation law for one analyzed layer. The
+// network is mutated during the sweep and restored before returning.
+LayerLinearModel profile_weight_layer(Network& net, const AnalysisHarness& harness,
+                                      int layer_index, const ProfilerConfig& cfg = {});
+
+// All analyzed layers (skips layers without weights; their lambda is 0).
+std::vector<LayerLinearModel> profile_weight_lambda_theta(Network& net,
+                                                          const AnalysisHarness& harness,
+                                                          const ProfilerConfig& cfg = {});
+
+// max |w| per analyzed layer — the range that fixes the weight formats'
+// integer bits (analogue of max |X_K|).
+std::vector<double> weight_ranges(const Network& net, const std::vector<int>& analyzed);
+
+// Allocates per-layer weight bitwidths for the error budget sigma_w using
+// the same constrained optimization as the activation allocator.
+BitwidthAllocation allocate_weight_bitwidths(const std::vector<LayerLinearModel>& models,
+                                             double sigma_w, const std::vector<double>& ranges,
+                                             const ObjectiveSpec& objective,
+                                             const AllocatorConfig& cfg = {});
+
+// Applies the per-layer weight formats (in place; snapshot first if you
+// need to restore).
+void apply_weight_formats(Network& net, const std::vector<int>& analyzed,
+                          const std::vector<FixedPointFormat>& formats);
+
+}  // namespace mupod

@@ -1,0 +1,52 @@
+// Weight bitwidth search (paper Sec. V-E): with the optimized input
+// bitwidths in place, find the smallest uniform weight bitwidth that still
+// satisfies the accuracy constraint — the same post-pass Stripes/Loom
+// apply after reducing activation precision.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/harness.hpp"
+#include "nn/network.hpp"
+
+namespace mupod {
+
+struct WeightSearchConfig {
+  int min_bits = 2;
+  int max_bits = 16;
+  double relative_accuracy_drop = 0.01;
+};
+
+struct WeightSearchResult {
+  int bits = 16;           // smallest satisfying uniform weight bitwidth
+  double accuracy = 0.0;   // accuracy at that bitwidth (with input_inject applied)
+  int evaluations = 0;
+};
+
+// `net` must be the same network the harness was built on; its weights are
+// temporarily quantized per trial and restored before returning.
+WeightSearchResult search_weight_bitwidth(
+    Network& net, const AnalysisHarness& harness,
+    const std::unordered_map<int, InjectionSpec>& input_inject,
+    const WeightSearchConfig& cfg = {});
+
+struct PerLayerWeightSearchResult {
+  std::vector<int> bits;   // per analyzed layer
+  double accuracy = 0.0;
+  int evaluations = 0;
+};
+
+// Extension beyond the paper (Loom-style): per-layer weight bitwidths.
+// Starts from the uniform search result, then greedily shaves one bit at
+// a time from the layer with the most weight-bit mass (weighted by
+// `rho`, e.g. #MACs) as long as the accuracy constraint holds.
+PerLayerWeightSearchResult search_weight_bitwidth_per_layer(
+    Network& net, const AnalysisHarness& harness,
+    const std::unordered_map<int, InjectionSpec>& input_inject,
+    const std::vector<std::int64_t>& rho, const WeightSearchConfig& cfg = {});
+
+// Quantizes the weights of one analyzed layer to `bits` total bits (helper
+// shared by the searches; integer part from max |w| of that layer).
+void quantize_layer_weights(Network& net, int node, int bits);
+
+}  // namespace mupod

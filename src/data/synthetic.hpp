@@ -1,0 +1,64 @@
+// Synthetic image workload.
+//
+// The paper evaluates on ImageNet with Caffe Model Zoo weights, which are
+// not available here. The method itself only depends on the statistics of
+// rounding-error propagation through a *fixed* network and on the relative
+// accuracy drop of the quantized net versus the float net. We therefore
+// generate a deterministic synthetic image distribution (per-class
+// structured Gabor-like patterns plus noise) and measure accuracy as
+// top-1 *agreement with the float network* — exactly the mechanism the
+// paper's "relative accuracy loss" constrains (quantization noise flipping
+// the argmax of layer L). See DESIGN.md, "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mupod {
+
+struct DatasetConfig {
+  int num_classes = 10;
+  int channels = 3;
+  int height = 32;
+  int width = 32;
+  // Structured pattern count per class prototype.
+  int gratings_per_class = 4;
+  // S.d. of the per-image additive noise on top of the class prototype.
+  float noise = 0.35f;
+  std::uint64_t seed = 42;
+};
+
+// Deterministic synthetic image source: image `i` is always the same
+// tensor for a given config, independent of query order or batch split.
+class SyntheticImageDataset {
+ public:
+  explicit SyntheticImageDataset(const DatasetConfig& cfg);
+
+  const DatasetConfig& config() const { return cfg_; }
+  int label_of(std::int64_t index) const { return static_cast<int>(index % cfg_.num_classes); }
+
+  // Writes image `index` into `out[n]` of an (N, C, H, W) batch tensor.
+  void render_image(std::int64_t index, Tensor& out, int n) const;
+
+  // Batch of images [first, first + n).
+  Tensor make_batch(std::int64_t first, int n) const;
+  std::vector<int> labels(std::int64_t first, int n) const;
+
+ private:
+  struct Grating {
+    float fx, fy, phase, amp, chan_shift;
+  };
+  DatasetConfig cfg_;
+  std::vector<std::vector<Grating>> class_protos_;  // [class][grating]
+};
+
+// Row-wise argmax of an (N, num_classes) logits tensor.
+std::vector<int> argmax_rows(const Tensor& logits);
+
+// Fraction of rows whose argmax matches `reference`.
+double top1_agreement(const Tensor& logits, const std::vector<int>& reference);
+
+}  // namespace mupod

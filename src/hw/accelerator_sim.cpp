@@ -1,0 +1,76 @@
+#include "hw/accelerator_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mupod {
+
+AcceleratorConfig AcceleratorConfig::stripes_like() {
+  AcceleratorConfig cfg;
+  cfg.name = "stripes_like";
+  cfg.weight_serial = false;
+  cfg.energy = MacEnergyModel::stripes_like();
+  return cfg;
+}
+
+AcceleratorConfig AcceleratorConfig::loom_like() {
+  AcceleratorConfig cfg;
+  cfg.name = "loom_like";
+  cfg.weight_serial = true;
+  cfg.energy = MacEnergyModel::loom_like();
+  return cfg;
+}
+
+NetworkSimResult simulate_network(const AcceleratorConfig& cfg, const Network& net,
+                                  std::span<const int> analyzed,
+                                  std::span<const int> activation_bits, int weight_bits) {
+  assert(analyzed.size() == activation_bits.size());
+  assert(weight_bits >= 1);
+  NetworkSimResult out;
+  double baseline_total = 0.0;
+
+  for (std::size_t k = 0; k < analyzed.size(); ++k) {
+    const auto& node = net.node(analyzed[k]);
+    LayerSimResult layer;
+    layer.node = analyzed[k];
+    layer.macs = node.cost.macs;
+    layer.input_elems = node.cost.input_elems;
+    layer.activation_bits = std::clamp(activation_bits[k], 1, cfg.baseline_bits);
+    layer.weight_bits = std::clamp(weight_bits, 1, cfg.baseline_bits);
+
+    // A bit-serial unit needs `activation_bits` cycles where the parallel
+    // baseline needs one (Loom: activation_bits * weight_bits vs
+    // baseline_bits, amortized over its wider tile arrangement).
+    const double macs_per_cycle = static_cast<double>(cfg.parallel_macs_per_cycle());
+    layer.baseline_cycles = static_cast<double>(layer.macs) / macs_per_cycle *
+                            static_cast<double>(cfg.baseline_bits);
+    double serial_factor = static_cast<double>(layer.activation_bits);
+    if (cfg.weight_serial) {
+      serial_factor *= static_cast<double>(layer.weight_bits) /
+                       static_cast<double>(cfg.baseline_bits);
+    }
+    layer.compute_cycles = static_cast<double>(layer.macs) / macs_per_cycle * serial_factor;
+
+    // Off-chip traffic: each input element read once at its bitwidth.
+    layer.bandwidth_cycles = static_cast<double>(layer.input_elems) *
+                             static_cast<double>(layer.activation_bits) /
+                             cfg.offchip_bits_per_cycle;
+    layer.bandwidth_bound = layer.bandwidth_cycles > layer.compute_cycles;
+    layer.cycles = std::max(layer.compute_cycles, layer.bandwidth_cycles);
+
+    layer.energy = static_cast<double>(layer.macs) *
+                   cfg.energy.mac_energy(layer.activation_bits, layer.weight_bits);
+
+    out.total_cycles += layer.cycles;
+    out.total_energy += layer.energy;
+    baseline_total += std::max(layer.baseline_cycles,
+                               static_cast<double>(layer.input_elems) *
+                                   static_cast<double>(cfg.baseline_bits) /
+                                   cfg.offchip_bits_per_cycle);
+    out.layers.push_back(layer);
+  }
+  out.speedup_vs_baseline = out.total_cycles > 0.0 ? baseline_total / out.total_cycles : 0.0;
+  return out;
+}
+
+}  // namespace mupod

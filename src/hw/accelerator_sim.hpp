@@ -1,0 +1,83 @@
+// Tile-level simulator of a bit-serial DNN accelerator in the style of
+// Stripes (Judd et al., MICRO'16) and Loom (Sharify et al., DAC'18).
+//
+// Stripes executes the multiplications of a convolutional layer as
+// bit-serial over the *activation* operand: a tile of SIP (serial inner
+// product) units consumes one activation bit per cycle, so a layer
+// quantized to B_K activation bits finishes in time proportional to B_K
+// instead of the 16-bit baseline. Loom additionally serializes the weight
+// operand. The paper derives its performance claims from exactly this
+// proportionality ("their performance scales almost linearly with the
+// saving in effective_bitwidth"); this simulator reproduces the cycle
+// accounting so the claim can be checked rather than assumed.
+//
+// The model is deliberately first-order: compute-bound tile scheduling
+// with a fixed on-chip bandwidth ceiling, no inter-layer pipelining. That
+// matches the granularity of the numbers the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/energy_model.hpp"
+#include "nn/network.hpp"
+
+namespace mupod {
+
+struct AcceleratorConfig {
+  std::string name = "stripes_like";
+  // Tile geometry: rows x columns of SIP units; each unit performs one
+  // MAC lane. Stripes: 16 tiles x 16 rows x 16 SIPs.
+  int tiles = 16;
+  int rows = 16;
+  int lanes_per_row = 16;
+  // Serial dimension: activation bits always; weight bits too for Loom.
+  bool weight_serial = false;
+  // Baseline parallel-operand bitwidth the serial units replace.
+  int baseline_bits = 16;
+  // Off-chip bandwidth in bits/cycle (activation reads); layers whose
+  // bit-traffic exceeds compute become bandwidth-bound.
+  double offchip_bits_per_cycle = 256.0;
+  // Energy model used for the per-layer energy accounting.
+  MacEnergyModel energy = MacEnergyModel::stripes_like();
+
+  std::int64_t parallel_macs_per_cycle() const {
+    return static_cast<std::int64_t>(tiles) * rows * lanes_per_row;
+  }
+
+  static AcceleratorConfig stripes_like();
+  static AcceleratorConfig loom_like();
+};
+
+struct LayerSimResult {
+  int node = -1;
+  std::int64_t macs = 0;
+  std::int64_t input_elems = 0;
+  int activation_bits = 16;
+  int weight_bits = 16;
+  // Cycles if the layer ran at the full parallel baseline precision.
+  double baseline_cycles = 0.0;
+  double compute_cycles = 0.0;    // precision-scaled compute time
+  double bandwidth_cycles = 0.0;  // off-chip activation traffic time
+  double cycles = 0.0;            // max(compute, bandwidth)
+  bool bandwidth_bound = false;
+  double energy = 0.0;            // per image, arbitrary units
+};
+
+struct NetworkSimResult {
+  std::vector<LayerSimResult> layers;
+  double total_cycles = 0.0;
+  double total_energy = 0.0;
+  // Speedup of the precision-scaled run vs the 16-bit baseline.
+  double speedup_vs_baseline = 0.0;
+};
+
+// Simulates one image through the analyzed layers with the given per-layer
+// activation bitwidths and a uniform weight bitwidth.
+NetworkSimResult simulate_network(const AcceleratorConfig& cfg, const Network& net,
+                                  std::span<const int> analyzed,
+                                  std::span<const int> activation_bits, int weight_bits);
+
+}  // namespace mupod

@@ -1,0 +1,74 @@
+#include "hw/energy_model.hpp"
+
+#include <cassert>
+
+namespace mupod {
+
+double effective_bitwidth(std::span<const std::int64_t> rho, std::span<const int> bits) {
+  assert(rho.size() == bits.size() && !rho.empty());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    num += static_cast<double>(rho[i]) * bits[i];
+    den += static_cast<double>(rho[i]);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+std::int64_t total_weighted_bits(std::span<const std::int64_t> rho, std::span<const int> bits) {
+  assert(rho.size() == bits.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < rho.size(); ++i) total += rho[i] * bits[i];
+  return total;
+}
+
+double MacEnergyModel::mac_energy(int input_bits, int weight_bits) const {
+  assert(input_bits >= 1 && weight_bits >= 1);
+  if (kind == Kind::kBitSerial) {
+    const double weight_factor =
+        weight_serial ? static_cast<double>(weight_bits) / 16.0 : 1.0;
+    return serial_base + serial_per_bit * static_cast<double>(input_bits) * weight_factor;
+  }
+  return pp * static_cast<double>(input_bits) * weight_bits +
+         lin * static_cast<double>(input_bits + weight_bits) + leak;
+}
+
+double MacEnergyModel::network_energy(std::span<const std::int64_t> macs,
+                                      std::span<const int> bits, int weight_bits) const {
+  assert(macs.size() == bits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < macs.size(); ++i)
+    total += static_cast<double>(macs[i]) * mac_energy(bits[i], weight_bits);
+  return total;
+}
+
+MacEnergyModel MacEnergyModel::stripes_like() {
+  MacEnergyModel m;
+  m.kind = Kind::kBitSerial;
+  m.weight_serial = false;
+  return m;
+}
+
+MacEnergyModel MacEnergyModel::loom_like() {
+  MacEnergyModel m;
+  m.kind = Kind::kBitSerial;
+  m.weight_serial = true;
+  return m;
+}
+
+MacEnergyModel MacEnergyModel::parallel_dwip_like() {
+  MacEnergyModel m;
+  m.kind = Kind::kParallel;
+  return m;
+}
+
+std::int64_t input_bandwidth_bits(std::span<const std::int64_t> input_elems,
+                                  std::span<const int> bits) {
+  return total_weighted_bits(input_elems, bits);
+}
+
+double percent_saving(double base, double opt) {
+  if (base == 0.0) return 0.0;
+  return (base - opt) / base * 100.0;
+}
+
+}  // namespace mupod

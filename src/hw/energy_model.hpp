@@ -1,0 +1,70 @@
+// Hardware cost models (paper Sec. V-D / VI).
+//
+// The paper evaluates two objectives —
+//   * memory bandwidth for reading layer inputs:  sum_K #Input_K * B_K
+//   * MAC energy:                                 sum_K #MAC_K * E(B_K, W)
+// — and reports "effective bitwidth" = sum(rho_K * B_K) / sum(rho_K).
+//
+// For energy the paper synthesizes a Synopsys DesignWare MAC in TSMC
+// 40 nm LP; that flow is not reproducible here, so we provide two
+// analytical models that preserve the property the paper's numbers rely
+// on (energy scaling with operand bitwidth):
+//   * kBitSerial — a Stripes/Loom-style bit-serial unit whose
+//     energy/cycle count per MAC scales linearly with the input bitwidth
+//     (and with the weight bitwidth for the Loom configuration);
+//   * kParallel — a synthesized array multiplier model with a
+//     Bin*Bw partial-product term, linear adder/register terms and a
+//     constant leakage/control term (coefficients loosely calibrated to
+//     published 40/45 nm MAC survey data).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mupod {
+
+// Weighted-average bitwidth: sum(rho_K * B_K) / sum(rho_K). This is the
+// `effective_bitwidth` of the paper's Table III.
+double effective_bitwidth(std::span<const std::int64_t> rho, std::span<const int> bits);
+
+// Total objective value sum(rho_K * B_K) (e.g. total input bits read).
+std::int64_t total_weighted_bits(std::span<const std::int64_t> rho, std::span<const int> bits);
+
+struct MacEnergyModel {
+  enum class Kind { kBitSerial, kParallel };
+
+  Kind kind = Kind::kBitSerial;
+  // kBitSerial: energy per MAC = serial_base + serial_per_bit * Bin *
+  // (weight_parallel ? 1 : Bw / 16). Stripes serializes inputs only;
+  // Loom serializes both operands.
+  double serial_base = 0.05;
+  double serial_per_bit = 1.0;
+  bool weight_serial = false;
+  // kParallel: energy per MAC = pp * Bin * Bw + lin * (Bin + Bw) + leak.
+  double pp = 0.055;
+  double lin = 0.16;
+  double leak = 0.35;
+
+  // Energy of one MAC with the given operand bitwidths, in arbitrary
+  // consistent units (pJ-like scale).
+  double mac_energy(int input_bits, int weight_bits) const;
+
+  // Total energy over a network: sum_K macs[K] * E(bits[K], weight_bits).
+  double network_energy(std::span<const std::int64_t> macs, std::span<const int> bits,
+                        int weight_bits) const;
+
+  static MacEnergyModel stripes_like();
+  static MacEnergyModel loom_like();
+  static MacEnergyModel parallel_dwip_like();
+};
+
+// Bits transferred to read all layer inputs once per image.
+std::int64_t input_bandwidth_bits(std::span<const std::int64_t> input_elems,
+                                  std::span<const int> bits);
+
+// Percentage saving of `opt` vs `base` (positive = opt is cheaper).
+double percent_saving(double base, double opt);
+
+}  // namespace mupod

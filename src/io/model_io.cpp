@@ -1,0 +1,100 @@
+#include "io/model_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mupod {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'U', 'P', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("weights file truncated");
+  return v;
+}
+
+void write_tensor(std::ostream& os, const std::string& name, char tag, const Tensor& t) {
+  write_u32(os, static_cast<std::uint32_t>(name.size()));
+  os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  os.put(tag);
+  write_u32(os, static_cast<std::uint32_t>(t.shape().rank()));
+  for (int d = 0; d < t.shape().rank(); ++d) write_u32(os, static_cast<std::uint32_t>(t.shape().dim(d)));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * static_cast<std::int64_t>(sizeof(float))));
+}
+
+}  // namespace
+
+bool save_weights(const Network& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+
+  std::uint32_t count = 0;
+  for (int id = 0; id < net.num_nodes(); ++id) {
+    if (net.layer(id).weights() != nullptr) ++count;
+    if (net.layer(id).bias() != nullptr) ++count;
+  }
+
+  os.write(kMagic, 4);
+  write_u32(os, kVersion);
+  write_u32(os, count);
+  for (int id = 0; id < net.num_nodes(); ++id) {
+    const Layer& l = net.layer(id);
+    if (const Tensor* w = l.weights()) write_tensor(os, net.node(id).name, 'W', *w);
+    if (const Tensor* b = l.bias()) write_tensor(os, net.node(id).name, 'B', *b);
+  }
+  return static_cast<bool>(os);
+}
+
+void load_weights(Network& net, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open weights file: " + path);
+
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("not a mupod weights file: " + path);
+  const std::uint32_t version = read_u32(is);
+  if (version != kVersion) throw std::runtime_error("unsupported weights version");
+  const std::uint32_t count = read_u32(is);
+
+  for (std::uint32_t e = 0; e < count; ++e) {
+    const std::uint32_t name_len = read_u32(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const char tag = static_cast<char>(is.get());
+    const std::uint32_t rank = read_u32(is);
+    if (rank > static_cast<std::uint32_t>(Shape::kMaxRank))
+      throw std::runtime_error("invalid tensor rank in weights file");
+    std::vector<int> dims(rank);
+    std::int64_t numel = 1;
+    for (auto& d : dims) {
+      d = static_cast<int>(read_u32(is));
+      numel *= d;
+    }
+    std::vector<float> data(static_cast<std::size_t>(numel));
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(numel * static_cast<std::int64_t>(sizeof(float))));
+    if (!is) throw std::runtime_error("weights file truncated");
+
+    const int id = net.node_id(name);
+    if (id < 0) throw std::runtime_error("weights file references unknown node: " + name);
+    Tensor* dst = tag == 'W' ? net.layer(id).mutable_weights() : net.layer(id).mutable_bias();
+    if (dst == nullptr) throw std::runtime_error("node has no " + std::string(tag == 'W' ? "weights" : "bias") + ": " + name);
+    if (dst->numel() != numel) throw std::runtime_error("shape mismatch for node: " + name);
+    std::memcpy(dst->data(), data.data(), static_cast<std::size_t>(numel) * sizeof(float));
+  }
+}
+
+}  // namespace mupod

@@ -1,0 +1,25 @@
+// Binary serialization of network weights, so calibrated/trained models
+// round-trip between sessions and the examples can ship fixtures.
+//
+// Format (little-endian):
+//   magic "MUPD" | u32 version | u32 entry count |
+//   entries: u32 name_len | name bytes | u8 tag ('W' weights, 'B' bias) |
+//            u32 rank | u32 dims[rank] | f32 data[numel]
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace mupod {
+
+// Writes every weight/bias tensor keyed by node name. Returns false on I/O
+// failure.
+bool save_weights(const Network& net, const std::string& path);
+
+// Loads weights into matching nodes (by name, shape-checked). Throws
+// std::runtime_error on malformed files or shape mismatch; unknown node
+// names are an error too (a netdef/weights pair must agree).
+void load_weights(Network& net, const std::string& path);
+
+}  // namespace mupod

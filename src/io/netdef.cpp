@@ -1,0 +1,268 @@
+#include "io/netdef.hpp"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace mupod {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+struct KeyValues {
+  int line;
+  std::map<std::string, std::string> kv;
+
+  bool has(const std::string& k) const { return kv.count(k) != 0; }
+
+  std::string str(const std::string& k) const {
+    auto it = kv.find(k);
+    if (it == kv.end()) throw NetdefError(line, "missing attribute '" + k + "'");
+    return it->second;
+  }
+
+  int integer(const std::string& k, int fallback) const {
+    auto it = kv.find(k);
+    if (it == kv.end()) return fallback;
+    return std::stoi(it->second);
+  }
+
+  int integer(const std::string& k) const { return std::stoi(str(k)); }
+
+  float real(const std::string& k, float fallback) const {
+    auto it = kv.find(k);
+    if (it == kv.end()) return fallback;
+    return std::stof(it->second);
+  }
+};
+
+// Track per-node unit shapes while parsing so conv/fc know their fan-in.
+struct ShapeTracker {
+  std::map<std::string, Shape> shapes;
+  Shape of(const std::string& name, int line) const {
+    auto it = shapes.find(name);
+    if (it == shapes.end()) throw NetdefError(line, "unknown input node '" + name + "'");
+    return it->second;
+  }
+};
+
+}  // namespace
+
+Network parse_netdef(const std::string& text) {
+  Network net("netdef");
+  ShapeTracker tracker;
+  bool have_input = false;
+
+  std::istringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    if (line.rfind("name:", 0) == 0) {
+      net = Network(trim(line.substr(5)));
+      continue;
+    }
+    if (line.rfind("input:", 0) == 0) {
+      std::istringstream is(line.substr(6));
+      int c = 0, h = 0, w = 0;
+      if (!(is >> c >> h >> w) || c <= 0 || h <= 0 || w <= 0)
+        throw NetdefError(line_no, "input: expects '<channels> <height> <width>'");
+      net.add_input("data", c, h, w);
+      tracker.shapes["data"] = Shape({1, c, h, w});
+      have_input = true;
+      continue;
+    }
+    if (line.rfind("layer", 0) != 0) throw NetdefError(line_no, "unrecognized directive: " + line);
+    if (!have_input) throw NetdefError(line_no, "layer before input:");
+
+    // layer <name> key=value ...
+    std::istringstream is(line.substr(5));
+    std::string name;
+    is >> name;
+    if (name.empty()) throw NetdefError(line_no, "layer needs a name");
+    KeyValues kvs{line_no, {}};
+    std::string tok;
+    while (is >> tok) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) throw NetdefError(line_no, "expected key=value, got " + tok);
+      kvs.kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+
+    const std::string type = kvs.str("type");
+    const std::vector<std::string> inputs = split(kvs.str("in"), ',');
+    if (inputs.empty()) throw NetdefError(line_no, "layer needs at least one input");
+
+    std::unique_ptr<Layer> layer;
+    if (type == "conv") {
+      Conv2DLayer::Config cfg;
+      const Shape in = tracker.of(inputs[0], line_no);
+      cfg.in_channels = in.c();
+      cfg.out_channels = kvs.integer("out");
+      cfg.kernel_h = cfg.kernel_w = kvs.integer("kernel");
+      cfg.stride = kvs.integer("stride", 1);
+      cfg.pad = kvs.integer("pad", 0);
+      cfg.groups = kvs.integer("groups", 1);
+      layer = std::make_unique<Conv2DLayer>(cfg);
+    } else if (type == "fc") {
+      const Shape in = tracker.of(inputs[0], line_no);
+      const int in_features = static_cast<int>(in.numel() / in.dim(0));
+      layer = std::make_unique<InnerProductLayer>(in_features, kvs.integer("out"));
+    } else if (type == "relu") {
+      layer = std::make_unique<ReLULayer>();
+    } else if (type == "maxpool" || type == "avgpool") {
+      PoolLayer::Config cfg;
+      cfg.mode = type == "maxpool" ? PoolLayer::Mode::kMax : PoolLayer::Mode::kAvg;
+      cfg.global = kvs.integer("global", 0) != 0;
+      if (!cfg.global) {
+        cfg.kernel = kvs.integer("kernel");
+        cfg.stride = kvs.integer("stride", cfg.kernel);
+        cfg.pad = kvs.integer("pad", 0);
+      }
+      layer = std::make_unique<PoolLayer>(cfg);
+    } else if (type == "lrn") {
+      LRNLayer::Config cfg;
+      cfg.local_size = kvs.integer("size", 5);
+      cfg.alpha = kvs.real("alpha", 1e-4f);
+      cfg.beta = kvs.real("beta", 0.75f);
+      layer = std::make_unique<LRNLayer>(cfg);
+    } else if (type == "eltwise") {
+      layer = std::make_unique<EltwiseAddLayer>();
+    } else if (type == "concat") {
+      layer = std::make_unique<ConcatLayer>();
+    } else if (type == "softmax") {
+      layer = std::make_unique<SoftmaxLayer>();
+    } else if (type == "flatten") {
+      layer = std::make_unique<FlattenLayer>();
+    } else if (type == "dropout") {
+      layer = std::make_unique<DropoutLayer>();
+    } else {
+      throw NetdefError(line_no, "unknown layer type '" + type + "'");
+    }
+
+    // Shape bookkeeping for downstream fan-in computation.
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(inputs.size());
+    for (const std::string& in : inputs) in_shapes.push_back(tracker.of(in, line_no));
+    Shape out_shape;
+    try {
+      out_shape = layer->output_shape(in_shapes);
+    } catch (...) {
+      throw NetdefError(line_no, "shape inference failed for layer '" + name + "'");
+    }
+
+    try {
+      net.add(name, std::move(layer), inputs);
+    } catch (const std::exception& e) {
+      throw NetdefError(line_no, e.what());
+    }
+    tracker.shapes[name] = out_shape;
+  }
+
+  if (!have_input) throw NetdefError(0, "netdef has no input:");
+  net.finalize();
+  return net;
+}
+
+Network load_netdef_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open netdef file: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse_netdef(os.str());
+}
+
+std::string to_netdef(const Network& net) {
+  std::ostringstream os;
+  os << "name: " << net.name() << '\n';
+  for (int id = 0; id < net.num_nodes(); ++id) {
+    const auto& node = net.node(id);
+    const Layer& l = *node.layer;
+    switch (l.kind()) {
+      case LayerKind::kInput: {
+        const auto& in = static_cast<const InputLayer&>(l);
+        os << "input: " << in.channels() << ' ' << in.height() << ' ' << in.width() << '\n';
+        break;
+      }
+      default: {
+        os << "layer " << node.name << " type=";
+        std::string extra;
+        switch (l.kind()) {
+          case LayerKind::kConv: {
+            const auto& c = static_cast<const Conv2DLayer&>(l).config();
+            os << "conv";
+            extra = " out=" + std::to_string(c.out_channels) +
+                    " kernel=" + std::to_string(c.kernel_h) +
+                    " stride=" + std::to_string(c.stride) + " pad=" + std::to_string(c.pad);
+            if (c.groups != 1) extra += " groups=" + std::to_string(c.groups);
+            break;
+          }
+          case LayerKind::kInnerProduct:
+            os << "fc";
+            extra = " out=" + std::to_string(static_cast<const InnerProductLayer&>(l).out_features());
+            break;
+          case LayerKind::kReLU: os << "relu"; break;
+          case LayerKind::kMaxPool:
+          case LayerKind::kAvgPool: {
+            const auto& c = static_cast<const PoolLayer&>(l).config();
+            os << (l.kind() == LayerKind::kMaxPool ? "maxpool" : "avgpool");
+            if (c.global) {
+              extra = " global=1";
+            } else {
+              extra = " kernel=" + std::to_string(c.kernel) + " stride=" + std::to_string(c.stride) +
+                      " pad=" + std::to_string(c.pad);
+            }
+            break;
+          }
+          case LayerKind::kLRN: os << "lrn"; break;
+          case LayerKind::kEltwiseAdd: os << "eltwise"; break;
+          case LayerKind::kConcat: os << "concat"; break;
+          case LayerKind::kSoftmax: os << "softmax"; break;
+          case LayerKind::kFlatten: os << "flatten"; break;
+          case LayerKind::kDropout: os << "dropout"; break;
+          case LayerKind::kBatchNormScale: os << "bnscale"; break;
+          case LayerKind::kInput: break;
+        }
+        os << " in=";
+        for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+          if (i) os << ',';
+          os << net.node(node.inputs[i]).name;
+        }
+        os << extra << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mupod

@@ -1,0 +1,47 @@
+// netdef: a small Caffe-prototxt-inspired text format for describing layer
+// DAGs, so users can bring their own topologies to the optimizer without
+// writing C++ (the paper's tool consumed Caffe prototxt files).
+//
+// Grammar (line oriented, '#' comments):
+//   name: <net name>
+//   input: <channels> <height> <width>
+//   layer <name> type=<kind> in=<a[,b,...]> [key=value ...]
+//
+// Supported kinds and their keys:
+//   conv    out=<c> kernel=<k> [stride=1] [pad=0] [groups=1]
+//   fc      out=<features>
+//   relu | flatten | dropout | softmax
+//   maxpool / avgpool  kernel=<k> [stride=k] [pad=0] [global=0]
+//   lrn     [size=5] [alpha=1e-4] [beta=0.75]
+//   eltwise | concat   (multiple in=)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace mupod {
+
+// Error with line information.
+class NetdefError : public std::runtime_error {
+ public:
+  NetdefError(int line, const std::string& message)
+      : std::runtime_error("netdef:" + std::to_string(line) + ": " + message), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Parses a netdef document into a finalized Network. Weights are
+// zero-initialized; call init_weights_he / load_weights afterwards.
+Network parse_netdef(const std::string& text);
+
+// Reads the file and parses it.
+Network load_netdef_file(const std::string& path);
+
+// Serializes a network built of supported layers back to netdef text.
+std::string to_netdef(const Network& net);
+
+}  // namespace mupod

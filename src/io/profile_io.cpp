@@ -1,0 +1,115 @@
+#include "io/profile_io.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mupod {
+
+ProfileBundle make_profile_bundle(const Network& net, const std::vector<int>& analyzed,
+                                  const PipelineResult& result) {
+  assert(analyzed.size() == result.models.size());
+  ProfileBundle b;
+  b.network = net.name();
+  b.sigma_yl = result.sigma.sigma_yl;
+  b.sigma_calibrated = result.sigma_calibrated;
+  b.models = result.models;
+  b.ranges = result.ranges;
+  b.layer_names.reserve(analyzed.size());
+  for (int id : analyzed) {
+    b.layer_names.push_back(net.node(id).name);
+    b.input_elems.push_back(net.node(id).cost.input_elems);
+    b.macs.push_back(net.node(id).cost.macs);
+  }
+  return b;
+}
+
+std::string serialize_profile(const ProfileBundle& bundle) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "mupod-profile v1\n";
+  os << "network " << bundle.network << "\n";
+  os << "sigma " << bundle.sigma_yl << ' ' << bundle.sigma_calibrated << "\n";
+  for (std::size_t k = 0; k < bundle.models.size(); ++k) {
+    const LayerLinearModel& m = bundle.models[k];
+    os << "layer " << k << ' ' << m.node << ' '
+       << (k < bundle.layer_names.size() ? bundle.layer_names[k] : std::string("?")) << ' '
+       << (k < bundle.ranges.size() ? bundle.ranges[k] : 0.0) << ' ' << m.lambda << ' '
+       << m.theta << ' ' << m.r2 << ' '
+       << (k < bundle.input_elems.size() ? bundle.input_elems[k] : 0) << ' '
+       << (k < bundle.macs.size() ? bundle.macs[k] : 0) << "\n";
+    for (std::size_t i = 0; i < m.deltas.size(); ++i)
+      os << "point " << k << ' ' << m.deltas[i] << ' ' << m.sigmas[i] << "\n";
+  }
+  return os.str();
+}
+
+ProfileBundle parse_profile(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("mupod-profile v1", 0) != 0)
+    throw std::runtime_error("profile: bad header");
+
+  ProfileBundle b;
+  int line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "network") {
+      ls >> b.network;
+    } else if (tag == "sigma") {
+      if (!(ls >> b.sigma_yl >> b.sigma_calibrated))
+        throw std::runtime_error("profile: bad sigma line " + std::to_string(line_no));
+    } else if (tag == "layer") {
+      std::size_t k = 0;
+      LayerLinearModel m;
+      std::string name;
+      double range = 0.0;
+      std::int64_t inputs = 0, macs = 0;
+      if (!(ls >> k >> m.node >> name >> range >> m.lambda >> m.theta >> m.r2))
+        throw std::runtime_error("profile: bad layer line " + std::to_string(line_no));
+      ls >> inputs >> macs;  // optional (older files omit them)
+      if (k != b.models.size())
+        throw std::runtime_error("profile: layers out of order at line " + std::to_string(line_no));
+      m.layer_index = static_cast<int>(k);
+      b.models.push_back(m);
+      b.ranges.push_back(range);
+      b.layer_names.push_back(name);
+      b.input_elems.push_back(inputs);
+      b.macs.push_back(macs);
+    } else if (tag == "point") {
+      std::size_t k = 0;
+      double delta = 0.0, sigma = 0.0;
+      if (!(ls >> k >> delta >> sigma) || k >= b.models.size())
+        throw std::runtime_error("profile: bad point line " + std::to_string(line_no));
+      b.models[k].deltas.push_back(delta);
+      b.models[k].sigmas.push_back(sigma);
+    } else {
+      throw std::runtime_error("profile: unknown tag '" + tag + "' at line " +
+                               std::to_string(line_no));
+    }
+  }
+  return b;
+}
+
+bool save_profile(const std::string& path, const ProfileBundle& bundle) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << serialize_profile(bundle);
+  return static_cast<bool>(f);
+}
+
+ProfileBundle load_profile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open profile: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse_profile(os.str());
+}
+
+}  // namespace mupod

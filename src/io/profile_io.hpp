@@ -1,0 +1,48 @@
+// Serialization of profiling results (lambda/theta models, ranges, sigma).
+//
+// The paper's workflow splits into an expensive profiling step and a cheap
+// optimization step that can be re-run "only ... for new constraints"
+// (Sec. VI-A). Persisting the profile makes that split real across
+// processes: profile once on the big machine, re-optimize anywhere.
+//
+// Format: line-oriented text, '#' comments.
+//   mupod-profile v1
+//   network <name>
+//   sigma <searched> <calibrated>
+//   layer <index> <node> <name> <range> <lambda> <theta> <r2> <inputs> <macs>
+//   point <layer_index> <delta> <sigma>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace mupod {
+
+struct ProfileBundle {
+  std::string network;
+  double sigma_yl = 0.0;
+  double sigma_calibrated = 0.0;
+  std::vector<LayerLinearModel> models;
+  std::vector<double> ranges;
+  std::vector<std::string> layer_names;
+  // Per-layer cost metadata, so standalone re-optimization can build the
+  // standard rho vectors without the network.
+  std::vector<std::int64_t> input_elems;
+  std::vector<std::int64_t> macs;
+};
+
+// Extracts the persistable parts of a pipeline result.
+ProfileBundle make_profile_bundle(const Network& net, const std::vector<int>& analyzed,
+                                  const PipelineResult& result);
+
+std::string serialize_profile(const ProfileBundle& bundle);
+
+// Throws std::runtime_error on malformed input.
+ProfileBundle parse_profile(const std::string& text);
+
+bool save_profile(const std::string& path, const ProfileBundle& bundle);
+ProfileBundle load_profile(const std::string& path);
+
+}  // namespace mupod

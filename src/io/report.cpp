@@ -1,0 +1,75 @@
+#include "io/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/table.hpp"
+
+namespace mupod {
+
+std::string render_report(const Network& net, const std::vector<int>& analyzed,
+                          const PipelineResult& result, const ReportOptions& opts) {
+  std::ostringstream os;
+  os << "# " << opts.title << "\n\n";
+  os << "Network `" << net.name() << "`: " << net.num_nodes() << " nodes, " << analyzed.size()
+     << " analyzed layers, " << net.total_macs() << " MACs/image, " << net.total_input_elems()
+     << " input elements/image.\n\n";
+  os << "Error budget `sigma_YL = " << TextTable::fmt(result.sigma.sigma_yl, 4) << "` found in "
+     << result.sigma.evaluations << " accuracy evaluations (accuracy at budget: "
+     << TextTable::fmt(result.sigma.accuracy_at_sigma * 100, 2) << "%).\n\n";
+
+  if (opts.include_lambda_theta) {
+    os << "## Per-layer error propagation (Eq. 5)\n\n";
+    TextTable t({"layer", "max|X|", "lambda", "theta", "R^2"});
+    for (std::size_t k = 0; k < analyzed.size(); ++k) {
+      t.add_row({net.node(analyzed[k]).name, TextTable::fmt(result.ranges[k], 2),
+                 TextTable::fmt(result.models[k].lambda, 4),
+                 TextTable::fmt(result.models[k].theta, 5),
+                 TextTable::fmt(result.models[k].r2, 4)});
+    }
+    os << t.render_markdown() << '\n';
+  }
+
+  for (const ObjectiveResult& obj : result.objectives) {
+    os << "## Objective `" << obj.spec.name << "`\n\n";
+    os << "- sigma used: " << TextTable::fmt(obj.sigma_used, 4);
+    if (obj.refinements > 0) os << " (after " << obj.refinements << " refinement(s))";
+    os << "\n- validated accuracy: " << TextTable::fmt(obj.validated_accuracy * 100, 2) << "%\n";
+    if (obj.weight_bits > 0) os << "- uniform weight bitwidth: " << obj.weight_bits << "\n";
+    os << '\n';
+
+    std::vector<std::string> header = {"layer", "format I.F", "bits", "Delta"};
+    if (opts.include_xi) header.push_back("xi");
+    TextTable t(header);
+    for (std::size_t k = 0; k < analyzed.size(); ++k) {
+      std::vector<std::string> row = {net.node(analyzed[k]).name,
+                                      obj.alloc.formats[k].to_string(),
+                                      std::to_string(obj.alloc.bits[k]),
+                                      TextTable::fmt(obj.alloc.deltas[k], 5)};
+      if (opts.include_xi) row.push_back(TextTable::fmt(obj.alloc.xi[k], 4));
+      t.add_row(row);
+    }
+    os << t.render_markdown() << '\n';
+  }
+
+  os << "## Timings\n\n";
+  TextTable t({"stage", "ms"});
+  t.add_row({"harness", TextTable::fmt(result.timings.harness_ms, 1)});
+  t.add_row({"profile", TextTable::fmt(result.timings.profile_ms, 1)});
+  t.add_row({"sigma search", TextTable::fmt(result.timings.sigma_ms, 1)});
+  t.add_row({"allocate", TextTable::fmt(result.timings.allocate_ms, 1)});
+  t.add_row({"validate", TextTable::fmt(result.timings.validate_ms, 1)});
+  t.add_row({"weight search", TextTable::fmt(result.timings.weights_ms, 1)});
+  os << t.render_markdown();
+  return os.str();
+}
+
+bool write_report(const std::string& path, const Network& net, const std::vector<int>& analyzed,
+                  const PipelineResult& result, const ReportOptions& opts) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render_report(net, analyzed, result, opts);
+  return static_cast<bool>(f);
+}
+
+}  // namespace mupod

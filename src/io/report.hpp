@@ -1,0 +1,27 @@
+// Markdown report generation for pipeline results — the artifact a user
+// hands to their hardware team: per-layer formats, objective values, and
+// the provenance (sigma, accuracy, refinements) behind them.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace mupod {
+
+struct ReportOptions {
+  // Network name shown in the title.
+  std::string title = "precision report";
+  bool include_lambda_theta = true;
+  bool include_xi = true;
+};
+
+// Renders a self-contained Markdown document.
+std::string render_report(const Network& net, const std::vector<int>& analyzed,
+                          const PipelineResult& result, const ReportOptions& opts = {});
+
+// Convenience: render and write to a file; returns false on I/O error.
+bool write_report(const std::string& path, const Network& net, const std::vector<int>& analyzed,
+                  const PipelineResult& result, const ReportOptions& opts = {});
+
+}  // namespace mupod

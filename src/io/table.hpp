@@ -1,0 +1,32 @@
+// Column-aligned text / CSV / Markdown table rendering for the benchmark
+// harnesses that regenerate the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mupod {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience cell formatting.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  std::string render_text() const;      // aligned monospace
+  std::string render_csv() const;
+  std::string render_markdown() const;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+  int cols() const { return static_cast<int>(header_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mupod

@@ -1,0 +1,55 @@
+#include <cassert>
+
+#include "nn/layers.hpp"
+#include "tensor/parallel.hpp"
+
+namespace mupod {
+
+InnerProductLayer::InnerProductLayer(int in_features, int out_features, bool has_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(has_bias),
+      weights_(Shape({out_features, in_features})),
+      bias_(Shape({out_features})) {
+  assert(in_features > 0 && out_features > 0);
+}
+
+Shape InnerProductLayer::output_shape(std::span<const Shape> in) const {
+  assert(in.size() == 1);
+  const Shape& s = in[0];
+  assert(s.rank() >= 2);
+  assert(s.numel() / s.dim(0) == in_features_);
+  return Shape({s.dim(0), out_features_});
+}
+
+void InnerProductLayer::forward(std::span<const Tensor* const> in, Tensor& out) const {
+  const Tensor& x = *in[0];
+  const int N = x.shape().dim(0);
+  const float* xdata = x.data();
+  const float* wdata = weights_.data();
+  const float* bdata = has_bias_ ? bias_.data() : nullptr;
+  float* ydata = out.data();
+  const int in_f = in_features_, out_f = out_features_;
+
+  parallel_for_chunked(0, static_cast<std::int64_t>(N) * out_f,
+                       [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t idx = b; idx < e; ++idx) {
+      const int n = static_cast<int>(idx / out_f);
+      const int o = static_cast<int>(idx % out_f);
+      const float* xrow = xdata + static_cast<std::int64_t>(n) * in_f;
+      const float* wrow = wdata + static_cast<std::int64_t>(o) * in_f;
+      float acc = bdata != nullptr ? bdata[o] : 0.0f;
+      for (int i = 0; i < in_f; ++i) acc += xrow[i] * wrow[i];
+      ydata[idx] = acc;
+    }
+  });
+}
+
+LayerCost InnerProductLayer::cost(std::span<const Shape> in) const {
+  LayerCost c;
+  c.input_elems = in[0].numel() / in[0].dim(0);
+  c.macs = static_cast<std::int64_t>(in_features_) * out_features_;
+  return c;
+}
+
+}  // namespace mupod

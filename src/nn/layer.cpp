@@ -1,0 +1,30 @@
+#include "nn/layer.hpp"
+
+namespace mupod {
+
+const char* layer_kind_name(LayerKind k) {
+  switch (k) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kInnerProduct: return "fc";
+    case LayerKind::kReLU: return "relu";
+    case LayerKind::kMaxPool: return "maxpool";
+    case LayerKind::kAvgPool: return "avgpool";
+    case LayerKind::kBatchNormScale: return "bnscale";
+    case LayerKind::kEltwiseAdd: return "eltwise";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kLRN: return "lrn";
+    case LayerKind::kSoftmax: return "softmax";
+    case LayerKind::kFlatten: return "flatten";
+    case LayerKind::kDropout: return "dropout";
+  }
+  return "?";
+}
+
+LayerCost Layer::cost(std::span<const Shape> in) const {
+  LayerCost c;
+  if (!in.empty() && in[0].rank() > 0) c.input_elems = in[0].numel();
+  return c;
+}
+
+}  // namespace mupod

@@ -1,0 +1,71 @@
+// Layer interface of the inference engine.
+//
+// The engine executes a DAG of layers in inference mode. Layers that
+// perform dot products (convolution, inner product) are "analyzable":
+// they are the layers whose *input* precision the paper's method
+// allocates (Sec. III: "convolutional and fully connected layers").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace mupod {
+
+enum class LayerKind {
+  kInput,
+  kConv,
+  kInnerProduct,
+  kReLU,
+  kMaxPool,
+  kAvgPool,
+  kBatchNormScale,
+  kEltwiseAdd,
+  kConcat,
+  kLRN,
+  kSoftmax,
+  kFlatten,
+  kDropout,
+};
+
+const char* layer_kind_name(LayerKind k);
+
+// Per-image cost metadata used as optimization weights rho_K (paper
+// Sec. V-D: #Input drives bandwidth, #MAC drives energy).
+struct LayerCost {
+  std::int64_t input_elems = 0;  // elements read from the data input
+  std::int64_t macs = 0;         // multiply-accumulate operations
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+
+  // Shape of the output given the input shapes (batch dim included).
+  virtual Shape output_shape(std::span<const Shape> in) const = 0;
+
+  // Compute the output. `in` are borrowed activations; `out` is
+  // pre-allocated to output_shape().
+  virtual void forward(std::span<const Tensor* const> in, Tensor& out) const = 0;
+
+  // True for dot-product layers (conv / inner product): the layers whose
+  // input bitwidth the precision optimizer assigns.
+  virtual bool analyzable() const { return false; }
+
+  // Per-image cost given per-image (N==1) input shapes.
+  virtual LayerCost cost(std::span<const Shape> in) const;
+
+  // Weight access for quantization passes; nullptr when the layer has no
+  // learnable dot-product weights.
+  virtual const Tensor* weights() const { return nullptr; }
+  virtual Tensor* mutable_weights() { return nullptr; }
+  virtual const Tensor* bias() const { return nullptr; }
+  virtual Tensor* mutable_bias() { return nullptr; }
+};
+
+}  // namespace mupod

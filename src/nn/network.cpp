@@ -1,0 +1,289 @@
+#include "nn/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+#include "stats/rng.hpp"
+
+namespace mupod {
+
+InjectionSpec InjectionSpec::uniform(double delta, bool skip_zeros) {
+  InjectionSpec s;
+  s.kind = Kind::kUniformNoise;
+  s.delta = delta;
+  s.skip_zeros = skip_zeros;
+  return s;
+}
+
+InjectionSpec InjectionSpec::quantize(const FixedPointFormat& fmt) {
+  InjectionSpec s;
+  s.kind = Kind::kQuantize;
+  s.format = fmt;
+  return s;
+}
+
+void apply_injection(Tensor& t, const InjectionSpec& spec, std::uint64_t seed, int node_id) {
+  if (spec.kind == InjectionSpec::Kind::kQuantize) {
+    quantize_tensor(t, spec.format);
+    return;
+  }
+  if (spec.delta <= 0.0) return;
+  std::uint64_t mix = seed;
+  (void)splitmix64(mix);
+  mix ^= 0x517cc1b727220a95ULL * static_cast<std::uint64_t>(node_id + 1);
+  Rng rng(splitmix64(mix));
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  const double d = spec.delta;
+  if (spec.skip_zeros) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (p[i] != 0.0f) p[i] += static_cast<float>(rng.uniform(-d, d));
+    }
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) p[i] += static_cast<float>(rng.uniform(-d, d));
+  }
+}
+
+int Network::add_input(const std::string& name, int c, int h, int w) {
+  if (input_node_ != -1) throw std::logic_error("Network: only one input supported");
+  return add(name, std::make_unique<InputLayer>(c, h, w), std::vector<int>{});
+}
+
+int Network::add(const std::string& name, std::unique_ptr<Layer> layer,
+                 const std::vector<std::string>& inputs) {
+  std::vector<int> ids;
+  ids.reserve(inputs.size());
+  for (const std::string& in : inputs) {
+    const int id = node_id(in);
+    if (id < 0) throw std::invalid_argument("Network: unknown input node '" + in + "'");
+    ids.push_back(id);
+  }
+  return add(name, std::move(layer), std::move(ids));
+}
+
+int Network::add(const std::string& name, std::unique_ptr<Layer> layer, std::vector<int> inputs) {
+  if (finalized_) throw std::logic_error("Network: add() after finalize()");
+  if (by_name_.count(name) != 0) throw std::invalid_argument("Network: duplicate node '" + name + "'");
+  const int id = num_nodes();
+  for (int in : inputs) {
+    if (in < 0 || in >= id) throw std::invalid_argument("Network: inputs must precede the node");
+  }
+  if (layer->kind() == LayerKind::kInput) {
+    if (!inputs.empty()) throw std::invalid_argument("Network: input node takes no inputs");
+    input_node_ = id;
+  } else if (inputs.empty()) {
+    throw std::invalid_argument("Network: non-input node needs inputs");
+  }
+  Node n;
+  n.name = name;
+  n.layer = std::move(layer);
+  n.inputs = std::move(inputs);
+  nodes_.push_back(std::move(n));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void Network::finalize() {
+  if (finalized_) return;
+  if (input_node_ == -1) throw std::logic_error("Network: no input node");
+  if (num_nodes() < 2) throw std::logic_error("Network: empty network");
+
+  for (auto& n : nodes_) n.children.clear();
+  analyzable_.clear();
+
+  for (int id = 0; id < num_nodes(); ++id) {
+    Node& n = nodes_[static_cast<std::size_t>(id)];
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(n.inputs.size());
+    for (int in : n.inputs) {
+      in_shapes.push_back(nodes_[static_cast<std::size_t>(in)].unit_shape);
+      nodes_[static_cast<std::size_t>(in)].children.push_back(id);
+    }
+    n.unit_shape = n.layer->output_shape(in_shapes);
+    n.cost = n.layer->cost(in_shapes);
+    if (n.layer->analyzable()) analyzable_.push_back(id);
+  }
+  finalized_ = true;
+}
+
+int Network::node_id(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+void Network::run_range(int first, const std::vector<bool>* recompute,
+                        const std::vector<Tensor>* cache, std::vector<Tensor>& local,
+                        std::vector<const Tensor*>& outs, const Tensor& input,
+                        const ForwardOptions& opts) const {
+  assert(finalized_);
+  const int n_nodes = num_nodes();
+  Tensor perturbed;  // scratch for injected inputs
+
+  for (int id = first; id < n_nodes; ++id) {
+    if (recompute != nullptr && !(*recompute)[static_cast<std::size_t>(id)]) {
+      // Served from the cache (set up by the caller in `outs`).
+      continue;
+    }
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+
+    if (n.layer->kind() == LayerKind::kInput) {
+      outs[static_cast<std::size_t>(id)] = &input;
+      continue;
+    }
+
+    // Gather borrowed inputs.
+    std::vector<const Tensor*> ins;
+    ins.reserve(n.inputs.size());
+    for (int in : n.inputs) {
+      const Tensor* t = outs[static_cast<std::size_t>(in)];
+      assert(t != nullptr && "forward_from: node consumed before produced");
+      ins.push_back(t);
+    }
+
+    // Injection into the data input of this node.
+    if (opts.inject != nullptr) {
+      auto it = opts.inject->find(id);
+      if (it != opts.inject->end()) {
+        perturbed = *ins[0];
+        apply_injection(perturbed, it->second, opts.seed, id);
+        ins[0] = &perturbed;
+      }
+    }
+
+    // Output shape at the actual batch size.
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(ins.size());
+    for (const Tensor* t : ins) in_shapes.push_back(t->shape());
+    Tensor& out = local[static_cast<std::size_t>(id)];
+    const Shape os = n.layer->output_shape(in_shapes);
+    if (out.shape() != os) out = Tensor(os);
+    n.layer->forward(ins, out);
+    outs[static_cast<std::size_t>(id)] = &out;
+  }
+  (void)cache;
+}
+
+Tensor Network::forward(const Tensor& input, const ForwardOptions& opts) const {
+  std::vector<Tensor> local(static_cast<std::size_t>(num_nodes()));
+  std::vector<const Tensor*> outs(static_cast<std::size_t>(num_nodes()), nullptr);
+  run_range(0, nullptr, nullptr, local, outs, input, opts);
+  return std::move(local[static_cast<std::size_t>(output_node())]);
+}
+
+std::vector<Tensor> Network::forward_all(const Tensor& input, const ForwardOptions& opts) const {
+  std::vector<Tensor> local(static_cast<std::size_t>(num_nodes()));
+  std::vector<const Tensor*> outs(static_cast<std::size_t>(num_nodes()), nullptr);
+  run_range(0, nullptr, nullptr, local, outs, input, opts);
+  // The input node's activation is the external input; materialize it so
+  // the cache is self-contained.
+  local[static_cast<std::size_t>(input_node_)] = input;
+  return local;
+}
+
+Tensor Network::forward_from(int from, const std::vector<Tensor>& cache,
+                             const ForwardOptions& opts) const {
+  assert(finalized_);
+  assert(from >= 0 && from < num_nodes());
+  assert(cache.size() == static_cast<std::size_t>(num_nodes()));
+
+  // Mark the transitive consumers of `from` (including itself).
+  std::vector<bool> recompute(static_cast<std::size_t>(num_nodes()), false);
+  recompute[static_cast<std::size_t>(from)] = true;
+  for (int id = from; id < num_nodes(); ++id) {
+    if (!recompute[static_cast<std::size_t>(id)]) continue;
+    for (int child : nodes_[static_cast<std::size_t>(id)].children)
+      recompute[static_cast<std::size_t>(child)] = true;
+  }
+
+  std::vector<Tensor> local(static_cast<std::size_t>(num_nodes()));
+  std::vector<const Tensor*> outs(static_cast<std::size_t>(num_nodes()), nullptr);
+  for (int id = 0; id < num_nodes(); ++id) {
+    if (!recompute[static_cast<std::size_t>(id)]) outs[static_cast<std::size_t>(id)] = &cache[static_cast<std::size_t>(id)];
+  }
+  const Tensor& input = cache[static_cast<std::size_t>(input_node_)];
+  run_range(from, &recompute, &cache, local, outs, input, opts);
+
+  const int out_id = output_node();
+  if (recompute[static_cast<std::size_t>(out_id)])
+    return std::move(local[static_cast<std::size_t>(out_id)]);
+  return cache[static_cast<std::size_t>(out_id)];
+}
+
+void Network::update_from(int from, std::vector<Tensor>& acts, const ForwardOptions& opts) const {
+  assert(finalized_);
+  assert(from >= 0 && from < num_nodes());
+  assert(acts.size() == static_cast<std::size_t>(num_nodes()));
+
+  std::vector<bool> recompute(static_cast<std::size_t>(num_nodes()), false);
+  recompute[static_cast<std::size_t>(from)] = true;
+  for (int id = from; id < num_nodes(); ++id) {
+    if (!recompute[static_cast<std::size_t>(id)]) continue;
+    for (int child : nodes_[static_cast<std::size_t>(id)].children)
+      recompute[static_cast<std::size_t>(child)] = true;
+  }
+
+  std::vector<Tensor> local(static_cast<std::size_t>(num_nodes()));
+  std::vector<const Tensor*> outs(static_cast<std::size_t>(num_nodes()), nullptr);
+  for (int id = 0; id < num_nodes(); ++id) {
+    if (!recompute[static_cast<std::size_t>(id)]) outs[static_cast<std::size_t>(id)] = &acts[static_cast<std::size_t>(id)];
+  }
+  const Tensor input = acts[static_cast<std::size_t>(input_node_)];
+  run_range(from, &recompute, &acts, local, outs, input, opts);
+  for (int id = from; id < num_nodes(); ++id) {
+    if (recompute[static_cast<std::size_t>(id)] && id != input_node_)
+      acts[static_cast<std::size_t>(id)] = std::move(local[static_cast<std::size_t>(id)]);
+  }
+}
+
+std::vector<double> Network::profile_input_ranges(const Tensor& input) const {
+  std::vector<Tensor> acts = forward_all(input);
+  std::vector<double> ranges(static_cast<std::size_t>(num_nodes()), 0.0);
+  for (int id = 0; id < num_nodes(); ++id) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.inputs.empty()) continue;
+    ranges[static_cast<std::size_t>(id)] = acts[static_cast<std::size_t>(n.inputs[0])].max_abs();
+  }
+  return ranges;
+}
+
+Network::WeightSnapshot Network::snapshot_weights() const {
+  WeightSnapshot snap;
+  for (int id = 0; id < num_nodes(); ++id) {
+    const Layer& l = layer(id);
+    if (const Tensor* w = l.weights()) snap.weights.emplace_back(id, *w);
+    if (const Tensor* b = l.bias()) snap.biases.emplace_back(id, *b);
+  }
+  return snap;
+}
+
+void Network::restore_weights(const WeightSnapshot& snap) {
+  for (const auto& [id, w] : snap.weights) *layer(id).mutable_weights() = w;
+  for (const auto& [id, b] : snap.biases) *layer(id).mutable_bias() = b;
+}
+
+void Network::quantize_weights_uniform(int bits) {
+  for (int id : analyzable_) {
+    Tensor* w = layer(id).mutable_weights();
+    if (w == nullptr) continue;
+    const double max_abs = w->max_abs();
+    FixedPointFormat fmt;
+    fmt.integer_bits = FixedPointFormat::integer_bits_for_range(max_abs);
+    fmt.fraction_bits = bits - fmt.integer_bits;
+    quantize_tensor(*w, fmt);
+  }
+}
+
+std::int64_t Network::total_input_elems() const {
+  std::int64_t s = 0;
+  for (int id : analyzable_) s += node(id).cost.input_elems;
+  return s;
+}
+
+std::int64_t Network::total_macs() const {
+  std::int64_t s = 0;
+  for (int id : analyzable_) s += node(id).cost.macs;
+  return s;
+}
+
+}  // namespace mupod

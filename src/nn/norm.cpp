@@ -1,0 +1,72 @@
+#include <cassert>
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "tensor/parallel.hpp"
+
+namespace mupod {
+
+// ---------------------------------------------------------------------------
+// BatchNormScale (inference-folded affine per channel)
+
+BatchNormScaleLayer::BatchNormScaleLayer(int channels)
+    : channels_(channels), scale_(Shape({channels}), 1.0f), shift_(Shape({channels}), 0.0f) {
+  assert(channels > 0);
+}
+
+Shape BatchNormScaleLayer::output_shape(std::span<const Shape> in) const {
+  assert(in.size() == 1 && in[0].rank() == 4 && in[0].c() == channels_);
+  return in[0];
+}
+
+void BatchNormScaleLayer::forward(std::span<const Tensor* const> in, Tensor& out) const {
+  const Tensor& x = *in[0];
+  const int N = x.shape().n(), C = x.shape().c();
+  const std::int64_t plane = static_cast<std::int64_t>(x.shape().h()) * x.shape().w();
+  for (int n = 0; n < N; ++n) {
+    for (int c = 0; c < C; ++c) {
+      const float a = scale_[c];
+      const float b = shift_[c];
+      const float* p = x.data() + (static_cast<std::int64_t>(n) * C + c) * plane;
+      float* q = out.data() + (static_cast<std::int64_t>(n) * C + c) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) q[i] = p[i] * a + b;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LRN (across channels)
+
+Shape LRNLayer::output_shape(std::span<const Shape> in) const {
+  assert(in.size() == 1 && in[0].rank() == 4);
+  return in[0];
+}
+
+void LRNLayer::forward(std::span<const Tensor* const> in, Tensor& out) const {
+  const Tensor& x = *in[0];
+  const int N = x.shape().n(), C = x.shape().c(), H = x.shape().h(), W = x.shape().w();
+  const int half = cfg_.local_size / 2;
+  const float alpha_over_n = cfg_.alpha / static_cast<float>(cfg_.local_size);
+
+  parallel_for_chunked(0, static_cast<std::int64_t>(N) * H, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t idx = b; idx < e; ++idx) {
+      const int n = static_cast<int>(idx / H);
+      const int h = static_cast<int>(idx % H);
+      for (int w = 0; w < W; ++w) {
+        for (int c = 0; c < C; ++c) {
+          const int c0 = std::max(c - half, 0);
+          const int c1 = std::min(c + half, C - 1);
+          double acc = 0.0;
+          for (int cc = c0; cc <= c1; ++cc) {
+            const float v = x.at(n, cc, h, w);
+            acc += static_cast<double>(v) * v;
+          }
+          const double denom = std::pow(cfg_.k + alpha_over_n * acc, cfg_.beta);
+          out.at(n, c, h, w) = static_cast<float>(x.at(n, c, h, w) / denom);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace mupod

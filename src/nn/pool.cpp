@@ -1,0 +1,76 @@
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "nn/layers.hpp"
+#include "tensor/parallel.hpp"
+
+namespace mupod {
+
+namespace {
+int pooled_extent(int in, int kernel, int stride, int pad, bool ceil_mode) {
+  const double raw = static_cast<double>(in + 2 * pad - kernel) / stride;
+  int out = (ceil_mode ? static_cast<int>(std::ceil(raw)) : static_cast<int>(std::floor(raw))) + 1;
+  if (pad > 0) {
+    // Caffe clips the last window so it starts inside the padded input.
+    if ((out - 1) * stride >= in + pad) --out;
+  }
+  return std::max(out, 1);
+}
+}  // namespace
+
+Shape PoolLayer::output_shape(std::span<const Shape> in) const {
+  assert(in.size() == 1 && in[0].rank() == 4);
+  const Shape& s = in[0];
+  if (cfg_.global) return Shape({s.n(), s.c(), 1, 1});
+  const int oh = pooled_extent(s.h(), cfg_.kernel, cfg_.stride, cfg_.pad, cfg_.ceil_mode);
+  const int ow = pooled_extent(s.w(), cfg_.kernel, cfg_.stride, cfg_.pad, cfg_.ceil_mode);
+  return Shape({s.n(), s.c(), oh, ow});
+}
+
+void PoolLayer::forward(std::span<const Tensor* const> in, Tensor& out) const {
+  const Tensor& x = *in[0];
+  const int N = x.shape().n(), C = x.shape().c(), H = x.shape().h(), W = x.shape().w();
+  const int OH = out.shape().h(), OW = out.shape().w();
+  const bool is_max = cfg_.mode == Mode::kMax;
+  const int kernel = cfg_.global ? std::max(H, W) : cfg_.kernel;
+  const int stride = cfg_.global ? 1 : cfg_.stride;
+  const int pad = cfg_.global ? 0 : cfg_.pad;
+
+  parallel_for_chunked(0, static_cast<std::int64_t>(N) * C, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t idx = b; idx < e; ++idx) {
+      const int n = static_cast<int>(idx / C);
+      const int c = static_cast<int>(idx % C);
+      const float* xplane = x.data() + (static_cast<std::int64_t>(n) * C + c) * H * W;
+      float* yplane = out.data() + (static_cast<std::int64_t>(n) * C + c) * OH * OW;
+      for (int oh = 0; oh < OH; ++oh) {
+        for (int ow = 0; ow < OW; ++ow) {
+          int h0 = cfg_.global ? 0 : oh * stride - pad;
+          int w0 = cfg_.global ? 0 : ow * stride - pad;
+          int h1 = cfg_.global ? H : std::min(h0 + kernel, H);
+          int w1 = cfg_.global ? W : std::min(w0 + kernel, W);
+          h0 = std::max(h0, 0);
+          w0 = std::max(w0, 0);
+          float v;
+          if (is_max) {
+            v = -std::numeric_limits<float>::infinity();
+            for (int h = h0; h < h1; ++h)
+              for (int w = w0; w < w1; ++w) v = std::max(v, xplane[h * W + w]);
+          } else {
+            double acc = 0.0;
+            for (int h = h0; h < h1; ++h)
+              for (int w = w0; w < w1; ++w) acc += xplane[h * W + w];
+            // Average over the window area actually inside the input —
+            // matches Caffe's AVE pooling with exclusive padding.
+            const int area = std::max((h1 - h0) * (w1 - w0), 1);
+            v = static_cast<float>(acc / area);
+          }
+          yplane[oh * OW + ow] = v;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace mupod

@@ -1,0 +1,51 @@
+#include <cassert>
+#include <cstring>
+
+#include "nn/layers.hpp"
+
+namespace mupod {
+
+// ---------------------------------------------------------------------------
+// EltwiseAdd
+
+Shape EltwiseAddLayer::output_shape(std::span<const Shape> in) const {
+  assert(in.size() >= 2);
+  for (std::size_t i = 1; i < in.size(); ++i) assert(in[i] == in[0]);
+  return in[0];
+}
+
+void EltwiseAddLayer::forward(std::span<const Tensor* const> in, Tensor& out) const {
+  out = *in[0];
+  for (std::size_t k = 1; k < in.size(); ++k) out += *in[k];
+}
+
+// ---------------------------------------------------------------------------
+// Concat (channel axis)
+
+Shape ConcatLayer::output_shape(std::span<const Shape> in) const {
+  assert(!in.empty() && in[0].rank() == 4);
+  int c = 0;
+  for (const Shape& s : in) {
+    assert(s.rank() == 4);
+    assert(s.n() == in[0].n() && s.h() == in[0].h() && s.w() == in[0].w());
+    c += s.c();
+  }
+  return Shape({in[0].n(), c, in[0].h(), in[0].w()});
+}
+
+void ConcatLayer::forward(std::span<const Tensor* const> in, Tensor& out) const {
+  const int N = out.shape().n();
+  const std::int64_t plane = static_cast<std::int64_t>(out.shape().h()) * out.shape().w();
+  const std::int64_t out_img = static_cast<std::int64_t>(out.shape().c()) * plane;
+  for (int n = 0; n < N; ++n) {
+    std::int64_t c_off = 0;
+    for (const Tensor* t : in) {
+      const std::int64_t chunk = static_cast<std::int64_t>(t->shape().c()) * plane;
+      std::memcpy(out.data() + n * out_img + c_off * plane,
+                  t->data() + n * chunk, static_cast<std::size_t>(chunk) * sizeof(float));
+      c_off += t->shape().c();
+    }
+  }
+}
+
+}  // namespace mupod

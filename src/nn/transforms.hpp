@@ -1,0 +1,30 @@
+// Graph transforms and introspection utilities for deployment:
+//  * fold_batchnorm — absorbs inference-mode BatchNormScale layers into
+//    the preceding convolution (the standard pre-quantization pass; the
+//    paper's Caffe models arrive pre-folded, netdef users may not);
+//  * network_summary — torchsummary-style table of the DAG.
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace mupod {
+
+// Returns a new network equivalent to `net` with every
+// conv -> BatchNormScale pair fused into a single convolution
+// (w' = w * scale[oc], b' = b * scale[oc] + shift[oc]). A BatchNormScale
+// is foldable when its only input is a convolution that feeds nothing
+// else. Unfoldable BatchNormScale layers are kept as-is.
+// Node names are preserved (the folded conv keeps the conv's name; the
+// BN node disappears, and its consumers are rewired to the conv).
+Network fold_batchnorm(const Network& net);
+
+// Number of conv+bn pairs that fold_batchnorm would fuse.
+int count_foldable_batchnorm(const Network& net);
+
+// Human-readable summary: one row per node with kind, output shape,
+// #params, #MACs; plus totals.
+std::string network_summary(const Network& net);
+
+}  // namespace mupod

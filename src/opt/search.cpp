@@ -1,0 +1,50 @@
+#include "opt/search.hpp"
+
+#include <cassert>
+
+namespace mupod {
+
+BinarySearchResult binary_search_max_satisfying(const std::function<bool(double)>& satisfied,
+                                                const BinarySearchOptions& opts) {
+  assert(opts.initial_upper > 0.0 && opts.tolerance > 0.0);
+  BinarySearchResult res;
+
+  double hi = opts.initial_upper;
+  double lo = 0.0;
+
+  // Grow the upper bound until it violates the constraint.
+  int doublings = 0;
+  for (;;) {
+    ++res.evaluations;
+    if (!satisfied(hi)) break;
+    lo = hi;
+    if (++doublings > opts.max_doublings) {
+      // Constraint never violated within the probe range: everything
+      // satisfies; report the last known-good value.
+      res.value = lo;
+      res.bounded = false;
+      return res;
+    }
+    hi *= 2.0;
+  }
+
+  // Invariant: satisfied(lo) (or lo == 0), !satisfied(hi).
+  const auto converged = [&] {
+    const double gap = hi - lo;
+    if (gap <= opts.tolerance) return true;
+    return opts.relative_tolerance > 0.0 && gap <= opts.relative_tolerance * hi;
+  };
+  for (int it = 0; it < opts.max_iterations && !converged(); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    ++res.evaluations;
+    if (satisfied(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  res.value = lo;
+  return res;
+}
+
+}  // namespace mupod

@@ -1,0 +1,35 @@
+// Binary search on reals (paper Sec. V-C): find the largest x whose
+// predicate still satisfies the user constraint, starting from a guessed
+// upper bound that is doubled until it violates.
+#pragma once
+
+#include <functional>
+
+namespace mupod {
+
+struct BinarySearchOptions {
+  double initial_upper = 1.0;
+  // Stop when the bracket is narrower than this (the paper uses 0.01).
+  double tolerance = 0.01;
+  // Additional scale-free stop: bracket narrower than this fraction of the
+  // upper bound (0 disables). Needed because the satisfying sigma's
+  // magnitude varies by orders of magnitude across networks.
+  double relative_tolerance = 0.0;
+  int max_doublings = 16;
+  int max_iterations = 64;
+};
+
+struct BinarySearchResult {
+  double value = 0.0;      // largest satisfying value found
+  int evaluations = 0;     // predicate calls
+  bool bounded = true;     // false if the upper bound never violated
+};
+
+// `satisfied(x)` must be monotone: true for small x, false for large x.
+// Returns the largest x (within tolerance) with satisfied(x) == true.
+// If satisfied(initial_upper) is false the search proceeds in
+// [0, initial_upper]; otherwise the upper bound doubles first.
+BinarySearchResult binary_search_max_satisfying(const std::function<bool(double)>& satisfied,
+                                                const BinarySearchOptions& opts = {});
+
+}  // namespace mupod

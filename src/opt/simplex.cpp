@@ -1,0 +1,236 @@
+#include "opt/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mupod {
+
+namespace {
+
+// Numeric central-difference gradient fallback.
+void numeric_gradient(const SimplexProblem& prob, std::span<const double> x,
+                      std::span<double> g) {
+  std::vector<double> p(x.begin(), x.end());
+  const double h = 1e-7;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double orig = p[i];
+    p[i] = orig + h;
+    const double fp = prob.objective(p);
+    p[i] = orig - h;
+    const double fm = prob.objective(p);
+    p[i] = orig;
+    g[i] = (fp - fm) / (2.0 * h);
+  }
+}
+
+void eval_gradient(const SimplexProblem& prob, std::span<const double> x, std::span<double> g) {
+  if (prob.gradient) {
+    prob.gradient(x, g);
+  } else {
+    numeric_gradient(prob, x, g);
+  }
+}
+
+std::vector<double> uniform_start(int n, double lower) {
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0 / n);
+  for (double& v : x) v = std::max(v, lower);
+  return x;
+}
+
+double norm_inf_diff(std::span<const double> a, std::span<const double> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace
+
+std::vector<double> project_to_simplex(std::span<const double> v, double total, double lower) {
+  const std::size_t n = v.size();
+  assert(n > 0);
+  // Shift so the problem becomes projection onto {x >= 0, sum = total'}.
+  const double shifted_total = total - lower * static_cast<double>(n);
+  assert(shifted_total > 0.0 && "lower bounds leave no mass to distribute");
+  std::vector<double> u(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = v[i] - lower;
+
+  // Sort-based algorithm (Held et al. / Duchi et al.).
+  std::vector<double> s = u;
+  std::sort(s.begin(), s.end(), std::greater<double>());
+  double cumsum = 0.0;
+  double tau = 0.0;
+  std::size_t rho = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    cumsum += s[j];
+    const double t = (cumsum - shifted_total) / static_cast<double>(j + 1);
+    if (s[j] - t > 0.0) {
+      rho = j + 1;
+      tau = t;
+    }
+  }
+  (void)rho;
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::max(u[i] - tau, 0.0) + lower;
+  return out;
+}
+
+SimplexResult minimize_on_simplex(int n, const SimplexProblem& prob,
+                                  const SimplexSolverOptions& opts,
+                                  std::span<const double> initial) {
+  assert(n > 0 && prob.objective);
+  SimplexResult res;
+  std::vector<double> x = initial.empty()
+                              ? uniform_start(n, opts.min_xi)
+                              : project_to_simplex(initial, 1.0, opts.min_xi);
+  double fx = prob.objective(x);
+  std::vector<double> g(static_cast<std::size_t>(n));
+
+  // Mirror descent (exponentiated gradient): the multiplicative update
+  // x_i <- x_i * exp(-step * g_i) / Z stays in the simplex interior and is
+  // the natural first-order method for this feasible set; a Euclidean
+  // projection then enforces the min_xi bound. Backtracking line search on
+  // the step, with growth after successes.
+  double step = opts.initial_step;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    res.iterations = it + 1;
+    eval_gradient(prob, x, g);
+
+    // Center the gradient so the exponent is scale-stable.
+    double gmean = 0.0;
+    for (int i = 0; i < n; ++i) gmean += g[static_cast<std::size_t>(i)];
+    gmean /= n;
+    double gnorm = 0.0;
+    for (int i = 0; i < n; ++i)
+      gnorm = std::max(gnorm, std::fabs(g[static_cast<std::size_t>(i)] - gmean));
+    if (gnorm < 1e-300) {
+      res.converged = true;
+      break;
+    }
+
+    bool improved = false;
+    for (int bt = 0; bt < 40; ++bt) {
+      std::vector<double> cand(static_cast<std::size_t>(n));
+      double z = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const double e = -step * (g[static_cast<std::size_t>(i)] - gmean) / gnorm;
+        cand[static_cast<std::size_t>(i)] =
+            x[static_cast<std::size_t>(i)] * std::exp(std::clamp(e, -30.0, 30.0));
+        z += cand[static_cast<std::size_t>(i)];
+      }
+      for (double& v : cand) v /= z;
+      cand = project_to_simplex(cand, 1.0, opts.min_xi);
+      const double fc = prob.objective(cand);
+      if (fc < fx - 1e-16) {
+        const double gain = fx - fc;
+        const double move = norm_inf_diff(cand, x);
+        x = std::move(cand);
+        fx = fc;
+        improved = true;
+        step = std::min(step * 1.6, 50.0);
+        if (gain < opts.tolerance && move < 1e-9) {
+          res.converged = true;
+          res.xi = x;
+          res.objective = fx;
+          return res;
+        }
+        break;
+      }
+      step *= 0.5;
+      if (step < 1e-14) break;
+    }
+    if (!improved) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.xi = x;
+  res.objective = fx;
+  return res;
+}
+
+SimplexResult sqp_minimize_on_simplex(int n, const SimplexProblem& prob,
+                                      const SimplexSolverOptions& opts,
+                                      std::span<const double> initial) {
+  assert(n > 0 && prob.objective);
+  SimplexResult res;
+  std::vector<double> x = initial.empty()
+                              ? uniform_start(n, opts.min_xi)
+                              : project_to_simplex(initial, 1.0, opts.min_xi);
+  double fx = prob.objective(x);
+  std::vector<double> g(static_cast<std::size_t>(n)), h(static_cast<std::size_t>(n));
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    res.iterations = it + 1;
+    eval_gradient(prob, x, g);
+
+    // Diagonal Hessian by finite differencing the gradient along each axis.
+    const double eps = 1e-6;
+    {
+      std::vector<double> gp(static_cast<std::size_t>(n));
+      std::vector<double> xp(x);
+      for (int i = 0; i < n; ++i) {
+        const double orig = xp[static_cast<std::size_t>(i)];
+        xp[static_cast<std::size_t>(i)] = orig + eps;
+        eval_gradient(prob, xp, gp);
+        xp[static_cast<std::size_t>(i)] = orig;
+        double hi = (gp[static_cast<std::size_t>(i)] - g[static_cast<std::size_t>(i)]) / eps;
+        if (!(hi > 1e-8)) hi = 1.0;  // damp non-convex / flat directions
+        h[static_cast<std::size_t>(i)] = hi;
+      }
+    }
+
+    // Equality-constrained Newton (SQP) step: solve
+    //   min_d  0.5 d^T H d + g^T d   s.t.  sum(d) = 0
+    // For diagonal H the KKT system has the closed form
+    //   d_i = -(g_i + mu) / h_i,  mu = -(sum g_i/h_i) / (sum 1/h_i).
+    // A naive projected Newton step is wrong here: the projection can
+    // cancel the step entirely (e.g. for objectives where -H^-1 g is
+    // parallel to x), so the constraint must enter the KKT system.
+    double sum_g_over_h = 0.0, sum_inv_h = 0.0;
+    for (int i = 0; i < n; ++i) {
+      sum_g_over_h += g[static_cast<std::size_t>(i)] / h[static_cast<std::size_t>(i)];
+      sum_inv_h += 1.0 / h[static_cast<std::size_t>(i)];
+    }
+    const double mu = -sum_g_over_h / sum_inv_h;
+    std::vector<double> d(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      d[static_cast<std::size_t>(i)] =
+          -(g[static_cast<std::size_t>(i)] + mu) / h[static_cast<std::size_t>(i)];
+
+    double damping = 1.0;
+    bool improved = false;
+    for (int bt = 0; bt < 30; ++bt) {
+      std::vector<double> cand(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        cand[static_cast<std::size_t>(i)] =
+            x[static_cast<std::size_t>(i)] + damping * d[static_cast<std::size_t>(i)];
+      cand = project_to_simplex(cand, 1.0, opts.min_xi);
+      const double fc = prob.objective(cand);
+      if (fc < fx - 1e-16) {
+        const double gain = fx - fc;
+        x = std::move(cand);
+        fx = fc;
+        improved = true;
+        if (gain < opts.tolerance) {
+          res.converged = true;
+          res.xi = x;
+          res.objective = fx;
+          return res;
+        }
+        break;
+      }
+      damping *= 0.5;
+      if (damping < 1e-12) break;
+    }
+    if (!improved) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.xi = x;
+  res.objective = fx;
+  return res;
+}
+
+}  // namespace mupod

@@ -1,0 +1,54 @@
+// Constrained minimization over the probability simplex
+//   min f(xi)  s.t.  sum(xi) = 1,  xi >= min_xi
+// — the optimization problem of the paper's Eq. 8. The paper hands this
+// to Octave's sqp; we provide two from-scratch solvers that agree on the
+// paper's objective family (cross-checked in tests and the ablation
+// bench):
+//   * projected gradient descent with backtracking line search (robust
+//     general-purpose default), and
+//   * a damped-Newton / SQP-style variant using a diagonal Hessian model
+//     with the same simplex projection.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace mupod {
+
+struct SimplexProblem {
+  // Required objective.
+  std::function<double(std::span<const double>)> objective;
+  // Optional analytic gradient; when absent, central differences are used.
+  std::function<void(std::span<const double>, std::span<double>)> gradient;
+};
+
+struct SimplexSolverOptions {
+  int max_iterations = 400;
+  double min_xi = 1e-4;      // lower bound per coordinate
+  double tolerance = 1e-10;  // stop when the objective improvement stalls
+  double initial_step = 0.25;
+};
+
+struct SimplexResult {
+  std::vector<double> xi;
+  double objective = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Euclidean projection of v onto {x : sum(x) = total, x >= lower}.
+std::vector<double> project_to_simplex(std::span<const double> v, double total = 1.0,
+                                       double lower = 0.0);
+
+// Projected gradient descent. `initial` may be empty (uniform start).
+SimplexResult minimize_on_simplex(int n, const SimplexProblem& prob,
+                                  const SimplexSolverOptions& opts = {},
+                                  std::span<const double> initial = {});
+
+// SQP-style diagonal-Newton variant with the same feasible set.
+SimplexResult sqp_minimize_on_simplex(int n, const SimplexProblem& prob,
+                                      const SimplexSolverOptions& opts = {},
+                                      std::span<const double> initial = {});
+
+}  // namespace mupod

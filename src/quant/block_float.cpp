@@ -1,0 +1,69 @@
+#include "quant/block_float.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace mupod {
+
+namespace {
+// Shared exponent e for a block: smallest e such that block_max is
+// REPRESENTABLE, i.e. block_max <= 2^e - step(e) with step = 2^(e-m+1).
+// (Using plain ceil(log2(max)) breaks idempotence: a value that rounds up
+// to exactly 2^e would be clamped on a re-quantization pass.)
+int block_exponent(double block_max, int mantissa_bits) {
+  if (block_max <= 0.0) return -126;
+  int e = static_cast<int>(std::ceil(std::log2(block_max)));
+  const double step = std::exp2(static_cast<double>(e) - (mantissa_bits - 1));
+  if (block_max > std::exp2(static_cast<double>(e)) - step) ++e;
+  return e;
+}
+}  // namespace
+
+double bfp_delta_for_block_max(double block_max, const BlockFloatFormat& fmt) {
+  const int e = block_exponent(block_max, fmt.mantissa_bits);
+  // Step = 2^(e - (m-1)); worst-case round-to-nearest error = step / 2.
+  return std::exp2(static_cast<double>(e) - (fmt.mantissa_bits - 1)) * 0.5;
+}
+
+void quantize_tensor_bfp(Tensor& t, const BlockFloatFormat& fmt) {
+  assert(fmt.mantissa_bits >= 2 && fmt.block_size >= 1);
+  const std::int64_t n = t.numel();
+  float* p = t.data();
+  for (std::int64_t begin = 0; begin < n; begin += fmt.block_size) {
+    const std::int64_t end = std::min<std::int64_t>(begin + fmt.block_size, n);
+    double block_max = 0.0;
+    for (std::int64_t i = begin; i < end; ++i)
+      block_max = std::max(block_max, std::fabs(static_cast<double>(p[i])));
+    if (block_max == 0.0) continue;
+
+    const int e = block_exponent(block_max, fmt.mantissa_bits);
+    const double step = std::exp2(static_cast<double>(e) - (fmt.mantissa_bits - 1));
+    const double lo = -std::exp2(static_cast<double>(e));
+    const double hi = std::exp2(static_cast<double>(e)) - step;
+    for (std::int64_t i = begin; i < end; ++i) {
+      double q = std::nearbyint(static_cast<double>(p[i]) / step) * step;
+      q = std::clamp(q, lo, hi);
+      p[i] = static_cast<float>(q);
+    }
+  }
+}
+
+BfpErrorStats bfp_error_stats(const Tensor& t, const BlockFloatFormat& fmt) {
+  Tensor q = t;
+  quantize_tensor_bfp(q, fmt);
+  RunningStats rs;
+  BfpErrorStats st;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const double e = static_cast<double>(q[i]) - t[i];
+    rs.add(e);
+    st.max_abs = std::max(st.max_abs, std::fabs(e));
+  }
+  st.mean = rs.mean();
+  st.stddev = rs.stddev();
+  return st;
+}
+
+}  // namespace mupod

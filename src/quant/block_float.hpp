@@ -1,0 +1,44 @@
+// Block floating point (BFP) — the format family of the paper's related
+// work [6] (Song et al., "Computation error analysis of block floating
+// point arithmetic oriented convolution neural network accelerator
+// design"). A block of values shares one exponent; each value keeps a
+// short signed mantissa. Compared against per-layer fixed point in the
+// quantization tests and bench_ablation: BFP removes the integer-bits-
+// from-range coupling at the cost of per-block exponent storage and
+// coarser worst-case error (the block max dictates everyone's scale).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace mupod {
+
+struct BlockFloatFormat {
+  int mantissa_bits = 8;  // includes the sign bit
+  int block_size = 16;    // values sharing one exponent
+
+  // Storage cost per value in bits (mantissa + amortized 8-bit exponent).
+  double bits_per_value() const {
+    return mantissa_bits + 8.0 / block_size;
+  }
+};
+
+// Quantizes `t` in place: consecutive runs of `block_size` values (flat
+// order) share an exponent chosen so the block's max fits the mantissa.
+void quantize_tensor_bfp(Tensor& t, const BlockFloatFormat& fmt);
+
+// Worst-case rounding error of a block whose max-magnitude value is
+// `block_max`: half a mantissa step at the shared scale.
+double bfp_delta_for_block_max(double block_max, const BlockFloatFormat& fmt);
+
+struct BfpErrorStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double max_abs = 0.0;
+};
+
+// Measured (Q(x) - x) statistics over the tensor.
+BfpErrorStats bfp_error_stats(const Tensor& t, const BlockFloatFormat& fmt);
+
+}  // namespace mupod

@@ -1,0 +1,99 @@
+#include "quant/fixed_point.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "stats/summary.hpp"
+
+namespace mupod {
+
+double FixedPointFormat::step() const { return std::exp2(-fraction_bits); }
+double FixedPointFormat::delta() const { return std::exp2(-(fraction_bits + 1)); }
+double FixedPointFormat::noise_stddev() const { return 2.0 * delta() / std::sqrt(12.0); }
+
+double FixedPointFormat::max_value() const {
+  // Signed I.F: values in [-2^(I-1), 2^(I-1) - step].
+  return std::exp2(integer_bits - 1) - step();
+}
+
+double FixedPointFormat::min_value() const { return -std::exp2(integer_bits - 1); }
+
+std::string FixedPointFormat::to_string() const {
+  std::ostringstream os;
+  os << integer_bits << '.' << fraction_bits;
+  return os.str();
+}
+
+int FixedPointFormat::integer_bits_for_range(double max_abs) {
+  if (max_abs <= 0.0) return 1;
+  return static_cast<int>(std::ceil(std::log2(max_abs))) + 1;
+}
+
+int FixedPointFormat::fraction_bits_for_delta(double delta) {
+  assert(delta > 0.0);
+  // Smallest F with 2^-(F+1) <= delta  =>  F >= -log2(delta) - 1.
+  return static_cast<int>(std::ceil(-std::log2(delta) - 1.0));
+}
+
+FixedPointFormat FixedPointFormat::for_range_and_delta(double max_abs, double delta) {
+  FixedPointFormat f;
+  f.integer_bits = integer_bits_for_range(max_abs);
+  f.fraction_bits = fraction_bits_for_delta(delta);
+  // A format narrower than 1 bit is meaningless; keep at least the sign.
+  if (f.total_bits() < 1) f.fraction_bits = 1 - f.integer_bits;
+  return f;
+}
+
+float quantize_value(float x, const FixedPointFormat& fmt) {
+  const double s = fmt.step();
+  double q = std::nearbyint(static_cast<double>(x) / s) * s;
+  const double hi = fmt.max_value();
+  const double lo = fmt.min_value();
+  if (q > hi) q = hi;
+  if (q < lo) q = lo;
+  return static_cast<float>(q);
+}
+
+void quantize_tensor(Tensor& t, const FixedPointFormat& fmt) {
+  const double s = fmt.step();
+  const double inv = 1.0 / s;
+  const double hi = fmt.max_value();
+  const double lo = fmt.min_value();
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    double q = std::nearbyint(static_cast<double>(p[i]) * inv) * s;
+    if (q > hi) q = hi;
+    if (q < lo) q = lo;
+    p[i] = static_cast<float>(q);
+  }
+}
+
+Tensor quantized(const Tensor& t, const FixedPointFormat& fmt) {
+  Tensor out = t;
+  quantize_tensor(out, fmt);
+  return out;
+}
+
+QuantErrorStats quantization_error_stats(const Tensor& t, const FixedPointFormat& fmt) {
+  QuantErrorStats st;
+  RunningStats rs;
+  const double hi = fmt.max_value();
+  const double lo = fmt.min_value();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const float x = t[i];
+    const float q = quantize_value(x, fmt);
+    const double e = static_cast<double>(q) - x;
+    rs.add(e);
+    if (e == 0.0) ++st.exact;
+    if (static_cast<double>(x) > hi || static_cast<double>(x) < lo) ++st.saturated;
+    st.max_abs = std::max(st.max_abs, std::fabs(e));
+  }
+  st.mean = rs.mean();
+  st.stddev = rs.stddev();
+  st.count = rs.count();
+  return st;
+}
+
+}  // namespace mupod

@@ -1,0 +1,70 @@
+// Fixed point format "I.F" and uniform quantization (paper Sec. II-A).
+//
+// I = number of integer bits (including the sign bit), F = number of
+// fraction bits. The worst-case round-to-nearest error is
+// Delta = 2^-(F+1), and quantization noise over a large value population
+// is ~Uniform[-Delta, +Delta] with variance (2*Delta)^2 / 12.
+//
+// F may be NEGATIVE: when Delta > 1 the fraction part is useless and the
+// |F| least significant bits of the integer part are dropped too (the
+// hardware realizes this with an implicit shift, as in Stripes/Loom).
+// The cost of the format in hardware is total_bits() = I + F.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace mupod {
+
+struct FixedPointFormat {
+  int integer_bits = 8;   // I (includes sign bit)
+  int fraction_bits = 8;  // F (may be negative)
+
+  int total_bits() const { return integer_bits + fraction_bits; }
+  // Quantization step 2^-F.
+  double step() const;
+  // Worst-case rounding error boundary Delta = 2^-(F+1).
+  double delta() const;
+  // Theoretical s.d. of the uniform quantization noise: 2*Delta/sqrt(12).
+  double noise_stddev() const;
+  // Largest/smallest representable value (signed, step granularity).
+  double max_value() const;
+  double min_value() const;
+
+  bool operator==(const FixedPointFormat& o) const = default;
+  std::string to_string() const;  // e.g. "9.−3" rendered as "9.-3"
+
+  // I needed so that |x| <= max_abs never overflows: ceil(log2(max_abs))+1
+  // for a signed format (paper Sec. II-A). max_abs <= 0 yields 1 (sign only).
+  static int integer_bits_for_range(double max_abs);
+  // Smallest F such that the worst-case rounding error 2^-(F+1) <= delta.
+  static int fraction_bits_for_delta(double delta);
+  // Combined derivation used by the bitwidth allocator.
+  static FixedPointFormat for_range_and_delta(double max_abs, double delta);
+};
+
+// Round-to-nearest-even quantization of one value with saturation.
+float quantize_value(float x, const FixedPointFormat& fmt);
+
+// In-place tensor quantization.
+void quantize_tensor(Tensor& t, const FixedPointFormat& fmt);
+
+// Out-of-place variant.
+Tensor quantized(const Tensor& t, const FixedPointFormat& fmt);
+
+struct QuantErrorStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double max_abs = 0.0;
+  std::int64_t count = 0;     // values considered
+  std::int64_t exact = 0;     // values already representable (error == 0)
+  std::int64_t saturated = 0; // values clipped by the range
+};
+
+// Statistics of (Q(x) - x). Exact zeros are counted in `exact` but still
+// included in the distribution (the paper notes exact zeros after ReLU are
+// represented exactly and shrink the s.d. — this lets us observe that).
+QuantErrorStats quantization_error_stats(const Tensor& t, const FixedPointFormat& fmt);
+
+}  // namespace mupod

@@ -1,0 +1,72 @@
+#include "quant/rounding.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mupod {
+
+namespace {
+float clamp_to_range(double q, const FixedPointFormat& fmt) {
+  const double hi = fmt.max_value();
+  const double lo = fmt.min_value();
+  if (q > hi) q = hi;
+  if (q < lo) q = lo;
+  return static_cast<float>(q);
+}
+}  // namespace
+
+float quantize_value_mode(float x, const FixedPointFormat& fmt, RoundingMode mode, Rng& rng) {
+  const double s = fmt.step();
+  const double scaled = static_cast<double>(x) / s;
+  double q;
+  switch (mode) {
+    case RoundingMode::kNearest:
+      q = std::nearbyint(scaled);
+      break;
+    case RoundingMode::kTruncate:
+      q = std::floor(scaled);
+      break;
+    case RoundingMode::kStochastic: {
+      const double floor_v = std::floor(scaled);
+      const double frac = scaled - floor_v;
+      q = floor_v + (rng.uniform() < frac ? 1.0 : 0.0);
+      break;
+    }
+    default:
+      q = std::nearbyint(scaled);
+  }
+  return clamp_to_range(q * s, fmt);
+}
+
+void quantize_tensor_mode(Tensor& t, const FixedPointFormat& fmt, RoundingMode mode,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = quantize_value_mode(p[i], fmt, mode, rng);
+}
+
+RoundingErrorModel rounding_error_model(const FixedPointFormat& fmt, RoundingMode mode) {
+  const double s = fmt.step();
+  RoundingErrorModel m;
+  switch (mode) {
+    case RoundingMode::kNearest:
+      // Error ~ U[-s/2, s/2]: mean 0, var s^2/12.
+      m.mean = 0.0;
+      m.stddev = s / std::sqrt(12.0);
+      break;
+    case RoundingMode::kTruncate:
+      // Error ~ U[-s, 0]: mean -s/2, var s^2/12.
+      m.mean = -s / 2.0;
+      m.stddev = s / std::sqrt(12.0);
+      break;
+    case RoundingMode::kStochastic:
+      // Error mean 0; var = E[f(1-f)]*s^2 with f ~ U[0,1]: s^2/6.
+      m.mean = 0.0;
+      m.stddev = s / std::sqrt(6.0);
+      break;
+  }
+  return m;
+}
+
+}  // namespace mupod

@@ -1,0 +1,39 @@
+// Alternative rounding modes for fixed point conversion.
+//
+// The paper assumes correct (round-to-nearest) rounding, which gives the
+// +-Delta worst case and the uniform noise model of Sec. II-A. Hardware
+// implementations sometimes truncate instead (cheaper datapath, but a
+// biased error in [-2*Delta, 0]) or use stochastic rounding (unbiased with
+// twice the variance). These are provided so the error-model assumptions
+// can be stress-tested (see the quantization tests and bench_ablation).
+#pragma once
+
+#include <cstdint>
+
+#include "quant/fixed_point.hpp"
+#include "stats/rng.hpp"
+
+namespace mupod {
+
+enum class RoundingMode {
+  kNearest,     // round half to even (the paper's model)
+  kTruncate,    // toward negative infinity: biased by -Delta on average
+  kStochastic,  // probabilistic, unbiased, higher variance
+};
+
+// Quantize one value under `mode`. `rng` is only used for kStochastic.
+float quantize_value_mode(float x, const FixedPointFormat& fmt, RoundingMode mode, Rng& rng);
+
+// In-place tensor variant with a deterministic stream derived from `seed`.
+void quantize_tensor_mode(Tensor& t, const FixedPointFormat& fmt, RoundingMode mode,
+                          std::uint64_t seed = 1);
+
+// Theoretical error moments of each mode for a dense value population
+// (step s = 2^-F): mean and standard deviation of (Q(x) - x).
+struct RoundingErrorModel {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+RoundingErrorModel rounding_error_model(const FixedPointFormat& fmt, RoundingMode mode);
+
+}  // namespace mupod

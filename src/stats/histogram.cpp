@@ -1,0 +1,85 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace mupod {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  assert(hi > lo && bins > 0);
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double f = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(f * static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const float> xs) {
+  for (float x : xs) add(x);
+}
+
+double Histogram::bin_center(int bin) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * w;
+}
+
+double Histogram::density(int bin) const {
+  if (total_ == 0) return 0.0;
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return static_cast<double>(counts_[static_cast<std::size_t>(bin)]) /
+         (static_cast<double>(total_) * w);
+}
+
+std::string Histogram::render(int width) const {
+  long long peak = 1;
+  for (long long c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (int b = 0; b < bins(); ++b) {
+    const int len = static_cast<int>(static_cast<double>(count(b)) / static_cast<double>(peak) *
+                                     width);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+8.3f | ", bin_center(b));
+    os << buf << std::string(static_cast<std::size_t>(len), '#') << '\n';
+  }
+  return os.str();
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double ks_statistic_vs_normal(std::span<const double> xs, double mean, double stddev,
+                              int subsample_cap) {
+  if (xs.empty() || stddev <= 0.0) return 1.0;
+  std::vector<double> v;
+  if (subsample_cap > 0 && xs.size() > static_cast<std::size_t>(subsample_cap)) {
+    const std::size_t stride = xs.size() / static_cast<std::size_t>(subsample_cap);
+    for (std::size_t i = 0; i < xs.size(); i += stride) v.push_back(xs[i]);
+  } else {
+    v.assign(xs.begin(), xs.end());
+  }
+  std::sort(v.begin(), v.end());
+  const double n = static_cast<double>(v.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double cdf = normal_cdf((v[i] - mean) / stddev);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(cdf - lo), std::fabs(hi - cdf)));
+  }
+  return d;
+}
+
+}  // namespace mupod

@@ -1,0 +1,50 @@
+// Fixed-bin histogram and a Kolmogorov-Smirnov check against N(mu, sigma).
+// Used to reproduce the right panel of the paper's Fig. 3 (the final-layer
+// error is approximately Gaussian).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mupod {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  void add_all(std::span<const float> xs);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  long long count(int bin) const { return counts_[static_cast<std::size_t>(bin)]; }
+  long long total() const { return total_; }
+  long long underflow() const { return underflow_; }
+  long long overflow() const { return overflow_; }
+  double bin_center(int bin) const;
+  // Normalized density of a bin (integrates to ~1 over [lo, hi]).
+  double density(int bin) const;
+
+  // ASCII rendering for bench/report output.
+  std::string render(int width = 60) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<long long> counts_;
+  long long total_ = 0;
+  long long underflow_ = 0;
+  long long overflow_ = 0;
+};
+
+// Standard normal CDF.
+double normal_cdf(double x);
+
+// One-sample Kolmogorov-Smirnov statistic of xs against N(mean, stddev).
+// Operates on a sorted copy; for large samples a subsample cap keeps it
+// cheap (cap <= 0 means no cap).
+double ks_statistic_vs_normal(std::span<const double> xs, double mean, double stddev,
+                              int subsample_cap = 100000);
+
+}  // namespace mupod

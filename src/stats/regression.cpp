@@ -1,0 +1,81 @@
+#include "stats/regression.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mupod {
+
+double LinearFit::invert(double y) const {
+  assert(slope != 0.0);
+  return (y - intercept) / slope;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit f;
+  const std::size_t n = xs.size();
+  if (n < 2 || ys.size() != n) return f;
+
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return f;
+
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.n = static_cast<int>(n);
+
+  if (syy == 0.0) {
+    f.r2 = 1.0;  // ys constant and perfectly predicted by a flat line
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = ys[i] - f.predict(xs[i]);
+      ss_res += e * e;
+    }
+    f.r2 = 1.0 - ss_res / syy;
+  }
+  return f;
+}
+
+LinearFit fit_linear_no_intercept(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit f;
+  const std::size_t n = xs.size();
+  if (n < 1 || ys.size() != n) return f;
+
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  if (sxx == 0.0) return f;
+  f.slope = sxy / sxx;
+  f.intercept = 0.0;
+  f.n = static_cast<int>(n);
+
+  double sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sy += ys[i];
+  const double my = sy / static_cast<double>(n);
+  double syy = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    syy += (ys[i] - my) * (ys[i] - my);
+    const double e = ys[i] - f.predict(xs[i]);
+    ss_res += e * e;
+  }
+  f.r2 = syy == 0.0 ? 1.0 : 1.0 - ss_res / syy;
+  return f;
+}
+
+}  // namespace mupod

@@ -1,0 +1,28 @@
+// Ordinary least squares y = a*x + b — the fitting primitive behind the
+// paper's Eq. 5 (Delta_XK ~= lambda_K * sigma_{Y_{K->L}} + theta_K).
+#pragma once
+
+#include <span>
+
+namespace mupod {
+
+struct LinearFit {
+  double slope = 0.0;      // lambda
+  double intercept = 0.0;  // theta
+  double r2 = 0.0;         // coefficient of determination
+  int n = 0;
+
+  double predict(double x) const { return slope * x + intercept; }
+  // Inverse prediction x = (y - intercept) / slope.
+  double invert(double y) const;
+};
+
+// Fits y ~= slope*x + intercept. Requires xs.size() == ys.size() >= 2 and
+// non-degenerate xs (not all identical); otherwise returns a zero fit with
+// n = 0.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+// Fit through the origin: y ~= slope*x (used by the theta-ablation bench).
+LinearFit fit_linear_no_intercept(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace mupod

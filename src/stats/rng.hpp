@@ -1,0 +1,40 @@
+// Deterministic random number generation for the error-injection passes.
+//
+// Every stochastic component of the framework takes an explicit seed so
+// the experiment tables are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace mupod {
+
+// splitmix64: used to derive decorrelated stream seeds from a base seed.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// xoshiro256** — a small, fast, high-quality PRNG. Value-semantic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Standard normal via Box-Muller (cached spare).
+  double gaussian();
+  double gaussian(double mean, double stddev);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  // Derive a decorrelated child stream (e.g. one per worker thread).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace mupod

@@ -1,0 +1,42 @@
+// Streaming descriptive statistics (Welford) and quantiles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mupod {
+
+// Numerically stable streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  // Merge another accumulator (parallel reduction support).
+  void merge(const RunningStats& o);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Population variance / stddev (divide by n) — matches how the paper
+  // measures the s.d. of an error tensor.
+  double variance() const { return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  // Sample variance (divide by n-1).
+  double sample_variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// q in [0,1]; linear interpolation between order statistics. Copies data.
+double quantile(std::span<const double> xs, double q);
+
+double mean_of(std::span<const double> xs);
+double stddev_of(std::span<const double> xs);
+
+}  // namespace mupod

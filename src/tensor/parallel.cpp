@@ -1,0 +1,146 @@
+#include "tensor/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mupod {
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    workers = std::max(workers, 1);
+    // worker 0 is the calling thread; spawn workers-1 helpers.
+    for (int i = 1; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+    n_workers_ = workers;
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  int workers() const { return n_workers_; }
+
+  void run(std::int64_t begin, std::int64_t end,
+           const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    const std::int64_t total = end - begin;
+    const int parts = static_cast<int>(std::min<std::int64_t>(n_workers_, total));
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      job_fn_ = &fn;
+      job_begin_ = begin;
+      job_end_ = end;
+      job_parts_ = parts;
+      next_part_ = 0;
+      pending_ = parts;
+      ++generation_;
+    }
+    cv_.notify_all();
+    // The calling thread participates.
+    run_parts(fn);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    job_fn_ = nullptr;
+  }
+
+ private:
+  void run_parts(const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    for (;;) {
+      int part;
+      std::int64_t b, e;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (next_part_ >= job_parts_) return;
+        part = next_part_++;
+        const std::int64_t total = job_end_ - job_begin_;
+        const std::int64_t chunk = (total + job_parts_ - 1) / job_parts_;
+        b = job_begin_ + part * chunk;
+        e = std::min(job_end_, b + chunk);
+      }
+      if (b < e) {
+        tls_in_parallel_region = true;
+        fn(b, e);
+        tls_in_parallel_region = false;
+      }
+      std::unique_lock<std::mutex> lk(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || (job_fn_ != nullptr && generation_ != seen_generation); });
+        if (stop_) return;
+        seen_generation = generation_;
+        fn = job_fn_;
+      }
+      if (fn != nullptr) run_parts(*fn);
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  int n_workers_ = 1;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  const std::function<void(std::int64_t, std::int64_t)>* job_fn_ = nullptr;
+  std::int64_t job_begin_ = 0, job_end_ = 0;
+  int job_parts_ = 0;
+  int next_part_ = 0;
+  int pending_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+std::atomic<int> g_override_workers{0};
+
+ThreadPool& pool() {
+  static ThreadPool p(g_override_workers.load() > 0
+                          ? g_override_workers.load()
+                          : static_cast<int>(std::thread::hardware_concurrency()));
+  return p;
+}
+
+}  // namespace
+
+int parallel_worker_count() { return pool().workers(); }
+
+void set_parallel_worker_count(int n) { g_override_workers.store(n); }
+
+void parallel_for_chunked(std::int64_t begin, std::int64_t end,
+                          const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  const std::int64_t total = end - begin;
+  if (tls_in_parallel_region || total < 2 || pool().workers() == 1) {
+    fn(begin, end);
+    return;
+  }
+  pool().run(begin, end, fn);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn) {
+  parallel_for_chunked(begin, end, [&fn](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) fn(i);
+  });
+}
+
+}  // namespace mupod

@@ -1,0 +1,30 @@
+// A minimal persistent thread pool exposing parallel_for over an index
+// range. Used by the convolution kernels and the profiling passes — the
+// profiling workload of the paper (hundreds of partial forward passes on
+// ResNet-152) is embarrassingly parallel over images and output channels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mupod {
+
+// Global worker count (defaults to hardware_concurrency, min 1).
+int parallel_worker_count();
+
+// Override worker count (0 restores the default). Not thread-safe with
+// respect to concurrently running parallel_for calls; call at startup.
+void set_parallel_worker_count(int n);
+
+// Runs fn(i) for i in [begin, end), partitioned across the pool in
+// contiguous chunks. Falls back to a serial loop for small ranges or when
+// called from inside another parallel_for (no nested parallelism).
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn);
+
+// Chunked variant: fn(chunk_begin, chunk_end). Preferred for tight loops
+// so the std::function dispatch happens once per chunk, not per index.
+void parallel_for_chunked(std::int64_t begin, std::int64_t end,
+                          const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace mupod

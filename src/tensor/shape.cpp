@@ -1,0 +1,55 @@
+#include "tensor/shape.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace mupod {
+
+Shape::Shape(std::initializer_list<int> dims) {
+  assert(dims.size() <= static_cast<std::size_t>(kMaxRank));
+  rank_ = static_cast<int>(dims.size());
+  int i = 0;
+  for (int d : dims) {
+    assert(d >= 0);
+    dims_[i++] = d;
+  }
+}
+
+int Shape::dim(int i) const {
+  assert(i >= 0 && i < rank_);
+  return dims_[i];
+}
+
+std::int64_t Shape::numel() const {
+  if (rank_ == 0) return 0;
+  std::int64_t n = 1;
+  for (int i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+bool Shape::operator==(const Shape& o) const {
+  if (rank_ != o.rank_) return false;
+  for (int i = 0; i < rank_; ++i)
+    if (dims_[i] != o.dims_[i]) return false;
+  return true;
+}
+
+Shape Shape::with_dim(int i, int v) const {
+  assert(i >= 0 && i < rank_ && v >= 0);
+  Shape s = *this;
+  s.dims_[i] = v;
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (int i = 0; i < rank_; ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace mupod

@@ -1,0 +1,51 @@
+// Shape: dimension vector for dense tensors (NCHW convention for 4-d).
+//
+// Part of mupod-cpp, a reproduction of "Multi-objective Precision
+// Optimization of Deep Neural Networks for Edge Devices" (DATE 2019).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace mupod {
+
+// A small fixed-capacity dimension list. Rank 0 denotes an empty shape.
+// For 4-d tensors the convention is (N, C, H, W).
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<int> dims);
+
+  static Shape scalar() { return Shape({1}); }
+
+  int rank() const { return rank_; }
+  int dim(int i) const;
+  int operator[](int i) const { return dim(i); }
+
+  // Number of elements; 0 for an empty shape.
+  std::int64_t numel() const;
+
+  // NCHW accessors; valid only for rank-4 shapes.
+  int n() const { return dim(0); }
+  int c() const { return dim(1); }
+  int h() const { return dim(2); }
+  int w() const { return dim(3); }
+
+  bool operator==(const Shape& o) const;
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  // Returns a copy with dimension `i` replaced by `v`.
+  Shape with_dim(int i, int v) const;
+
+  std::string to_string() const;
+
+ private:
+  std::array<int, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+}  // namespace mupod

@@ -1,0 +1,381 @@
+#include "train/trainer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+#include "tensor/parallel.hpp"
+
+namespace mupod {
+
+// ---------------------------------------------------------------------------
+// Op interface: forward caches what backward needs; backward consumes the
+// gradient w.r.t. its output and produces the gradient w.r.t. its input,
+// applying SGD to its own parameters on the way.
+
+struct TrainableNet::Op {
+  virtual ~Op() = default;
+  virtual Shape out_shape(const Shape& in) const = 0;
+  virtual void forward(const Tensor& x, Tensor& y) = 0;
+  // dy: gradient wrt output; dx: gradient wrt input (resized inside).
+  virtual void backward(const Tensor& dy, Tensor& dx, float lr) = 0;
+  virtual int num_params() const { return 0; }
+  virtual void export_to(Network& net, int& next_id, std::string& prev, int index) const = 0;
+};
+
+namespace {
+Shape conv_out_shape(const Shape& in, int oc, int k, int stride, int pad) {
+  const int oh = (in.h() + 2 * pad - k) / stride + 1;
+  const int ow = (in.w() + 2 * pad - k) / stride + 1;
+  return Shape({in.n(), oc, oh, ow});
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+struct TrainableNet::ConvOp final : TrainableNet::Op {
+  int in_c, out_c, k, stride, pad;
+  Tensor w;   // (oc, ic, k, k)
+  Tensor b;   // (oc)
+  Tensor x_;  // cached input
+
+  ConvOp(int ic, int oc, int kk, int s, int p, Rng& rng)
+      : in_c(ic), out_c(oc), k(kk), stride(s), pad(p),
+        w(Shape({oc, ic, kk, kk})), b(Shape({oc})) {
+    // He initialization.
+    const double std = std::sqrt(2.0 / (static_cast<double>(ic) * kk * kk));
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+      w[i] = static_cast<float>(rng.gaussian(0.0, std));
+  }
+
+  Shape out_shape(const Shape& in) const override { return conv_out_shape(in, out_c, k, stride, pad); }
+
+  void forward(const Tensor& x, Tensor& y) override {
+    x_ = x;
+    const Shape os = out_shape(x.shape());
+    if (y.shape() != os) y = Tensor(os);
+    Conv2DLayer::Config cfg;
+    cfg.in_channels = in_c; cfg.out_channels = out_c;
+    cfg.kernel_h = k; cfg.kernel_w = k; cfg.stride = stride; cfg.pad = pad;
+    // Reuse the inference kernel via a temporary layer sharing our weights.
+    Conv2DLayer tmp(cfg);
+    *tmp.mutable_weights() = w;
+    *tmp.mutable_bias() = b;
+    const Tensor* ins[1] = {&x};
+    tmp.forward(ins, y);
+  }
+
+  void backward(const Tensor& dy, Tensor& dx, float lr) override {
+    const Shape& xs = x_.shape();
+    const int N = xs.n(), H = xs.h(), W = xs.w();
+    const int OH = dy.shape().h(), OW = dy.shape().w();
+    Tensor dw(w.shape());
+    Tensor db(b.shape());
+    if (dx.shape() != xs) dx = Tensor(xs);
+    dx.fill(0.0f);
+
+    for (int n = 0; n < N; ++n) {
+      for (int oc = 0; oc < out_c; ++oc) {
+        for (int oh = 0; oh < OH; ++oh) {
+          for (int ow = 0; ow < OW; ++ow) {
+            const float g = dy.at(n, oc, oh, ow);
+            if (g == 0.0f) continue;
+            db[oc] += g;
+            const int h0 = oh * stride - pad;
+            const int w0 = ow * stride - pad;
+            for (int ic = 0; ic < in_c; ++ic) {
+              for (int kh = 0; kh < k; ++kh) {
+                const int ih = h0 + kh;
+                if (ih < 0 || ih >= H) continue;
+                for (int kw = 0; kw < k; ++kw) {
+                  const int iw = w0 + kw;
+                  if (iw < 0 || iw >= W) continue;
+                  const std::int64_t widx = ((static_cast<std::int64_t>(oc) * in_c + ic) * k + kh) * k + kw;
+                  dw[widx] += g * x_.at(n, ic, ih, iw);
+                  dx.at(n, ic, ih, iw) += g * w[widx];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    const float scale = lr / static_cast<float>(N);
+    for (std::int64_t i = 0; i < w.numel(); ++i) w[i] -= scale * dw[i];
+    for (std::int64_t i = 0; i < b.numel(); ++i) b[i] -= scale * db[i];
+  }
+
+  int num_params() const override { return static_cast<int>(w.numel() + b.numel()); }
+
+  void export_to(Network& net, int&, std::string& prev, int index) const override {
+    Conv2DLayer::Config cfg;
+    cfg.in_channels = in_c; cfg.out_channels = out_c;
+    cfg.kernel_h = k; cfg.kernel_w = k; cfg.stride = stride; cfg.pad = pad;
+    auto layer = std::make_unique<Conv2DLayer>(cfg);
+    *layer->mutable_weights() = w;
+    *layer->mutable_bias() = b;
+    const std::string name = "conv" + std::to_string(index);
+    net.add(name, std::move(layer), std::vector<std::string>{prev});
+    prev = name;
+  }
+};
+
+// ---------------------------------------------------------------------------
+struct TrainableNet::ReluOp final : TrainableNet::Op {
+  Tensor x_;
+  Shape out_shape(const Shape& in) const override { return in; }
+  void forward(const Tensor& x, Tensor& y) override {
+    x_ = x;
+    if (y.shape() != x.shape()) y = Tensor(x.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+  void backward(const Tensor& dy, Tensor& dx, float) override {
+    if (dx.shape() != x_.shape()) dx = Tensor(x_.shape());
+    for (std::int64_t i = 0; i < dy.numel(); ++i) dx[i] = x_[i] > 0.0f ? dy[i] : 0.0f;
+  }
+  void export_to(Network& net, int&, std::string& prev, int index) const override {
+    const std::string name = "relu" + std::to_string(index);
+    net.add(name, std::make_unique<ReLULayer>(), std::vector<std::string>{prev});
+    prev = name;
+  }
+};
+
+// ---------------------------------------------------------------------------
+struct TrainableNet::PoolOp final : TrainableNet::Op {
+  int k, stride;
+  Tensor x_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+
+  PoolOp(int kk, int s) : k(kk), stride(s) {}
+
+  Shape out_shape(const Shape& in) const override {
+    return Shape({in.n(), in.c(), (in.h() - k) / stride + 1, (in.w() - k) / stride + 1});
+  }
+
+  void forward(const Tensor& x, Tensor& y) override {
+    x_ = x;
+    const Shape os = out_shape(x.shape());
+    if (y.shape() != os) y = Tensor(os);
+    argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+    const int N = os.n(), C = os.c(), OH = os.h(), OW = os.w();
+    std::int64_t oidx = 0;
+    for (int n = 0; n < N; ++n)
+      for (int c = 0; c < C; ++c)
+        for (int oh = 0; oh < OH; ++oh)
+          for (int ow = 0; ow < OW; ++ow, ++oidx) {
+            float best = -1e30f;
+            std::int64_t best_idx = 0;
+            for (int kh = 0; kh < k; ++kh)
+              for (int kw = 0; kw < k; ++kw) {
+                const std::int64_t idx = x.index(n, c, oh * stride + kh, ow * stride + kw);
+                if (x[idx] > best) { best = x[idx]; best_idx = idx; }
+              }
+            y[oidx] = best;
+            argmax_[static_cast<std::size_t>(oidx)] = best_idx;
+          }
+  }
+
+  void backward(const Tensor& dy, Tensor& dx, float) override {
+    if (dx.shape() != x_.shape()) dx = Tensor(x_.shape());
+    dx.fill(0.0f);
+    for (std::int64_t i = 0; i < dy.numel(); ++i)
+      dx[argmax_[static_cast<std::size_t>(i)]] += dy[i];
+  }
+
+  void export_to(Network& net, int&, std::string& prev, int index) const override {
+    PoolLayer::Config cfg;
+    cfg.mode = PoolLayer::Mode::kMax;
+    cfg.kernel = k; cfg.stride = stride; cfg.ceil_mode = false;
+    const std::string name = "pool" + std::to_string(index);
+    net.add(name, std::make_unique<PoolLayer>(cfg), std::vector<std::string>{prev});
+    prev = name;
+  }
+};
+
+// ---------------------------------------------------------------------------
+struct TrainableNet::FcOp final : TrainableNet::Op {
+  int in_f, out_f;
+  Tensor w;  // (out, in)
+  Tensor b;  // (out)
+  Tensor x_; // cached flattened input
+  Shape in_shape_;
+
+  FcOp(int inf, int outf, Rng& rng) : in_f(inf), out_f(outf), w(Shape({outf, inf})), b(Shape({outf})) {
+    const double std = std::sqrt(2.0 / static_cast<double>(inf));
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+      w[i] = static_cast<float>(rng.gaussian(0.0, std));
+  }
+
+  Shape out_shape(const Shape& in) const override { return Shape({in.dim(0), out_f}); }
+
+  void forward(const Tensor& x, Tensor& y) override {
+    in_shape_ = x.shape();
+    x_ = x;
+    x_.reshape(Shape({x.shape().dim(0), static_cast<int>(x.numel() / x.shape().dim(0))}));
+    const int N = x_.shape().dim(0);
+    if (y.shape() != Shape({N, out_f})) y = Tensor(Shape({N, out_f}));
+    for (int n = 0; n < N; ++n)
+      for (int o = 0; o < out_f; ++o) {
+        float acc = b[o];
+        const float* xr = x_.data() + static_cast<std::int64_t>(n) * in_f;
+        const float* wr = w.data() + static_cast<std::int64_t>(o) * in_f;
+        for (int i = 0; i < in_f; ++i) acc += xr[i] * wr[i];
+        y[static_cast<std::int64_t>(n) * out_f + o] = acc;
+      }
+  }
+
+  void backward(const Tensor& dy, Tensor& dx, float lr) override {
+    const int N = x_.shape().dim(0);
+    Tensor dw(w.shape());
+    Tensor db(b.shape());
+    if (dx.shape() != in_shape_) dx = Tensor(in_shape_);
+    dx.fill(0.0f);
+    float* dxp = dx.data();
+    for (int n = 0; n < N; ++n) {
+      const float* xr = x_.data() + static_cast<std::int64_t>(n) * in_f;
+      float* dxr = dxp + static_cast<std::int64_t>(n) * in_f;
+      for (int o = 0; o < out_f; ++o) {
+        const float g = dy[static_cast<std::int64_t>(n) * out_f + o];
+        if (g == 0.0f) continue;
+        db[o] += g;
+        const float* wr = w.data() + static_cast<std::int64_t>(o) * in_f;
+        float* dwr = dw.data() + static_cast<std::int64_t>(o) * in_f;
+        for (int i = 0; i < in_f; ++i) {
+          dwr[i] += g * xr[i];
+          dxr[i] += g * wr[i];
+        }
+      }
+    }
+    const float scale = lr / static_cast<float>(N);
+    for (std::int64_t i = 0; i < w.numel(); ++i) w[i] -= scale * dw[i];
+    for (std::int64_t i = 0; i < b.numel(); ++i) b[i] -= scale * db[i];
+  }
+
+  int num_params() const override { return static_cast<int>(w.numel() + b.numel()); }
+
+  void export_to(Network& net, int&, std::string& prev, int index) const override {
+    auto layer = std::make_unique<InnerProductLayer>(in_f, out_f);
+    *layer->mutable_weights() = w;
+    *layer->mutable_bias() = b;
+    const std::string name = "fc" + std::to_string(index);
+    net.add(name, std::move(layer), std::vector<std::string>{prev});
+    prev = name;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TrainableNet
+
+TrainableNet::TrainableNet(int channels, int height, int width, std::uint64_t seed)
+    : cur_shape_(Shape({1, channels, height, width})),
+      in_c_(channels), in_h_(height), in_w_(width), rng_(seed) {}
+
+TrainableNet::~TrainableNet() = default;
+TrainableNet::TrainableNet(TrainableNet&&) noexcept = default;
+TrainableNet& TrainableNet::operator=(TrainableNet&&) noexcept = default;
+
+TrainableNet& TrainableNet::conv(int out_channels, int kernel, int stride, int pad) {
+  assert(cur_shape_.rank() == 4);
+  auto op = std::make_unique<ConvOp>(cur_shape_.c(), out_channels, kernel, stride, pad, rng_);
+  cur_shape_ = op->out_shape(cur_shape_);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+TrainableNet& TrainableNet::relu() {
+  ops_.push_back(std::make_unique<ReluOp>());
+  return *this;
+}
+
+TrainableNet& TrainableNet::maxpool(int kernel, int stride) {
+  assert(cur_shape_.rank() == 4);
+  auto op = std::make_unique<PoolOp>(kernel, stride);
+  cur_shape_ = op->out_shape(cur_shape_);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+TrainableNet& TrainableNet::fc(int out_features) {
+  const int in_f = static_cast<int>(cur_shape_.numel() / cur_shape_.dim(0));
+  auto op = std::make_unique<FcOp>(in_f, out_features, rng_);
+  cur_shape_ = Shape({1, out_features});
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Tensor TrainableNet::forward(const Tensor& images) {
+  Tensor cur = images;
+  Tensor next;
+  for (auto& op : ops_) {
+    op->forward(cur, next);
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+float TrainableNet::train_step(const Tensor& images, const std::vector<int>& labels, float lr) {
+  Tensor logits = forward(images);
+  const int N = logits.shape().dim(0);
+  const int C = logits.shape().dim(1);
+  assert(labels.size() == static_cast<std::size_t>(N));
+
+  // Softmax cross-entropy loss and gradient.
+  Tensor grad(logits.shape());
+  double loss = 0.0;
+  for (int n = 0; n < N; ++n) {
+    const float* row = logits.data() + static_cast<std::int64_t>(n) * C;
+    float mx = row[0];
+    for (int c = 1; c < C; ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (int c = 0; c < C; ++c) sum += std::exp(static_cast<double>(row[c]) - mx);
+    const int y = labels[static_cast<std::size_t>(n)];
+    loss += -(static_cast<double>(row[y]) - mx - std::log(sum));
+    for (int c = 0; c < C; ++c) {
+      const double p = std::exp(static_cast<double>(row[c]) - mx) / sum;
+      grad[static_cast<std::int64_t>(n) * C + c] =
+          static_cast<float>(p - (c == y ? 1.0 : 0.0));
+    }
+  }
+
+  // Backward sweep with parameter updates.
+  Tensor dcur = grad;
+  Tensor dprev;
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    (*it)->backward(dcur, dprev, lr);
+    std::swap(dcur, dprev);
+  }
+  return static_cast<float>(loss / N);
+}
+
+double TrainableNet::accuracy(const Tensor& images, const std::vector<int>& labels) {
+  Tensor logits = forward(images);
+  const int n = logits.shape().dim(0);
+  if (n == 0) return 0.0;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (logits.argmax_row(i) == labels[static_cast<std::size_t>(i)]) ++hits;
+  }
+  return static_cast<double>(hits) / n;
+}
+
+Network TrainableNet::export_network(const std::string& name) const {
+  Network net(name);
+  net.add_input("data", in_c_, in_h_, in_w_);
+  std::string prev = "data";
+  int next_id = 0;
+  int index = 0;
+  for (const auto& op : ops_) {
+    ++index;
+    op->export_to(net, next_id, prev, index);
+  }
+  net.finalize();
+  return net;
+}
+
+int TrainableNet::num_params() const {
+  int total = 0;
+  for (const auto& op : ops_) total += op->num_params();
+  return total;
+}
+
+}  // namespace mupod

@@ -1,0 +1,62 @@
+// Minimal SGD training support.
+//
+// The paper's method operates on *trained* networks. The large zoo
+// topologies use calibrated structured-random weights (see src/zoo), but
+// for the small networks used in tests and the quickstart example we
+// train for real: this module implements forward/backward/SGD for a
+// sequential stack of conv / relu / maxpool / fc layers with a
+// softmax-cross-entropy head, and exports the learned weights into an
+// inference `Network`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "stats/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mupod {
+
+class TrainableNet {
+ public:
+  // Input per-image shape.
+  TrainableNet(int channels, int height, int width, std::uint64_t seed = 7);
+  ~TrainableNet();  // out of line: Op is incomplete here
+  TrainableNet(TrainableNet&&) noexcept;
+  TrainableNet& operator=(TrainableNet&&) noexcept;
+
+  TrainableNet& conv(int out_channels, int kernel, int stride = 1, int pad = 0);
+  TrainableNet& relu();
+  TrainableNet& maxpool(int kernel = 2, int stride = 2);
+  TrainableNet& fc(int out_features);
+
+  // Logits for a batch.
+  Tensor forward(const Tensor& images);
+
+  // One SGD minibatch step on softmax cross-entropy; returns the mean loss.
+  float train_step(const Tensor& images, const std::vector<int>& labels, float lr);
+
+  double accuracy(const Tensor& images, const std::vector<int>& labels);
+
+  // Builds the equivalent inference Network (finalized) with the learned
+  // weights; layer names are conv1, relu1, pool1, fc1, ...
+  Network export_network(const std::string& name = "trained") const;
+
+  int num_params() const;
+
+ private:
+  struct Op;
+  struct ConvOp;
+  struct ReluOp;
+  struct PoolOp;
+  struct FcOp;
+
+  Shape cur_shape_;  // per-image (1, C, H, W)
+  int in_c_, in_h_, in_w_;
+  std::vector<std::unique_ptr<Op>> ops_;
+  Rng rng_;
+};
+
+}  // namespace mupod

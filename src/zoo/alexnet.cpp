@@ -1,0 +1,45 @@
+#include <memory>
+
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+using namespace zoo_detail;
+
+// AlexNet topology at reduced scale: 5 analyzed convolutions (conv2/4/5
+// grouped, LRN after conv1/conv2 as in the original) plus 3 fully
+// connected layers that are excluded from the analysis, matching the
+// paper's treatment ("Stripes ignored the fully connected layers").
+ZooModel build_alexnet(const ZooOptions& opts) {
+  ZooModel m;
+  m.num_classes = opts.num_classes;
+  m.channels = 3;
+  m.height = 56;
+  m.width = 56;
+  Network& net = m.net;
+  net = Network("alexnet");
+
+  net.add_input("data", 3, 56, 56);
+  std::string top = add_conv_relu(net, "conv1", "data", 3, 24, 7, 2, 3);  // 28x28
+  net.add("norm1", std::make_unique<LRNLayer>(LRNLayer::Config{}), std::vector<std::string>{top});
+  top = add_maxpool(net, "pool1", "norm1", 3, 2);                         // 14x14 (ceil)
+  top = add_conv_relu(net, "conv2", top, 24, 64, 5, 1, 2, /*groups=*/2);
+  net.add("norm2", std::make_unique<LRNLayer>(LRNLayer::Config{}), std::vector<std::string>{top});
+  top = add_maxpool(net, "pool2", "norm2", 3, 2);                         // 7x7
+  top = add_conv_relu(net, "conv3", top, 64, 96, 3, 1, 1);
+  top = add_conv_relu(net, "conv4", top, 96, 96, 3, 1, 1, /*groups=*/2);
+  top = add_conv_relu(net, "conv5", top, 96, 64, 3, 1, 1, /*groups=*/2);
+  top = add_maxpool(net, "pool5", top, 3, 2);                             // 3x3
+  top = add_fc(net, "fc6", top, 64 * 3 * 3, 128);
+  net.add("relu6", std::make_unique<ReLULayer>(), std::vector<std::string>{top});
+  top = add_fc(net, "fc7", "relu6", 128, 128);
+  net.add("relu7", std::make_unique<ReLULayer>(), std::vector<std::string>{top});
+  add_fc(net, "fc8", "relu7", 128, opts.num_classes);
+
+  net.finalize();
+  finish_model(m, opts, FinishOptions{.include_fc = false});
+  return m;
+}
+
+}  // namespace mupod

@@ -1,0 +1,310 @@
+#include "zoo/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+void init_weights_he(Network& net, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int id = 0; id < net.num_nodes(); ++id) {
+    Layer& l = net.layer(id);
+    Tensor* w = l.mutable_weights();
+    if (w == nullptr) continue;
+    // Fan-in: product of all weight dims except the output one (dim 0).
+    const std::int64_t fan_in = w->numel() / w->shape().dim(0);
+    const double std = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (std::int64_t i = 0; i < w->numel(); ++i)
+      (*w)[i] = static_cast<float>(rng.gaussian(0.0, std));
+    if (Tensor* b = l.mutable_bias()) b->fill(0.0f);
+  }
+}
+
+void calibrate_activations(Network& net, const Tensor& calib_batch, double target_std) {
+  std::vector<Tensor> acts = net.forward_all(calib_batch);
+  for (int id : net.analyzable_nodes()) {
+    Tensor& out = acts[static_cast<std::size_t>(id)];
+    const double sd = out.stddev();
+    if (sd <= 1e-12) continue;
+    const float scale = static_cast<float>(target_std / sd);
+    Layer& l = net.layer(id);
+    *l.mutable_weights() *= scale;
+    if (Tensor* b = l.mutable_bias()) *b *= scale;
+    net.update_from(id, acts);
+  }
+}
+
+namespace {
+// Walks back from the output through shape-preserving linear layers to
+// the layer that produces the logits. Returns -1 if none.
+int find_head_node(const Network& net) {
+  int id = net.output_node();
+  while (id >= 0) {
+    const LayerKind kind = net.layer(id).kind();
+    if (kind == LayerKind::kFlatten || kind == LayerKind::kDropout ||
+        (kind == LayerKind::kAvgPool &&
+         static_cast<const PoolLayer&>(net.layer(id)).config().global)) {
+      id = net.node(id).inputs[0];
+      continue;
+    }
+    break;
+  }
+  return id;
+}
+}  // namespace
+
+bool center_output_logits(Network& net, const Tensor& calib_batch) {
+  const int id = find_head_node(net);
+  if (id < 0) return false;
+  Tensor* bias = net.layer(id).mutable_bias();
+  if (bias == nullptr) return false;
+
+  const Tensor logits = net.forward(calib_batch);
+  const int n = logits.shape().dim(0);
+  const std::int64_t classes = logits.numel() / n;
+  if (classes != bias->numel()) return false;
+
+  for (std::int64_t c = 0; c < classes; ++c) {
+    double mean = 0.0;
+    for (int i = 0; i < n; ++i) mean += logits[static_cast<std::int64_t>(i) * classes + c];
+    (*bias)[c] -= static_cast<float>(mean / n);
+  }
+  return true;
+}
+
+double train_classifier_head(Network& net, const SyntheticImageDataset& dataset,
+                             int num_classes, int images, int epochs, float lr,
+                             std::uint64_t seed) {
+  const int head = find_head_node(net);
+  if (head < 0) return -1.0;
+  Layer& layer = net.layer(head);
+  Tensor* weights = layer.mutable_weights();
+  Tensor* bias = layer.mutable_bias();
+  if (weights == nullptr || bias == nullptr) return -1.0;
+
+  // Feature extraction mode: fc head -> flattened input; 1x1-conv head
+  // followed by a global average pool -> spatially averaged input (the
+  // two commute, so training on averaged features is exact).
+  int dim = 0;
+  bool conv_head = false;
+  if (layer.kind() == LayerKind::kInnerProduct) {
+    const auto& fc = static_cast<const InnerProductLayer&>(layer);
+    if (fc.out_features() != num_classes) return -1.0;
+    dim = fc.in_features();
+  } else if (layer.kind() == LayerKind::kConv) {
+    const auto& cfg = static_cast<const Conv2DLayer&>(layer).config();
+    if (cfg.kernel_h != 1 || cfg.kernel_w != 1 || cfg.groups != 1 ||
+        cfg.out_channels != num_classes) {
+      return -1.0;
+    }
+    dim = cfg.in_channels;
+    conv_head = true;
+  } else {
+    return -1.0;
+  }
+
+  // --- collect features with the frozen backbone -------------------------
+  const int feed = net.node(head).inputs[0];
+  std::vector<float> feats(static_cast<std::size_t>(images) * dim);
+  std::vector<int> labels(static_cast<std::size_t>(images));
+  const int batch_size = 32;
+  for (int first = 0; first < images; first += batch_size) {
+    const int n = std::min(batch_size, images - first);
+    const Tensor batch = dataset.make_batch(first, n);
+    const std::vector<Tensor> acts = net.forward_all(batch);
+    const Tensor& x = acts[static_cast<std::size_t>(feed)];
+    for (int i = 0; i < n; ++i) {
+      float* out = feats.data() + static_cast<std::size_t>(first + i) * dim;
+      if (conv_head) {
+        const int spatial = x.shape().h() * x.shape().w();
+        for (int c = 0; c < dim; ++c) {
+          double acc = 0.0;
+          for (int s = 0; s < spatial; ++s)
+            acc += x[((static_cast<std::int64_t>(i) * dim + c) * spatial) + s];
+          out[c] = static_cast<float>(acc / spatial);
+        }
+      } else {
+        const std::int64_t row = x.numel() / x.shape().dim(0);
+        for (std::int64_t c = 0; c < row; ++c)
+          out[c] = x[static_cast<std::int64_t>(i) * row + c];
+      }
+      labels[static_cast<std::size_t>(first + i)] = dataset.label_of(first + i);
+    }
+  }
+
+  // --- softmax regression -------------------------------------------------
+  std::vector<double> W(static_cast<std::size_t>(num_classes) * dim, 0.0);
+  std::vector<double> B(static_cast<std::size_t>(num_classes), 0.0);
+  std::vector<double> logits(static_cast<std::size_t>(num_classes));
+  Rng rng(seed);
+  float cur_lr = lr;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (int i = 0; i < images; ++i) {
+      const float* f = feats.data() + static_cast<std::size_t>(i) * dim;
+      // Forward.
+      double mx = -1e300;
+      for (int c = 0; c < num_classes; ++c) {
+        double z = B[static_cast<std::size_t>(c)];
+        const double* w = W.data() + static_cast<std::size_t>(c) * dim;
+        for (int d = 0; d < dim; ++d) z += w[d] * f[d];
+        logits[static_cast<std::size_t>(c)] = z;
+        mx = std::max(mx, z);
+      }
+      double zsum = 0.0;
+      for (int c = 0; c < num_classes; ++c) {
+        logits[static_cast<std::size_t>(c)] = std::exp(logits[static_cast<std::size_t>(c)] - mx);
+        zsum += logits[static_cast<std::size_t>(c)];
+      }
+      // Gradient step.
+      const int y = labels[static_cast<std::size_t>(i)];
+      for (int c = 0; c < num_classes; ++c) {
+        const double p = logits[static_cast<std::size_t>(c)] / zsum;
+        const double g = p - (c == y ? 1.0 : 0.0);
+        if (g == 0.0) continue;
+        double* w = W.data() + static_cast<std::size_t>(c) * dim;
+        const double step = cur_lr * g;
+        for (int d = 0; d < dim; ++d) w[d] -= step * f[d];
+        B[static_cast<std::size_t>(c)] -= step;
+      }
+    }
+    cur_lr *= 0.95f;
+  }
+
+  // --- temperature normalization -------------------------------------------
+  // Rescale the trained head so train logits have s.d. ~2 (argmax- and
+  // margin-structure-preserving; keeps downstream numerics tidy).
+  {
+    double sum = 0.0, sumsq = 0.0;
+    std::int64_t count = 0;
+    for (int i = 0; i < images; ++i) {
+      const float* f = feats.data() + static_cast<std::size_t>(i) * dim;
+      for (int c = 0; c < num_classes; ++c) {
+        double z = B[static_cast<std::size_t>(c)];
+        const double* w = W.data() + static_cast<std::size_t>(c) * dim;
+        for (int d = 0; d < dim; ++d) z += w[d] * f[d];
+        sum += z;
+        sumsq += z * z;
+        ++count;
+      }
+    }
+    const double mean = sum / static_cast<double>(count);
+    const double sd = std::sqrt(std::max(sumsq / static_cast<double>(count) - mean * mean, 1e-12));
+    const double scale = 2.0 / sd;
+    for (double& w : W) w *= scale;
+    for (double& b : B) b *= scale;
+  }
+
+  // --- write back and measure train accuracy ------------------------------
+  for (int c = 0; c < num_classes; ++c)
+    for (int d = 0; d < dim; ++d)
+      (*weights)[static_cast<std::int64_t>(c) * dim + d] =
+          static_cast<float>(W[static_cast<std::size_t>(c) * dim + d]);
+  for (int c = 0; c < num_classes; ++c)
+    (*bias)[c] = static_cast<float>(B[static_cast<std::size_t>(c)]);
+
+  int hits = 0;
+  for (int i = 0; i < images; ++i) {
+    const float* f = feats.data() + static_cast<std::size_t>(i) * dim;
+    int best = 0;
+    double bv = -1e300;
+    for (int c = 0; c < num_classes; ++c) {
+      double z = B[static_cast<std::size_t>(c)];
+      const double* w = W.data() + static_cast<std::size_t>(c) * dim;
+      for (int d = 0; d < dim; ++d) z += w[d] * f[d];
+      if (z > bv) {
+        bv = z;
+        best = c;
+      }
+    }
+    if (best == labels[static_cast<std::size_t>(i)]) ++hits;
+  }
+  return static_cast<double>(hits) / images;
+}
+
+namespace zoo_detail {
+
+std::string add_conv(Network& net, const std::string& name, const std::string& input,
+                     int in_c, int out_c, int kernel, int stride, int pad, int groups) {
+  Conv2DLayer::Config cfg;
+  cfg.in_channels = in_c;
+  cfg.out_channels = out_c;
+  cfg.kernel_h = kernel;
+  cfg.kernel_w = kernel;
+  cfg.stride = stride;
+  cfg.pad = pad;
+  cfg.groups = groups;
+  net.add(name, std::make_unique<Conv2DLayer>(cfg), std::vector<std::string>{input});
+  return name;
+}
+
+std::string add_conv_relu(Network& net, const std::string& name, const std::string& input,
+                          int in_c, int out_c, int kernel, int stride, int pad, int groups) {
+  add_conv(net, name, input, in_c, out_c, kernel, stride, pad, groups);
+  const std::string relu_name = name + "_relu";
+  net.add(relu_name, std::make_unique<ReLULayer>(), std::vector<std::string>{name});
+  return relu_name;
+}
+
+std::string add_maxpool(Network& net, const std::string& name, const std::string& input,
+                        int kernel, int stride, int pad) {
+  PoolLayer::Config cfg;
+  cfg.mode = PoolLayer::Mode::kMax;
+  cfg.kernel = kernel;
+  cfg.stride = stride;
+  cfg.pad = pad;
+  net.add(name, std::make_unique<PoolLayer>(cfg), std::vector<std::string>{input});
+  return name;
+}
+
+std::string add_global_avgpool(Network& net, const std::string& name, const std::string& input) {
+  PoolLayer::Config cfg;
+  cfg.mode = PoolLayer::Mode::kAvg;
+  cfg.global = true;
+  net.add(name, std::make_unique<PoolLayer>(cfg), std::vector<std::string>{input});
+  return name;
+}
+
+std::string add_fc(Network& net, const std::string& name, const std::string& input,
+                   int in_features, int out_features) {
+  net.add(name, std::make_unique<InnerProductLayer>(in_features, out_features),
+          std::vector<std::string>{input});
+  return name;
+}
+
+void finish_model(ZooModel& model, const ZooOptions& opts, const FinishOptions& fin) {
+  Network& net = model.net;
+  if (!net.finalized()) net.finalize();
+  init_weights_he(net, opts.seed);
+
+  if (opts.calibration_images > 0) {
+    DatasetConfig dc;
+    dc.channels = model.channels;
+    dc.height = model.height;
+    dc.width = model.width;
+    dc.num_classes = model.num_classes;
+    dc.seed = opts.data_seed;
+    SyntheticImageDataset ds(dc);
+    const Tensor batch = ds.make_batch(0, opts.calibration_images);
+    calibrate_activations(net, batch);
+    if (opts.head_images > 0 &&
+        train_classifier_head(net, ds, model.num_classes, opts.head_images, opts.head_epochs,
+                              opts.head_lr, opts.seed ^ 0x4EADULL) >= 0.0) {
+      // Trained head: margins are real, no centering needed.
+    } else {
+      center_output_logits(net, batch);
+    }
+  }
+
+  model.analyzed.clear();
+  for (int id : net.analyzable_nodes()) {
+    if (!fin.include_fc && net.layer(id).kind() == LayerKind::kInnerProduct) continue;
+    model.analyzed.push_back(id);
+  }
+}
+
+}  // namespace zoo_detail
+}  // namespace mupod

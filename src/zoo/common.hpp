@@ -1,0 +1,39 @@
+// Internal helpers shared by the zoo builders.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/layers.hpp"
+#include "nn/network.hpp"
+#include "stats/rng.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod::zoo_detail {
+
+// Adds a convolution; returns the node name.
+std::string add_conv(Network& net, const std::string& name, const std::string& input,
+                     int in_c, int out_c, int kernel, int stride, int pad, int groups = 1);
+
+// Convolution followed by ReLU; returns the ReLU node name.
+std::string add_conv_relu(Network& net, const std::string& name, const std::string& input,
+                          int in_c, int out_c, int kernel, int stride, int pad, int groups = 1);
+
+std::string add_maxpool(Network& net, const std::string& name, const std::string& input,
+                        int kernel, int stride, int pad = 0);
+
+std::string add_global_avgpool(Network& net, const std::string& name, const std::string& input);
+
+std::string add_fc(Network& net, const std::string& name, const std::string& input,
+                   int in_features, int out_features);
+
+// Finishes a ZooModel: He init, finalize (done by builders), calibration,
+// and collection of analyzed nodes.
+struct FinishOptions {
+  bool include_fc = true;  // include fully connected layers in `analyzed`
+};
+
+void finish_model(::mupod::ZooModel& model, const ::mupod::ZooOptions& opts,
+                  const FinishOptions& fin);
+
+}  // namespace mupod::zoo_detail

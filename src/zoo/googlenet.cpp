@@ -1,0 +1,105 @@
+#include <memory>
+
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+using namespace zoo_detail;
+
+namespace {
+
+struct InceptionCfg {
+  int c1;   // 1x1 branch
+  int c3r;  // 3x3 reduce
+  int c3;   // 3x3
+  int c5r;  // 5x5 reduce
+  int c5;   // 5x5
+  int pp;   // pool projection
+  int out() const { return c1 + c3 + c5 + pp; }
+};
+
+// One inception module: 6 convolutions + concat.
+std::string inception(Network& net, const std::string& name, const std::string& input,
+                      int in_c, const InceptionCfg& cfg) {
+  const std::string b1 = add_conv_relu(net, name + "_1x1", input, in_c, cfg.c1, 1, 1, 0);
+  std::string b3 = add_conv_relu(net, name + "_3x3r", input, in_c, cfg.c3r, 1, 1, 0);
+  b3 = add_conv_relu(net, name + "_3x3", b3, cfg.c3r, cfg.c3, 3, 1, 1);
+  std::string b5 = add_conv_relu(net, name + "_5x5r", input, in_c, cfg.c5r, 1, 1, 0);
+  b5 = add_conv_relu(net, name + "_5x5", b5, cfg.c5r, cfg.c5, 5, 1, 2);
+  PoolLayer::Config pc;
+  pc.mode = PoolLayer::Mode::kMax;
+  pc.kernel = 3;
+  pc.stride = 1;
+  pc.pad = 1;
+  net.add(name + "_pool", std::make_unique<PoolLayer>(pc), std::vector<std::string>{input});
+  const std::string bp = add_conv_relu(net, name + "_poolproj", name + "_pool", in_c, cfg.pp, 1, 1, 0);
+  net.add(name + "_concat", std::make_unique<ConcatLayer>(),
+          std::vector<std::string>{b1, b3, b5, bp});
+  return name + "_concat";
+}
+
+}  // namespace
+
+// GoogleNet (Inception v1) topology: 3 stem convolutions + 9 inception
+// modules x 6 convolutions = 57 analyzed layers, plus an excluded
+// classifier FC — the paper's "GoogleNet, 57 layers". Channel widths are
+// the originals divided by 8.
+ZooModel build_googlenet(const ZooOptions& opts) {
+  ZooModel m;
+  m.num_classes = opts.num_classes;
+  m.channels = 3;
+  m.height = 32;
+  m.width = 32;
+  Network& net = m.net;
+  net = Network("googlenet");
+
+  net.add_input("data", 3, 32, 32);
+  std::string top = add_conv_relu(net, "conv1", "data", 3, 16, 5, 2, 2);  // 16x16
+  top = add_maxpool(net, "pool1", top, 3, 2);                             // 8x8
+  top = add_conv_relu(net, "conv2_reduce", top, 16, 16, 1, 1, 0);
+  top = add_conv_relu(net, "conv2", top, 16, 48, 3, 1, 1);
+  top = add_maxpool(net, "pool2", top, 3, 2);                             // 4x4
+
+  int in_c = 48;
+  const InceptionCfg i3a{8, 12, 16, 2, 4, 4};
+  top = inception(net, "3a", top, in_c, i3a);
+  in_c = i3a.out();
+  const InceptionCfg i3b{16, 16, 24, 4, 12, 8};
+  top = inception(net, "3b", top, in_c, i3b);
+  in_c = i3b.out();
+  top = add_maxpool(net, "pool3", top, 3, 2);                             // 2x2
+
+  const InceptionCfg i4a{24, 12, 26, 2, 6, 8};
+  top = inception(net, "4a", top, in_c, i4a);
+  in_c = i4a.out();
+  const InceptionCfg i4b{20, 14, 28, 3, 8, 8};
+  top = inception(net, "4b", top, in_c, i4b);
+  in_c = i4b.out();
+  const InceptionCfg i4c{16, 16, 32, 3, 8, 8};
+  top = inception(net, "4c", top, in_c, i4c);
+  in_c = i4c.out();
+  const InceptionCfg i4d{14, 18, 36, 4, 8, 8};
+  top = inception(net, "4d", top, in_c, i4d);
+  in_c = i4d.out();
+  const InceptionCfg i4e{32, 20, 40, 4, 16, 16};
+  top = inception(net, "4e", top, in_c, i4e);
+  in_c = i4e.out();
+  top = add_maxpool(net, "pool4", top, 3, 2);                             // 1x1
+
+  const InceptionCfg i5a{32, 20, 40, 4, 16, 16};
+  top = inception(net, "5a", top, in_c, i5a);
+  in_c = i5a.out();
+  const InceptionCfg i5b{48, 24, 48, 6, 16, 16};
+  top = inception(net, "5b", top, in_c, i5b);
+  in_c = i5b.out();
+
+  top = add_global_avgpool(net, "gap", top);
+  add_fc(net, "fc", top, in_c, opts.num_classes);
+
+  net.finalize();
+  finish_model(m, opts, FinishOptions{.include_fc = false});
+  return m;
+}
+
+}  // namespace mupod

@@ -1,0 +1,50 @@
+#include <array>
+
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+using namespace zoo_detail;
+
+// MobileNet v1 topology: conv1 + 13 x (depthwise 3x3 + pointwise 1x1) + fc
+// = 28 analyzed layers (paper Table III). Depthwise convolutions use
+// groups == channels.
+ZooModel build_mobilenet(const ZooOptions& opts) {
+  ZooModel m;
+  m.num_classes = opts.num_classes;
+  m.channels = 3;
+  m.height = 32;
+  m.width = 32;
+  Network& net = m.net;
+  net = Network("mobilenet");
+
+  net.add_input("data", 3, 32, 32);
+  std::string top = add_conv_relu(net, "conv1", "data", 3, 8, 3, 2, 1);  // 16x16
+
+  // (depthwise stride, pointwise out channels)
+  const std::array<std::pair<int, int>, 13> stages = {{
+      {1, 16}, {2, 32}, {1, 32}, {2, 64}, {1, 64}, {2, 128}, {1, 128},
+      {1, 128}, {1, 128}, {1, 128}, {1, 128}, {2, 256}, {1, 256},
+  }};
+
+  int in_c = 8;
+  int idx = 0;
+  for (const auto& [stride, out_c] : stages) {
+    ++idx;
+    const std::string dw = "dw" + std::to_string(idx);
+    const std::string pw = "pw" + std::to_string(idx);
+    top = add_conv_relu(net, dw, top, in_c, in_c, 3, stride, 1, /*groups=*/in_c);
+    top = add_conv_relu(net, pw, top, in_c, out_c, 1, 1, 0);
+    in_c = out_c;
+  }
+
+  top = add_global_avgpool(net, "gap", top);
+  add_fc(net, "fc", top, in_c, opts.num_classes);
+
+  net.finalize();
+  finish_model(m, opts, FinishOptions{.include_fc = true});
+  return m;
+}
+
+}  // namespace mupod

@@ -1,0 +1,48 @@
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+using namespace zoo_detail;
+
+// Network-in-Network: 4 blocks of (conv, 1x1 cccp, 1x1 cccp) = 12 analyzed
+// convolutions, global average pooling classifier, no fully connected
+// layers — matching the paper's "NiN, 12 layers" (Fig. 4).
+ZooModel build_nin(const ZooOptions& opts) {
+  ZooModel m;
+  m.num_classes = opts.num_classes;
+  m.channels = 3;
+  m.height = 32;
+  m.width = 32;
+  Network& net = m.net;
+  net = Network("nin");
+
+  net.add_input("data", 3, 32, 32);
+  std::string top = add_conv_relu(net, "conv1", "data", 3, 24, 5, 1, 2);
+  top = add_conv_relu(net, "cccp1", top, 24, 24, 1, 1, 0);
+  top = add_conv_relu(net, "cccp2", top, 24, 16, 1, 1, 0);
+  top = add_maxpool(net, "pool1", top, 3, 2);  // 16x16
+
+  top = add_conv_relu(net, "conv2", top, 16, 32, 5, 1, 2);
+  top = add_conv_relu(net, "cccp3", top, 32, 32, 1, 1, 0);
+  top = add_conv_relu(net, "cccp4", top, 32, 32, 1, 1, 0);
+  top = add_maxpool(net, "pool2", top, 3, 2);  // 8x8
+
+  top = add_conv_relu(net, "conv3", top, 32, 48, 3, 1, 1);
+  top = add_conv_relu(net, "cccp5", top, 48, 48, 1, 1, 0);
+  top = add_conv_relu(net, "cccp6", top, 48, 48, 1, 1, 0);
+  top = add_maxpool(net, "pool3", top, 3, 2);  // 4x4
+
+  top = add_conv_relu(net, "conv4", top, 48, 64, 3, 1, 1);
+  top = add_conv_relu(net, "cccp7", top, 64, 64, 1, 1, 0);
+  // The classifier head stays linear (no ReLU) so the global average pool
+  // yields unclipped class logits — see center_output_logits().
+  top = add_conv(net, "cccp8", top, 64, opts.num_classes, 1, 1, 0);
+  add_global_avgpool(net, "gap", top);
+
+  net.finalize();
+  finish_model(m, opts, FinishOptions{.include_fc = true});
+  return m;
+}
+
+}  // namespace mupod

@@ -1,0 +1,25 @@
+#include <stdexcept>
+
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+std::vector<std::string> zoo_model_names() {
+  return {"alexnet",  "nin",       "googlenet",  "vgg19",
+          "resnet50", "resnet152", "squeezenet", "mobilenet"};
+}
+
+ZooModel build_model(const std::string& name, const ZooOptions& opts) {
+  if (name == "tiny") return build_tiny_cnn(opts);
+  if (name == "alexnet") return build_alexnet(opts);
+  if (name == "nin") return build_nin(opts);
+  if (name == "googlenet") return build_googlenet(opts);
+  if (name == "vgg19") return build_vgg19(opts);
+  if (name == "resnet50") return build_resnet50(opts);
+  if (name == "resnet152") return build_resnet152(opts);
+  if (name == "squeezenet") return build_squeezenet(opts);
+  if (name == "mobilenet") return build_mobilenet(opts);
+  throw std::invalid_argument("unknown zoo model: " + name);
+}
+
+}  // namespace mupod

@@ -1,0 +1,80 @@
+#include <memory>
+#include <vector>
+
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+using namespace zoo_detail;
+
+namespace {
+
+// Pre-activation-free (v1) bottleneck: 1x1 -> 3x3 -> 1x1 with a shortcut
+// (identity, or 1x1 projection when the geometry changes). 3 convolutions
+// per block + 1 projection conv per stage.
+std::string bottleneck(Network& net, const std::string& name, const std::string& input,
+                       int in_c, int mid_c, int out_c, int stride, bool project) {
+  std::string t = add_conv_relu(net, name + "_a", input, in_c, mid_c, 1, stride, 0);
+  t = add_conv_relu(net, name + "_b", t, mid_c, mid_c, 3, 1, 1);
+  t = add_conv(net, name + "_c", t, mid_c, out_c, 1, 1, 0);
+  std::string shortcut = input;
+  if (project) {
+    shortcut = add_conv(net, name + "_proj", input, in_c, out_c, 1, stride, 0);
+  }
+  net.add(name + "_add", std::make_unique<EltwiseAddLayer>(),
+          std::vector<std::string>{t, shortcut});
+  net.add(name + "_relu", std::make_unique<ReLULayer>(), std::vector<std::string>{name + "_add"});
+  return name + "_relu";
+}
+
+ZooModel build_resnet(const std::string& name, const std::vector<int>& blocks,
+                      const ZooOptions& opts) {
+  ZooModel m;
+  m.num_classes = opts.num_classes;
+  m.channels = 3;
+  m.height = 32;
+  m.width = 32;
+  Network& net = m.net;
+  net = Network(name);
+
+  net.add_input("data", 3, 32, 32);
+  std::string top = add_conv_relu(net, "conv1", "data", 3, 16, 5, 2, 2);  // 16x16
+  top = add_maxpool(net, "pool1", top, 3, 2);                             // 8x8
+
+  const int mids[4] = {8, 16, 32, 64};
+  int in_c = 16;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int mid = mids[stage];
+    const int out = mid * 4;
+    const int stage_stride = stage == 0 ? 1 : 2;
+    for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+      const std::string bname = "s" + std::to_string(stage + 1) + "b" + std::to_string(b + 1);
+      const bool first = b == 0;
+      top = bottleneck(net, bname, top, in_c, mid, out, first ? stage_stride : 1, first);
+      in_c = out;
+    }
+  }
+  top = add_global_avgpool(net, "gap", top);
+  add_fc(net, "fc", top, in_c, opts.num_classes);
+
+  net.finalize();
+  finish_model(m, opts, FinishOptions{.include_fc = true});
+  return m;
+}
+
+}  // namespace
+
+// ResNet-50: 1 stem + 16 blocks x 3 + 4 projections + fc = 54 analyzed
+// layers (paper Table III).
+ZooModel build_resnet50(const ZooOptions& opts) {
+  return build_resnet("resnet50", {3, 4, 6, 3}, opts);
+}
+
+// ResNet-152: 1 stem + 50 blocks x 3 + 4 projections + fc = 156 analyzed
+// layers — the deepest network in the paper ("hitherto not achievable").
+ZooModel build_resnet152(const ZooOptions& opts) {
+  return build_resnet("resnet152", {3, 8, 36, 3}, opts);
+}
+
+}  // namespace mupod

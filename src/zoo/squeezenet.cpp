@@ -1,0 +1,61 @@
+#include <memory>
+
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+using namespace zoo_detail;
+
+namespace {
+
+// Fire module: squeeze 1x1 -> (expand 1x1 || expand 3x3) -> concat.
+// 3 convolutions per module.
+std::string fire(Network& net, const std::string& name, const std::string& input,
+                 int in_c, int s, int e1, int e3) {
+  const std::string sq = add_conv_relu(net, name + "_squeeze", input, in_c, s, 1, 1, 0);
+  const std::string x1 = add_conv_relu(net, name + "_expand1", sq, s, e1, 1, 1, 0);
+  const std::string x3 = add_conv_relu(net, name + "_expand3", sq, s, e3, 3, 1, 1);
+  net.add(name + "_concat", std::make_unique<ConcatLayer>(), std::vector<std::string>{x1, x3});
+  return name + "_concat";
+}
+
+}  // namespace
+
+// SqueezeNet v1.0 topology: conv1 + 8 fire modules x 3 + conv10 = 26
+// analyzed layers, global-average-pool classifier (no FC).
+ZooModel build_squeezenet(const ZooOptions& opts) {
+  ZooModel m;
+  m.num_classes = opts.num_classes;
+  m.channels = 3;
+  m.height = 32;
+  m.width = 32;
+  Network& net = m.net;
+  net = Network("squeezenet");
+
+  net.add_input("data", 3, 32, 32);
+  std::string top = add_conv_relu(net, "conv1", "data", 3, 16, 3, 2, 1);  // 16x16
+  top = add_maxpool(net, "pool1", top, 3, 2);                             // 8x8
+
+  top = fire(net, "fire2", top, 16, 2, 8, 8);    // out 16
+  top = fire(net, "fire3", top, 16, 2, 8, 8);    // out 16
+  top = fire(net, "fire4", top, 16, 4, 16, 16);  // out 32
+  top = add_maxpool(net, "pool4", top, 3, 2);    // 4x4
+
+  top = fire(net, "fire5", top, 32, 4, 16, 16);  // out 32
+  top = fire(net, "fire6", top, 32, 6, 24, 24);  // out 48
+  top = fire(net, "fire7", top, 48, 6, 24, 24);  // out 48
+  top = fire(net, "fire8", top, 48, 8, 32, 32);  // out 64
+  top = add_maxpool(net, "pool8", top, 3, 2);    // 2x2
+
+  top = fire(net, "fire9", top, 64, 8, 32, 32);  // out 64
+  // Linear classifier head (no ReLU) so logits are unclipped class scores.
+  top = add_conv(net, "conv10", top, 64, opts.num_classes, 1, 1, 0);
+  add_global_avgpool(net, "gap", top);
+
+  net.finalize();
+  finish_model(m, opts, FinishOptions{.include_fc = true});
+  return m;
+}
+
+}  // namespace mupod

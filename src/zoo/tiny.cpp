@@ -1,0 +1,33 @@
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+using namespace zoo_detail;
+
+// A 4-analyzable-layer CNN on 16x16 inputs: the workhorse of the unit and
+// property tests, small enough that a full profiling run takes milliseconds.
+ZooModel build_tiny_cnn(const ZooOptions& opts) {
+  ZooModel m;
+  m.num_classes = opts.num_classes;
+  m.channels = 3;
+  m.height = 16;
+  m.width = 16;
+  Network& net = m.net;
+  net = Network("tiny_cnn");
+
+  net.add_input("data", 3, 16, 16);
+  std::string top = add_conv_relu(net, "conv1", "data", 3, 8, 3, 1, 1);
+  top = add_maxpool(net, "pool1", top, 2, 2);                       // 8x8
+  top = add_conv_relu(net, "conv2", top, 8, 16, 3, 1, 1);
+  top = add_maxpool(net, "pool2", top, 2, 2);                       // 4x4
+  top = add_conv_relu(net, "conv3", top, 16, 32, 3, 1, 1);
+  top = add_global_avgpool(net, "gap", top);
+  add_fc(net, "fc", top, 32, opts.num_classes);
+
+  net.finalize();
+  finish_model(m, opts, FinishOptions{.include_fc = true});
+  return m;
+}
+
+}  // namespace mupod

@@ -1,0 +1,50 @@
+#include <memory>
+
+#include "zoo/common.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+
+using namespace zoo_detail;
+
+namespace {
+std::string vgg_block(Network& net, const std::string& name, std::string top, int convs,
+                      int in_c, int out_c) {
+  for (int i = 1; i <= convs; ++i) {
+    top = add_conv_relu(net, name + "_" + std::to_string(i), top,
+                        i == 1 ? in_c : out_c, out_c, 3, 1, 1);
+  }
+  return add_maxpool(net, name + "_pool", top, 2, 2);
+}
+}  // namespace
+
+// VGG-19 topology: 16 analyzed 3x3 convolutions in blocks of (2,2,4,4,4)
+// plus 3 excluded fully connected layers (the paper's "VGG-19, 16 layers").
+ZooModel build_vgg19(const ZooOptions& opts) {
+  ZooModel m;
+  m.num_classes = opts.num_classes;
+  m.channels = 3;
+  m.height = 32;
+  m.width = 32;
+  Network& net = m.net;
+  net = Network("vgg19");
+
+  net.add_input("data", 3, 32, 32);
+  std::string top = vgg_block(net, "block1", "data", 2, 3, 16);     // 16x16
+  top = vgg_block(net, "block2", top, 2, 16, 32);                   // 8x8
+  top = vgg_block(net, "block3", top, 4, 32, 64);                   // 4x4
+  top = vgg_block(net, "block4", top, 4, 64, 128);                  // 2x2
+  top = vgg_block(net, "block5", top, 4, 128, 128);                 // 1x1
+
+  top = add_fc(net, "fc6", top, 128, 128);
+  net.add("relu6", std::make_unique<ReLULayer>(), std::vector<std::string>{top});
+  top = add_fc(net, "fc7", "relu6", 128, 128);
+  net.add("relu7", std::make_unique<ReLULayer>(), std::vector<std::string>{top});
+  add_fc(net, "fc8", "relu7", 128, opts.num_classes);
+
+  net.finalize();
+  finish_model(m, opts, FinishOptions{.include_fc = false});
+  return m;
+}
+
+}  // namespace mupod

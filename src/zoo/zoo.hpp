@@ -1,0 +1,97 @@
+// Model zoo: programmatic builders for the eight CNN topologies of the
+// paper's evaluation (Table III), plus small networks for tests and
+// examples.
+//
+// Substitution note (see DESIGN.md): the paper uses ImageNet-scale
+// pretrained Caffe models. We reconstruct the same *topologies* — same
+// layer structure and analyzable-layer counts (AlexNet 5, NiN 12,
+// GoogleNet 57, VGG-19 16, ResNet-50 54, ResNet-152 156, SqueezeNet 26,
+// MobileNet 28) — at reduced spatial/channel scale, with deterministic
+// He-initialized weights passed through an LSUV-style activation
+// calibration so per-layer activation statistics resemble a trained
+// network's. The paper's method only consumes those statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "nn/network.hpp"
+
+namespace mupod {
+
+struct ZooOptions {
+  int num_classes = 100;
+  std::uint64_t seed = 1234;
+  // Seed of the synthetic data distribution used for calibration and head
+  // training. MUST match the dataset the model will be evaluated on:
+  // the trained classifier head is specific to that distribution's class
+  // prototypes (just like pretrained weights are specific to ImageNet).
+  std::uint64_t data_seed = 42;
+  // Images used by the LSUV-style activation calibration (0 disables it).
+  int calibration_images = 16;
+  // Images used to train the classifier head (0 disables head training).
+  // With a trained head the network has genuine decision margins, so the
+  // accuracy-vs-noise behaviour matches a trained model's: few images sit
+  // at near-zero margin and small noise budgets remain usable — the
+  // regime the paper's 1% experiments operate in. (Backbone features stay
+  // calibrated-random; only the final linear classifier is fit.)
+  int head_images = 256;
+  int head_epochs = 30;
+  float head_lr = 0.5f;
+};
+
+struct ZooModel {
+  Network net;
+  // Node ids whose input precision the optimizer allocates. Matches the
+  // paper's per-network layer counts: for AlexNet and VGG-19 the fully
+  // connected layers are excluded ("Stripes ignored the fully connected
+  // layers, so we did the same").
+  std::vector<int> analyzed;
+  int num_classes = 0;
+  // Input geometry.
+  int channels = 3, height = 32, width = 32;
+};
+
+ZooModel build_tiny_cnn(const ZooOptions& opts = {});  // 3 conv + 1 fc, 16x16 input
+ZooModel build_alexnet(const ZooOptions& opts = {});
+ZooModel build_nin(const ZooOptions& opts = {});
+ZooModel build_googlenet(const ZooOptions& opts = {});
+ZooModel build_vgg19(const ZooOptions& opts = {});
+ZooModel build_resnet50(const ZooOptions& opts = {});
+ZooModel build_resnet152(const ZooOptions& opts = {});
+ZooModel build_squeezenet(const ZooOptions& opts = {});
+ZooModel build_mobilenet(const ZooOptions& opts = {});
+
+// Names accepted by build_model, in the order of the paper's Table III.
+std::vector<std::string> zoo_model_names();
+ZooModel build_model(const std::string& name, const ZooOptions& opts = {});
+
+// LSUV-style calibration: walks analyzable layers in topological order and
+// rescales each layer's weights so its output activations have s.d.
+// ~= target_std on the calibration batch. Replaces the role of trained
+// weight magnitudes for the statistical analysis.
+void calibrate_activations(Network& net, const Tensor& calib_batch, double target_std = 1.0);
+
+// Removes the class prior of a randomly-initialized classifier: subtracts
+// the per-class mean logit (over the calibration batch) from the bias of
+// the layer producing the logits. Without this, an uncalibrated random
+// net predicts one dominant class for every input, which makes argmax
+// agreement insensitive to noise — unlike any trained network. Requires
+// the path from that layer to the output to be linear (global average
+// pool / flatten only). Returns false if no such bias was found.
+bool center_output_logits(Network& net, const Tensor& calib_batch);
+
+// Trains the logits-producing layer (fc, or 1x1 conv feeding a global
+// average pool) as a softmax regression on the synthetic labels, using
+// features produced by the (frozen) backbone. Returns the final training
+// accuracy, or a negative value when no trainable head was found.
+double train_classifier_head(Network& net, const SyntheticImageDataset& dataset,
+                             int num_classes, int images, int epochs, float lr,
+                             std::uint64_t seed);
+
+// He-style random init of every conv / fc in the network (biases zero).
+void init_weights_he(Network& net, std::uint64_t seed);
+
+}  // namespace mupod

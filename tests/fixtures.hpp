@@ -1,0 +1,48 @@
+// Shared expensive fixtures for the core-pipeline tests: a calibrated tiny
+// CNN with its dataset and analysis harness, built once per test binary.
+#pragma once
+
+#include <memory>
+
+#include "core/harness.hpp"
+#include "data/synthetic.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod::testfix {
+
+struct TinyFixture {
+  ZooModel model;
+  std::unique_ptr<SyntheticImageDataset> dataset;
+  std::unique_ptr<AnalysisHarness> harness;
+};
+
+inline const TinyFixture& tiny() {
+  static TinyFixture* fix = [] {
+    auto* f = new TinyFixture();
+    ZooOptions zo;
+    zo.num_classes = 10;
+    zo.seed = 2024;
+    zo.data_seed = 99;  // matches the harness dataset below
+    zo.calibration_images = 8;
+    f->model = build_tiny_cnn(zo);
+
+    DatasetConfig dc;
+    dc.num_classes = 10;
+    dc.channels = f->model.channels;
+    dc.height = f->model.height;
+    dc.width = f->model.width;
+    dc.seed = 99;
+    f->dataset = std::make_unique<SyntheticImageDataset>(dc);
+
+    HarnessConfig hc;
+    hc.profile_images = 32;
+    hc.eval_images = 256;
+    hc.batch = 64;
+    f->harness = std::make_unique<AnalysisHarness>(f->model.net, f->model.analyzed,
+                                                   *f->dataset, hc);
+    return f;
+  }();
+  return *fix;
+}
+
+}  // namespace mupod::testfix

@@ -1,0 +1,103 @@
+#include "hw/accelerator_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+ZooModel small_model() {
+  ZooOptions opts;
+  opts.calibration_images = 0;
+  return build_nin(opts);
+}
+
+std::vector<int> uniform_bits(std::size_t n, int b) { return std::vector<int>(n, b); }
+
+TEST(AcceleratorSim, BaselinePrecisionGivesUnitSpeedup) {
+  const ZooModel m = small_model();
+  const AcceleratorConfig cfg = AcceleratorConfig::stripes_like();
+  const auto r = simulate_network(cfg, m.net, m.analyzed,
+                                  uniform_bits(m.analyzed.size(), cfg.baseline_bits), 16);
+  EXPECT_NEAR(r.speedup_vs_baseline, 1.0, 1e-9);
+}
+
+TEST(AcceleratorSim, SpeedupScalesWithActivationBits) {
+  // The paper's performance claim: Stripes' throughput scales ~linearly
+  // with effective activation bitwidth.
+  const ZooModel m = small_model();
+  const AcceleratorConfig cfg = AcceleratorConfig::stripes_like();
+  const auto full = simulate_network(cfg, m.net, m.analyzed,
+                                     uniform_bits(m.analyzed.size(), 16), 16);
+  const auto half = simulate_network(cfg, m.net, m.analyzed,
+                                     uniform_bits(m.analyzed.size(), 8), 16);
+  // Compute-bound layers run exactly 2x faster at half precision.
+  EXPECT_NEAR(half.speedup_vs_baseline / full.speedup_vs_baseline, 2.0, 0.25);
+}
+
+TEST(AcceleratorSim, LoomBenefitsFromWeightBitsToo) {
+  const ZooModel m = small_model();
+  const auto loom = AcceleratorConfig::loom_like();
+  const auto bits = uniform_bits(m.analyzed.size(), 8);
+  const auto w16 = simulate_network(loom, m.net, m.analyzed, bits, 16);
+  const auto w8 = simulate_network(loom, m.net, m.analyzed, bits, 8);
+  EXPECT_LT(w8.total_cycles, w16.total_cycles);
+  // Stripes is indifferent to weight bits in cycles.
+  const auto stripes = AcceleratorConfig::stripes_like();
+  EXPECT_DOUBLE_EQ(simulate_network(stripes, m.net, m.analyzed, bits, 16).total_cycles,
+                   simulate_network(stripes, m.net, m.analyzed, bits, 8).total_cycles);
+}
+
+TEST(AcceleratorSim, PerLayerResultsAreConsistent) {
+  const ZooModel m = small_model();
+  const AcceleratorConfig cfg = AcceleratorConfig::stripes_like();
+  std::vector<int> bits(m.analyzed.size(), 6);
+  const auto r = simulate_network(cfg, m.net, m.analyzed, bits, 10);
+  ASSERT_EQ(r.layers.size(), m.analyzed.size());
+  double cycles = 0.0, energy = 0.0;
+  for (const auto& l : r.layers) {
+    EXPECT_EQ(l.cycles, std::max(l.compute_cycles, l.bandwidth_cycles));
+    EXPECT_GT(l.macs, 0);
+    EXPECT_GT(l.energy, 0.0);
+    cycles += l.cycles;
+    energy += l.energy;
+  }
+  EXPECT_DOUBLE_EQ(cycles, r.total_cycles);
+  EXPECT_DOUBLE_EQ(energy, r.total_energy);
+}
+
+TEST(AcceleratorSim, BandwidthCeilingBindsWhenStarved) {
+  const ZooModel m = small_model();
+  AcceleratorConfig cfg = AcceleratorConfig::stripes_like();
+  cfg.offchip_bits_per_cycle = 0.25;  // absurdly slow memory
+  const auto r = simulate_network(cfg, m.net, m.analyzed,
+                                  uniform_bits(m.analyzed.size(), 8), 16);
+  for (const auto& l : r.layers) EXPECT_TRUE(l.bandwidth_bound);
+}
+
+TEST(AcceleratorSim, LowerBitsNeverSlower) {
+  const ZooModel m = small_model();
+  const AcceleratorConfig cfg = AcceleratorConfig::stripes_like();
+  double prev = 1e300;
+  for (int b : {16, 12, 8, 6, 4, 2}) {
+    const auto r = simulate_network(cfg, m.net, m.analyzed,
+                                    uniform_bits(m.analyzed.size(), b), 16);
+    EXPECT_LE(r.total_cycles, prev);
+    prev = r.total_cycles;
+  }
+}
+
+TEST(AcceleratorSim, BitsClampedToValidRange) {
+  const ZooModel m = small_model();
+  const AcceleratorConfig cfg = AcceleratorConfig::stripes_like();
+  std::vector<int> crazy(m.analyzed.size(), 99);
+  const auto r = simulate_network(cfg, m.net, m.analyzed, crazy, 99);
+  for (const auto& l : r.layers) {
+    EXPECT_LE(l.activation_bits, cfg.baseline_bits);
+    EXPECT_GE(l.activation_bits, 1);
+  }
+}
+
+}  // namespace
+}  // namespace mupod

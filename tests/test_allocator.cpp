@@ -1,0 +1,164 @@
+#include "core/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numeric>
+
+#include "core/sigma_search.hpp"
+#include "fixtures.hpp"
+
+namespace mupod {
+namespace {
+
+using testfix::tiny;
+
+const std::vector<LayerLinearModel>& models() {
+  static const std::vector<LayerLinearModel>* m = [] {
+    ProfilerConfig cfg;
+    cfg.points = 8;
+    return new std::vector<LayerLinearModel>(profile_lambda_theta(*tiny().harness, cfg));
+  }();
+  return *m;
+}
+
+ObjectiveSpec unit_objective(std::size_t n) {
+  ObjectiveSpec s;
+  s.name = "unit";
+  s.rho.assign(n, 1);
+  return s;
+}
+
+TEST(ClosedFormXi, ProportionalToRho) {
+  const std::vector<double> xi = closed_form_xi({1, 2, 3, 4});
+  EXPECT_NEAR(xi[0], 0.1, 1e-9);
+  EXPECT_NEAR(xi[3], 0.4, 1e-9);
+  EXPECT_NEAR(std::accumulate(xi.begin(), xi.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(ClosedFormXi, ZeroRhoFallsBackToUniform) {
+  const std::vector<double> xi = closed_form_xi({0, 0, 0});
+  for (double x : xi) EXPECT_NEAR(x, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Objective, PenalizesSmallDeltas) {
+  const std::vector<double> uniform(models().size(), 1.0 / models().size());
+  std::vector<double> skewed = uniform;
+  skewed[0] = 1e-4;
+  skewed[1] += uniform[0] - 1e-4;
+  const std::vector<std::int64_t> rho(models().size(), 1);
+  // Shrinking xi_0 shrinks Delta_0, costing bits on layer 0.
+  const double f_uniform = allocation_objective(models(), 0.3, rho, uniform);
+  const double f_skewed = allocation_objective(models(), 0.3, rho, skewed);
+  EXPECT_GT(f_skewed, f_uniform);
+}
+
+TEST(Allocator, XiSumsToOne) {
+  for (XiSolver solver : {XiSolver::kProjectedGradient, XiSolver::kSqp, XiSolver::kClosedForm}) {
+    AllocatorConfig cfg;
+    cfg.solver = solver;
+    const BitwidthAllocation a = allocate_bitwidths(
+        models(), 0.3, tiny().harness->input_ranges(), unit_objective(models().size()), cfg);
+    EXPECT_NEAR(std::accumulate(a.xi.begin(), a.xi.end(), 0.0), 1.0, 1e-6);
+    for (double x : a.xi) EXPECT_GE(x, cfg.min_xi - 1e-9);
+  }
+}
+
+TEST(Allocator, SolversAgreeOnObjectiveValue) {
+  // On the paper's objective all three solvers should land on solutions of
+  // nearly equal quality (theta is small after profiling).
+  ObjectiveSpec obj;
+  obj.name = "macs";
+  obj.rho = {100, 400, 1600, 200};
+  double best = 1e300, worst = -1e300;
+  for (XiSolver solver : {XiSolver::kProjectedGradient, XiSolver::kSqp, XiSolver::kClosedForm}) {
+    AllocatorConfig cfg;
+    cfg.solver = solver;
+    const BitwidthAllocation a =
+        allocate_bitwidths(models(), 0.3, tiny().harness->input_ranges(), obj, cfg);
+    best = std::min(best, a.objective_value);
+    worst = std::max(worst, a.objective_value);
+  }
+  EXPECT_LT(worst - best, std::fabs(best) * 0.02 + 1.0);
+}
+
+TEST(Allocator, HeavierRhoGetsMoreBudget) {
+  // A layer with dominant cost weight must receive the largest xi (it is
+  // the one whose bits the objective most wants to cut, and more error
+  // budget means fewer bits).
+  ObjectiveSpec obj;
+  obj.name = "skewed";
+  obj.rho = {1, 1, 1000, 1};
+  AllocatorConfig cfg;
+  cfg.solver = XiSolver::kProjectedGradient;
+  const BitwidthAllocation a =
+      allocate_bitwidths(models(), 0.3, tiny().harness->input_ranges(), obj, cfg);
+  for (std::size_t k = 0; k < a.xi.size(); ++k) {
+    if (k == 2) continue;
+    EXPECT_GT(a.xi[2], a.xi[k]);
+  }
+}
+
+TEST(Allocator, BitsDecreaseWithLargerSigmaBudget) {
+  const ObjectiveSpec obj = unit_objective(models().size());
+  const BitwidthAllocation tight =
+      allocate_bitwidths(models(), 0.05, tiny().harness->input_ranges(), obj);
+  const BitwidthAllocation loose =
+      allocate_bitwidths(models(), 0.8, tiny().harness->input_ranges(), obj);
+  for (std::size_t k = 0; k < tight.bits.size(); ++k) {
+    EXPECT_GE(tight.bits[k], loose.bits[k]) << "layer " << k;
+  }
+}
+
+TEST(Allocator, FormatsConsistentWithDeltasAndRanges) {
+  const BitwidthAllocation a = allocate_bitwidths(models(), 0.3, tiny().harness->input_ranges(),
+                                                  unit_objective(models().size()));
+  for (std::size_t k = 0; k < a.formats.size(); ++k) {
+    // The derived format's worst-case error must not exceed requested Delta.
+    EXPECT_LE(a.formats[k].delta(), a.deltas[k] * (1.0 + 1e-9));
+    EXPECT_EQ(a.formats[k].integer_bits,
+              FixedPointFormat::integer_bits_for_range(tiny().harness->input_ranges()[k]));
+    EXPECT_EQ(a.bits[k], a.formats[k].total_bits());
+    EXPECT_GE(a.bits[k], 1);
+  }
+}
+
+TEST(Allocator, ValidatedAccuracyMeetsConstraint) {
+  // End-to-end: allocate under a 5% budget and verify with REAL fixed
+  // point quantization of every analyzed layer's input.
+  SigmaSearchConfig scfg;
+  scfg.relative_accuracy_drop = 0.05;
+  const SigmaSearchResult sres = search_sigma_yl(*tiny().harness, models(), scfg);
+  ASSERT_GT(sres.sigma_yl, 0.0);
+
+  const BitwidthAllocation a = allocate_bitwidths(
+      models(), sres.sigma_yl, tiny().harness->input_ranges(), unit_objective(models().size()));
+  const auto inject = quantization_for_formats(models(), a.formats);
+  const double acc = tiny().harness->accuracy_with_injection(inject);
+  // Raw allocation (no refinement loop): the integer polish spends the
+  // full Eq. 6 budget, so validated accuracy can land slightly below the
+  // target; the pipeline-level test asserts the strict constraint with
+  // refinement enabled.
+  EXPECT_GE(acc, 0.95 - 0.05);
+}
+
+TEST(Allocator, InjectionHelpersCoverAllLayers) {
+  const BitwidthAllocation a = allocate_bitwidths(models(), 0.3, tiny().harness->input_ranges(),
+                                                  unit_objective(models().size()));
+  EXPECT_EQ(injection_for_formats(models(), a.formats).size(), models().size());
+  EXPECT_EQ(quantization_for_formats(models(), a.formats).size(), models().size());
+}
+
+TEST(FormatsForBits, DerivesIntegerPartFromRange) {
+  const std::vector<double> ranges = {161.0, 1.0};
+  const std::vector<int> bits = {9, 6};
+  const auto fmts = formats_for_bits(ranges, bits);
+  EXPECT_EQ(fmts[0].integer_bits, 9);
+  EXPECT_EQ(fmts[0].fraction_bits, 0);
+  EXPECT_EQ(fmts[1].integer_bits, 1);
+  EXPECT_EQ(fmts[1].fraction_bits, 5);
+}
+
+}  // namespace
+}  // namespace mupod

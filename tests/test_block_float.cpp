@@ -1,0 +1,108 @@
+#include "quant/block_float.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace mupod {
+namespace {
+
+Tensor random_tensor(std::int64_t n, double scale, std::uint64_t seed) {
+  Tensor t(Shape({static_cast<int>(n)}));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < n; ++i)
+    t[i] = static_cast<float>(rng.gaussian(0.0, scale));
+  return t;
+}
+
+TEST(BlockFloat, ErrorBoundedByBlockDelta) {
+  BlockFloatFormat fmt{.mantissa_bits = 6, .block_size = 8};
+  Tensor t = random_tensor(512, 3.0, 1);
+  Tensor q = t;
+  quantize_tensor_bfp(q, fmt);
+  for (std::int64_t b = 0; b < t.numel(); b += fmt.block_size) {
+    double block_max = 0.0;
+    for (int i = 0; i < fmt.block_size; ++i)
+      block_max = std::max(block_max, std::fabs(static_cast<double>(t[b + i])));
+    const double bound = bfp_delta_for_block_max(block_max, fmt) * (1 + 1e-9) + 1e-12;
+    for (int i = 0; i < fmt.block_size; ++i)
+      EXPECT_LE(std::fabs(q[b + i] - t[b + i]), bound) << b + i;
+  }
+}
+
+TEST(BlockFloat, ZeroBlockUntouched) {
+  BlockFloatFormat fmt{.mantissa_bits = 4, .block_size = 4};
+  Tensor t(Shape({8}), 0.0f);
+  quantize_tensor_bfp(t, fmt);
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(BlockFloat, MoreMantissaBitsSmallerError) {
+  Tensor t = random_tensor(4096, 1.0, 2);
+  double prev = 1e300;
+  for (int m : {4, 6, 8, 10}) {
+    BlockFloatFormat fmt{.mantissa_bits = m, .block_size = 16};
+    const BfpErrorStats st = bfp_error_stats(t, fmt);
+    EXPECT_LT(st.stddev, prev);
+    prev = st.stddev;
+  }
+}
+
+TEST(BlockFloat, SmallerBlocksTrackLocalScale) {
+  // With mixed-scale data, small blocks adapt their exponent: on the
+  // LOW-scale segments the error must shrink by roughly the scale ratio
+  // (the global stddev is dominated by the high-scale segments, where
+  // both block sizes behave identically).
+  Tensor t(Shape({4096}));
+  Rng rng(3);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const double scale = (i / 64) % 2 == 0 ? 0.01 : 10.0;
+    t[i] = static_cast<float>(rng.gaussian(0.0, scale));
+  }
+  BlockFloatFormat small{.mantissa_bits = 6, .block_size = 8};
+  BlockFloatFormat large{.mantissa_bits = 6, .block_size = 1024};
+
+  const auto low_scale_error = [&](const BlockFloatFormat& fmt) {
+    Tensor q = t;
+    quantize_tensor_bfp(q, fmt);
+    double acc = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      if ((i / 64) % 2 != 0) continue;  // low-scale segments only
+      const double e = static_cast<double>(q[i]) - t[i];
+      acc += e * e;
+      ++n;
+    }
+    return std::sqrt(acc / static_cast<double>(n));
+  };
+  EXPECT_LT(low_scale_error(small), low_scale_error(large) * 0.1);
+}
+
+TEST(BlockFloat, BitsPerValueAmortizesExponent) {
+  BlockFloatFormat fmt{.mantissa_bits = 8, .block_size = 16};
+  EXPECT_DOUBLE_EQ(fmt.bits_per_value(), 8.5);
+  fmt.block_size = 8;
+  EXPECT_DOUBLE_EQ(fmt.bits_per_value(), 9.0);
+}
+
+TEST(BlockFloat, ErrorUnbiased) {
+  BlockFloatFormat fmt{.mantissa_bits = 7, .block_size = 32};
+  Tensor t = random_tensor(100000, 2.0, 4);
+  const BfpErrorStats st = bfp_error_stats(t, fmt);
+  EXPECT_NEAR(st.mean, 0.0, st.stddev * 0.05);
+}
+
+TEST(BlockFloat, IdempotentQuantization) {
+  BlockFloatFormat fmt{.mantissa_bits = 5, .block_size = 4};
+  Tensor t = random_tensor(256, 1.0, 5);
+  Tensor q1 = t;
+  quantize_tensor_bfp(q1, fmt);
+  Tensor q2 = q1;
+  quantize_tensor_bfp(q2, fmt);
+  EXPECT_DOUBLE_EQ(max_abs_diff(q1, q2), 0.0);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,82 @@
+#include "hw/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mupod {
+namespace {
+
+TEST(EffectiveBitwidth, MatchesPaperTable2Example) {
+  // Paper Sec. V-D: AlexNet baseline (9,7,4,5,7) with #Input weights gives
+  // effective bitwidth 2833/397.6 ~= 7.1.
+  const std::vector<std::int64_t> inputs = {154600, 70000, 43200, 64900, 64900};
+  const std::vector<int> baseline = {9, 7, 4, 5, 7};
+  EXPECT_NEAR(effective_bitwidth(inputs, baseline), 7.1, 0.05);
+
+  // And the optimized-for-input bits (6,6,5,6,7) give ~6.05.
+  const std::vector<int> optimized = {6, 6, 5, 6, 7};
+  EXPECT_NEAR(effective_bitwidth(inputs, optimized), 6.05, 0.05);
+}
+
+TEST(EffectiveBitwidth, UniformBitsIsIdentity) {
+  const std::vector<std::int64_t> rho = {10, 20, 30};
+  const std::vector<int> bits = {8, 8, 8};
+  EXPECT_DOUBLE_EQ(effective_bitwidth(rho, bits), 8.0);
+}
+
+TEST(TotalWeightedBits, PaperInputBitsRow) {
+  const std::vector<std::int64_t> inputs = {154600, 70000, 43200, 64900, 64900};
+  const std::vector<int> baseline = {9, 7, 4, 5, 7};
+  // Paper reports 2833 * 10^3 total input bits for the baseline.
+  EXPECT_NEAR(static_cast<double>(total_weighted_bits(inputs, baseline)), 2833e3, 5e3);
+}
+
+TEST(MacEnergy, BitSerialScalesLinearlyWithInputBits) {
+  const MacEnergyModel m = MacEnergyModel::stripes_like();
+  const double e4 = m.mac_energy(4, 16);
+  const double e8 = m.mac_energy(8, 16);
+  // Linear up to the constant term.
+  EXPECT_NEAR((e8 - m.serial_base) / (e4 - m.serial_base), 2.0, 1e-9);
+}
+
+TEST(MacEnergy, StripesIgnoresWeightBits) {
+  const MacEnergyModel m = MacEnergyModel::stripes_like();
+  EXPECT_DOUBLE_EQ(m.mac_energy(8, 16), m.mac_energy(8, 4));
+}
+
+TEST(MacEnergy, LoomScalesWithWeightBitsToo) {
+  const MacEnergyModel m = MacEnergyModel::loom_like();
+  EXPECT_LT(m.mac_energy(8, 4), m.mac_energy(8, 16));
+}
+
+TEST(MacEnergy, ParallelDominatedByPartialProducts) {
+  const MacEnergyModel m = MacEnergyModel::parallel_dwip_like();
+  const double e = m.mac_energy(8, 8);
+  EXPECT_GT(e, m.pp * 64);            // includes linear + leakage
+  EXPECT_LT(m.mac_energy(4, 8), e);   // fewer input bits -> cheaper
+  EXPECT_LT(m.mac_energy(8, 4), e);   // fewer weight bits -> cheaper
+}
+
+TEST(MacEnergy, NetworkEnergyWeightsByMacs) {
+  const MacEnergyModel m = MacEnergyModel::stripes_like();
+  const std::vector<std::int64_t> macs = {100, 200};
+  const std::vector<int> bits = {8, 4};
+  const double expected = 100 * m.mac_energy(8, 16) + 200 * m.mac_energy(4, 16);
+  EXPECT_DOUBLE_EQ(m.network_energy(macs, bits, 16), expected);
+}
+
+TEST(PercentSaving, Basics) {
+  EXPECT_DOUBLE_EQ(percent_saving(100.0, 80.0), 20.0);
+  EXPECT_DOUBLE_EQ(percent_saving(100.0, 120.0), -20.0);
+  EXPECT_DOUBLE_EQ(percent_saving(0.0, 50.0), 0.0);
+}
+
+TEST(Bandwidth, MatchesWeightedBits) {
+  const std::vector<std::int64_t> inputs = {1000, 2000};
+  const std::vector<int> bits = {6, 9};
+  EXPECT_EQ(input_bandwidth_bits(inputs, bits), 6000 + 18000);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,146 @@
+#include "quant/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace mupod {
+namespace {
+
+TEST(FixedPoint, StepAndDelta) {
+  FixedPointFormat f{.integer_bits = 4, .fraction_bits = 3};
+  EXPECT_DOUBLE_EQ(f.step(), 0.125);
+  EXPECT_DOUBLE_EQ(f.delta(), 0.0625);  // 2^-(F+1)
+  EXPECT_EQ(f.total_bits(), 7);
+}
+
+TEST(FixedPoint, NegativeFractionBits) {
+  // Delta > 1: the implicit-shift formats of Stripes/Loom.
+  FixedPointFormat f{.integer_bits = 9, .fraction_bits = -3};
+  EXPECT_DOUBLE_EQ(f.step(), 8.0);
+  EXPECT_DOUBLE_EQ(f.delta(), 4.0);
+  EXPECT_EQ(f.total_bits(), 6);
+}
+
+TEST(FixedPoint, RangeLimits) {
+  FixedPointFormat f{.integer_bits = 4, .fraction_bits = 2};
+  EXPECT_DOUBLE_EQ(f.max_value(), 8.0 - 0.25);
+  EXPECT_DOUBLE_EQ(f.min_value(), -8.0);
+}
+
+TEST(FixedPoint, IntegerBitsForRangeMatchesPaperTable2) {
+  // Paper Table II: max|X| of (161, 139, 139, 443, 415) -> I = (9,9,9,10,10).
+  EXPECT_EQ(FixedPointFormat::integer_bits_for_range(161.0), 9);
+  EXPECT_EQ(FixedPointFormat::integer_bits_for_range(139.0), 9);
+  EXPECT_EQ(FixedPointFormat::integer_bits_for_range(443.0), 10);
+  EXPECT_EQ(FixedPointFormat::integer_bits_for_range(415.0), 10);
+}
+
+TEST(FixedPoint, IntegerBitsEdgeCases) {
+  EXPECT_EQ(FixedPointFormat::integer_bits_for_range(0.0), 1);
+  EXPECT_EQ(FixedPointFormat::integer_bits_for_range(-1.0), 1);
+  EXPECT_EQ(FixedPointFormat::integer_bits_for_range(1.0), 1);   // ceil(log2 1)=0 -> 1
+  EXPECT_EQ(FixedPointFormat::integer_bits_for_range(1.5), 2);
+  EXPECT_EQ(FixedPointFormat::integer_bits_for_range(2.0), 2);
+}
+
+TEST(FixedPoint, FractionBitsForDelta) {
+  // F = smallest integer with 2^-(F+1) <= delta.
+  EXPECT_EQ(FixedPointFormat::fraction_bits_for_delta(0.0625), 3);
+  EXPECT_EQ(FixedPointFormat::fraction_bits_for_delta(0.05), 4);
+  EXPECT_EQ(FixedPointFormat::fraction_bits_for_delta(0.5), 0);
+  EXPECT_EQ(FixedPointFormat::fraction_bits_for_delta(4.0), -3);
+}
+
+TEST(FixedPoint, DerivedFormatDeltaNeverExceedsRequest) {
+  for (double delta : {1e-4, 3e-3, 0.02, 0.3, 1.7, 10.0}) {
+    const int f = FixedPointFormat::fraction_bits_for_delta(delta);
+    EXPECT_LE(std::exp2(-(f + 1)), delta + 1e-15);
+    // One fewer fraction bit must violate the bound (minimality).
+    EXPECT_GT(std::exp2(-f), delta);
+  }
+}
+
+TEST(FixedPoint, QuantizeRounding) {
+  FixedPointFormat f{.integer_bits = 4, .fraction_bits = 2};  // step 0.25
+  EXPECT_FLOAT_EQ(quantize_value(1.1f, f), 1.0f);
+  EXPECT_FLOAT_EQ(quantize_value(1.13f, f), 1.25f);
+  EXPECT_FLOAT_EQ(quantize_value(-0.9f, f), -1.0f);
+  EXPECT_FLOAT_EQ(quantize_value(0.0f, f), 0.0f);  // zeros always exact
+}
+
+TEST(FixedPoint, QuantizeSaturates) {
+  FixedPointFormat f{.integer_bits = 3, .fraction_bits = 1};  // [-4, 3.5]
+  EXPECT_FLOAT_EQ(quantize_value(100.0f, f), 3.5f);
+  EXPECT_FLOAT_EQ(quantize_value(-100.0f, f), -4.0f);
+}
+
+TEST(FixedPoint, WorstCaseErrorBoundedByDelta) {
+  FixedPointFormat f{.integer_bits = 6, .fraction_bits = 5};
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-30.0, 30.0));
+    const float q = quantize_value(x, f);
+    EXPECT_LE(std::fabs(q - x), f.delta() + 1e-7) << "x=" << x;
+  }
+}
+
+TEST(FixedPoint, QuantizeTensorMatchesScalar) {
+  FixedPointFormat f{.integer_bits = 3, .fraction_bits = 4};
+  Tensor t(Shape({64}));
+  Rng rng(5);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-4.0, 4.0));
+  const Tensor q = quantized(t, f);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    EXPECT_FLOAT_EQ(q[i], quantize_value(t[i], f));
+}
+
+TEST(FixedPoint, NoiseStddevMatchesUniformModel) {
+  // Quantization error of a dense value population ~ U[-Delta, Delta] with
+  // s.d. 2*Delta/sqrt(12) (Widrow's model, paper Sec. II-A).
+  FixedPointFormat f{.integer_bits = 2, .fraction_bits = 6};
+  Tensor t(Shape({200000}));
+  Rng rng(33);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.5, 1.5));
+  const QuantErrorStats st = quantization_error_stats(t, f);
+  EXPECT_NEAR(st.mean, 0.0, 1e-4);
+  EXPECT_NEAR(st.stddev, f.noise_stddev(), f.noise_stddev() * 0.02);
+  EXPECT_LE(st.max_abs, f.delta() + 1e-7);
+  EXPECT_EQ(st.saturated, 0);
+}
+
+TEST(FixedPoint, ErrorStatsCountsExactValues) {
+  FixedPointFormat f{.integer_bits = 4, .fraction_bits = 1};  // step 0.5
+  Tensor t(Shape({4}));
+  t[0] = 0.0f;
+  t[1] = 0.5f;
+  t[2] = 0.3f;
+  t[3] = 2.25f;
+  const QuantErrorStats st = quantization_error_stats(t, f);
+  EXPECT_EQ(st.exact, 2);
+  EXPECT_EQ(st.count, 4);
+}
+
+TEST(FixedPoint, ForRangeAndDelta) {
+  const FixedPointFormat f = FixedPointFormat::for_range_and_delta(161.0, 0.03);
+  EXPECT_EQ(f.integer_bits, 9);
+  EXPECT_EQ(f.fraction_bits, 5);  // 2^-6 = 0.0156 <= 0.03, 2^-5 = 0.031 > 0.03
+  EXPECT_EQ(f.total_bits(), 14);
+}
+
+TEST(FixedPoint, ForRangeAndDeltaMinimumOneBit) {
+  const FixedPointFormat f = FixedPointFormat::for_range_and_delta(1.0, 100.0);
+  EXPECT_GE(f.total_bits(), 1);
+}
+
+TEST(FixedPoint, ToString) {
+  FixedPointFormat f{.integer_bits = 9, .fraction_bits = -3};
+  EXPECT_EQ(f.to_string(), "9.-3");
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,115 @@
+#include "core/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+
+namespace mupod {
+namespace {
+
+using testfix::tiny;
+
+TEST(Harness, ReportsAnalyzedLayers) {
+  const AnalysisHarness& h = *tiny().harness;
+  EXPECT_EQ(h.num_layers(), 4);  // conv1..3 + fc
+  EXPECT_EQ(h.analyzed(), tiny().model.analyzed);
+}
+
+TEST(Harness, InputRangesPositive) {
+  const AnalysisHarness& h = *tiny().harness;
+  for (double r : h.input_ranges()) EXPECT_GT(r, 0.0);
+}
+
+TEST(Harness, FloatAccuracyIsOneByConstruction) {
+  EXPECT_DOUBLE_EQ(tiny().harness->float_accuracy(), 1.0);
+}
+
+TEST(Harness, NoInjectionGivesPerfectAgreement) {
+  const AnalysisHarness& h = *tiny().harness;
+  EXPECT_DOUBLE_EQ(h.accuracy_with_injection({}), 1.0);
+}
+
+TEST(Harness, SigmaGrowsWithDelta) {
+  const AnalysisHarness& h = *tiny().harness;
+  const int node = h.analyzed()[1];
+  const double s1 = h.output_sigma_for_injection(node, 0.01);
+  const double s2 = h.output_sigma_for_injection(node, 0.02);
+  const double s4 = h.output_sigma_for_injection(node, 0.04);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_GT(s2, s1);
+  EXPECT_GT(s4, s2);
+  // Roughly linear (paper Sec. IV).
+  EXPECT_NEAR(s4 / s1, 4.0, 1.5);
+}
+
+TEST(Harness, SigmaDeterministicPerRep) {
+  const AnalysisHarness& h = *tiny().harness;
+  const int node = h.analyzed()[0];
+  EXPECT_DOUBLE_EQ(h.output_sigma_for_injection(node, 0.03, 1),
+                   h.output_sigma_for_injection(node, 0.03, 1));
+  EXPECT_NE(h.output_sigma_for_injection(node, 0.03, 1),
+            h.output_sigma_for_injection(node, 0.03, 2));
+}
+
+TEST(Harness, AccuracyDecreasesWithNoise) {
+  const AnalysisHarness& h = *tiny().harness;
+  const int node = h.analyzed()[0];
+  std::unordered_map<int, InjectionSpec> small, large;
+  small.emplace(node, InjectionSpec::uniform(0.001));
+  large.emplace(node, InjectionSpec::uniform(5.0));
+  const double acc_small = h.accuracy_with_injection(small);
+  const double acc_large = h.accuracy_with_injection(large);
+  EXPECT_GT(acc_small, 0.9);
+  EXPECT_LT(acc_large, acc_small);
+}
+
+TEST(Harness, GaussianOutputAccuracyMonotone) {
+  const AnalysisHarness& h = *tiny().harness;
+  const double a0 = h.accuracy_with_output_gaussian(0.0);
+  const double a1 = h.accuracy_with_output_gaussian(0.2);
+  const double a2 = h.accuracy_with_output_gaussian(5.0);
+  EXPECT_DOUBLE_EQ(a0, 1.0);
+  EXPECT_LE(a1, a0);
+  EXPECT_LT(a2, a1);
+  EXPECT_GT(a2, 0.0);  // still above zero agreement (chance ~ 1/10)
+}
+
+TEST(Harness, SingleInjectionBatchMatchesIndividual) {
+  const AnalysisHarness& h = *tiny().harness;
+  std::vector<std::pair<int, InjectionSpec>> candidates;
+  candidates.emplace_back(h.analyzed()[0], InjectionSpec::uniform(0.05));
+  candidates.emplace_back(h.analyzed()[2], InjectionSpec::uniform(0.2));
+  const std::vector<double> batch = h.accuracy_single_injections(candidates);
+  ASSERT_EQ(batch.size(), 2u);
+  std::unordered_map<int, InjectionSpec> one;
+  one.emplace(candidates[0].first, candidates[0].second);
+  EXPECT_NEAR(batch[0], h.accuracy_with_injection(one), 1e-12);
+}
+
+TEST(Harness, MultiNodeInjectionWorsensAccuracy) {
+  const AnalysisHarness& h = *tiny().harness;
+  std::unordered_map<int, InjectionSpec> one, all;
+  one.emplace(h.analyzed()[0], InjectionSpec::uniform(0.3));
+  for (int node : h.analyzed()) all.emplace(node, InjectionSpec::uniform(0.3));
+  EXPECT_LE(h.accuracy_with_injection(all), h.accuracy_with_injection(one) + 0.02);
+}
+
+TEST(Harness, OutputErrorsHaveExpectedSize) {
+  const AnalysisHarness& h = *tiny().harness;
+  std::unordered_map<int, InjectionSpec> inject;
+  inject.emplace(h.analyzed()[0], InjectionSpec::uniform(0.05));
+  const std::vector<float> errors = h.output_errors_for_injection(inject);
+  // profile_images * num_classes samples.
+  EXPECT_EQ(errors.size(), static_cast<std::size_t>(h.config().profile_images) * 10u);
+}
+
+TEST(Harness, ForwardCountAdvances) {
+  const AnalysisHarness& h = *tiny().harness;
+  const std::int64_t before = h.forward_count();
+  (void)h.accuracy_with_output_gaussian(0.1);
+  (void)h.output_sigma_for_injection(h.analyzed()[0], 0.01);
+  EXPECT_GT(h.forward_count(), before);
+}
+
+}  // namespace
+}  // namespace mupod

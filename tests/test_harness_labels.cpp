@@ -1,0 +1,101 @@
+// Tests of the label-accuracy metric mode (AccuracyMetric::kLabels) — the
+// paper-faithful evaluation the experiment binaries use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/harness.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+struct LabelFixture {
+  ZooModel model;
+  std::unique_ptr<SyntheticImageDataset> dataset;
+  std::unique_ptr<AnalysisHarness> harness;
+};
+
+const LabelFixture& fixture() {
+  static LabelFixture* fix = [] {
+    auto* f = new LabelFixture();
+    ZooOptions zo;
+    zo.num_classes = 10;
+    zo.seed = 606;
+    zo.data_seed = 123;  // head trained on the same distribution
+    zo.calibration_images = 8;
+    f->model = build_tiny_cnn(zo);
+
+    DatasetConfig dc;
+    dc.num_classes = 10;
+    dc.height = 16;
+    dc.width = 16;
+    dc.seed = 123;
+    f->dataset = std::make_unique<SyntheticImageDataset>(dc);
+
+    HarnessConfig hc;
+    hc.profile_images = 16;
+    hc.eval_images = 256;
+    hc.metric = AccuracyMetric::kLabels;
+    f->harness = std::make_unique<AnalysisHarness>(f->model.net, f->model.analyzed,
+                                                   *f->dataset, hc);
+    return f;
+  }();
+  return *fix;
+}
+
+TEST(LabelMetric, FloatAccuracyIsMeasuredNotOne) {
+  const double acc = fixture().harness->float_accuracy();
+  EXPECT_GT(acc, 0.3);  // head-trained tiny net beats chance (0.1) solidly
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(LabelMetric, NoInjectionReproducesFloatAccuracy) {
+  const AnalysisHarness& h = *fixture().harness;
+  EXPECT_DOUBLE_EQ(h.accuracy_with_injection({}), h.float_accuracy());
+}
+
+TEST(LabelMetric, HugeNoiseDropsTowardChance) {
+  const AnalysisHarness& h = *fixture().harness;
+  std::unordered_map<int, InjectionSpec> inject;
+  for (int node : h.analyzed()) inject.emplace(node, InjectionSpec::uniform(50.0));
+  const double acc = h.accuracy_with_injection(inject);
+  EXPECT_LT(acc, h.float_accuracy() * 0.8);
+  EXPECT_GT(acc, 0.0);
+}
+
+TEST(LabelMetric, GaussianOutputDegradesGently) {
+  // Unlike the agreement metric, small output noise can flip borderline
+  // images in BOTH directions; accuracy must stay close to float for
+  // sigma well below the logits scale.
+  const AnalysisHarness& h = *fixture().harness;
+  const double base = h.float_accuracy();
+  const double small = h.accuracy_with_output_gaussian(0.02);
+  EXPECT_NEAR(small, base, 0.05);
+  const double large = h.accuracy_with_output_gaussian(10.0);
+  EXPECT_LT(large, base);
+}
+
+TEST(LabelMetric, AgreementModeStillDefaultsToOne) {
+  const LabelFixture& f = fixture();
+  HarnessConfig hc;
+  hc.profile_images = 8;
+  hc.eval_images = 64;
+  hc.metric = AccuracyMetric::kAgreement;
+  AnalysisHarness agree(f.model.net, f.model.analyzed, *f.dataset, hc);
+  EXPECT_DOUBLE_EQ(agree.float_accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(agree.accuracy_with_injection({}), 1.0);
+}
+
+TEST(LabelMetric, SingleInjectionBatchConsistent) {
+  const AnalysisHarness& h = *fixture().harness;
+  std::vector<std::pair<int, InjectionSpec>> candidates;
+  candidates.emplace_back(h.analyzed()[0], InjectionSpec::uniform(0.02));
+  const auto batch = h.accuracy_single_injections(candidates);
+  std::unordered_map<int, InjectionSpec> one;
+  one.emplace(candidates[0].first, candidates[0].second);
+  EXPECT_NEAR(batch[0], h.accuracy_with_injection(one), 1e-12);
+}
+
+}  // namespace
+}  // namespace mupod

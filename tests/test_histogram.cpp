@@ -1,0 +1,84 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace mupod {
+namespace {
+
+TEST(Histogram, BinPlacement) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(9), 1);
+  EXPECT_EQ(h.count(5), 1);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge counts as overflow
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), -0.75);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 0.75);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(-3.0, 3.0, 30);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.add(rng.gaussian());
+  double integral = 0.0;
+  const double width = 6.0 / 30.0;
+  for (int b = 0; b < h.bins(); ++b) integral += h.density(b) * width;
+  EXPECT_NEAR(integral, 1.0, 0.01);  // tails excluded
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.25);
+  const std::string s = h.render(20);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(KsStatistic, GaussianSampleIsClose) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.gaussian(0.0, 1.0));
+  EXPECT_LT(ks_statistic_vs_normal(xs, 0.0, 1.0), 0.02);
+}
+
+TEST(KsStatistic, UniformSampleIsFar) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform(-1.0, 1.0));
+  EXPECT_GT(ks_statistic_vs_normal(xs, 0.0, 1.0), 0.05);
+}
+
+TEST(KsStatistic, DegenerateInputs) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(ks_statistic_vs_normal(empty, 0.0, 1.0), 1.0);
+  std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(ks_statistic_vs_normal(xs, 0.0, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,140 @@
+// Tests of the error-injection machinery that drives the paper's
+// measurements (Sec. V-A) and the statistical facts it relies on
+// (Secs. II-III): uniform noise moments, zero exclusion, linear error
+// growth through a dot product.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/network.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+TEST(Injection, UniformNoiseMomentsAndBounds) {
+  Tensor t(Shape({100000}), 1.0f);
+  Tensor orig = t;
+  apply_injection(t, InjectionSpec::uniform(0.25), /*seed=*/9, /*node=*/3);
+  RunningStats rs;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const double e = static_cast<double>(t[i]) - orig[i];
+    EXPECT_LE(std::fabs(e), 0.25 + 1e-7);
+    rs.add(e);
+  }
+  EXPECT_NEAR(rs.mean(), 0.0, 0.005);
+  // U[-d, d] stddev = 2d/sqrt(12).
+  EXPECT_NEAR(rs.stddev(), 2.0 * 0.25 / std::sqrt(12.0), 0.005);
+}
+
+TEST(Injection, SkipZerosLeavesZerosExact) {
+  Tensor t(Shape({1000}));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = (i % 2 == 0) ? 0.0f : 1.0f;
+  apply_injection(t, InjectionSpec::uniform(0.5), 1, 1);
+  for (std::int64_t i = 0; i < t.numel(); i += 2) EXPECT_FLOAT_EQ(t[i], 0.0f);
+  // Non-zeros perturbed (statistically: almost all).
+  int changed = 0;
+  for (std::int64_t i = 1; i < t.numel(); i += 2)
+    if (t[i] != 1.0f) ++changed;
+  EXPECT_GT(changed, 450);
+}
+
+TEST(Injection, NoSkipPerturbsZeros) {
+  Tensor t(Shape({1000}), 0.0f);
+  apply_injection(t, InjectionSpec::uniform(0.5, /*skip_zeros=*/false), 1, 1);
+  int changed = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    if (t[i] != 0.0f) ++changed;
+  EXPECT_GT(changed, 900);
+}
+
+TEST(Injection, DeterministicPerSeedAndNode) {
+  Tensor a(Shape({64}), 1.0f), b(Shape({64}), 1.0f), c(Shape({64}), 1.0f);
+  apply_injection(a, InjectionSpec::uniform(0.1), 5, 2);
+  apply_injection(b, InjectionSpec::uniform(0.1), 5, 2);
+  apply_injection(c, InjectionSpec::uniform(0.1), 5, 3);  // different node
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+  EXPECT_GT(max_abs_diff(a, c), 0.0);
+}
+
+TEST(Injection, QuantizeKindAppliesFormat) {
+  Tensor t(Shape({4}));
+  t[0] = 0.3f; t[1] = 1.26f; t[2] = -0.76f; t[3] = 0.0f;
+  FixedPointFormat fmt{.integer_bits = 3, .fraction_bits = 1};  // step 0.5
+  apply_injection(t, InjectionSpec::quantize(fmt), 1, 1);
+  EXPECT_FLOAT_EQ(t[0], 0.5f);
+  EXPECT_FLOAT_EQ(t[1], 1.5f);
+  EXPECT_FLOAT_EQ(t[2], -1.0f);
+  EXPECT_FLOAT_EQ(t[3], 0.0f);
+}
+
+TEST(Injection, ZeroDeltaIsNoop) {
+  Tensor t(Shape({16}), 2.0f);
+  apply_injection(t, InjectionSpec::uniform(0.0), 1, 1);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 2.0f);
+}
+
+// ---------------------------------------------------------------------------
+// The motivating single-layer error model (paper Sec. II / Eq. 3-4): for a
+// dot product y = sum w_i x_i with input errors of s.d. sigma_x, the output
+// error s.d. is sigma_x * sqrt(sum w_i^2) — i.e. proportional to sigma_x.
+
+TEST(ErrorModel, DotProductErrorScalesLinearly) {
+  Conv2DLayer::Config cfg;
+  cfg.in_channels = 16;
+  cfg.out_channels = 16;
+  cfg.kernel_h = cfg.kernel_w = 3;
+  cfg.pad = 1;
+
+  Network net("single");
+  net.add_input("data", 16, 8, 8);
+  net.add("conv", std::make_unique<Conv2DLayer>(cfg), std::vector<std::string>{"data"});
+  net.finalize();
+  init_weights_he(net, 11);
+
+  Tensor x(Shape({4, 16, 8, 8}));
+  Rng rng(13);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.gaussian());
+  const Tensor y = net.forward(x);
+
+  double prev_sigma = 0.0;
+  const int conv = net.node_id("conv");
+  for (double delta : {0.001, 0.002, 0.004, 0.008}) {
+    std::unordered_map<int, InjectionSpec> inject;
+    inject.emplace(conv, InjectionSpec::uniform(delta));
+    ForwardOptions opts;
+    opts.inject = &inject;
+    opts.seed = 21;
+    const Tensor yh = net.forward(x, opts);
+    const double sigma = stddev_of_diff(yh, y);
+    if (prev_sigma > 0.0) {
+      // Doubling delta should roughly double the output error s.d.
+      EXPECT_NEAR(sigma / prev_sigma, 2.0, 0.25);
+    }
+    prev_sigma = sigma;
+  }
+}
+
+TEST(ErrorModel, OutputErrorMeanNearZero) {
+  ZooModel m = build_tiny_cnn({.num_classes = 10, .seed = 3, .calibration_images = 8});
+  Tensor x(Shape({8, 3, 16, 16}));
+  Rng rng(17);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.gaussian());
+  const Tensor y = m.net.forward(x);
+
+  std::unordered_map<int, InjectionSpec> inject;
+  inject.emplace(m.analyzed[1], InjectionSpec::uniform(0.02));
+  ForwardOptions opts;
+  opts.inject = &inject;
+  opts.seed = 5;
+  const Tensor yh = m.net.forward(x, opts);
+  const Tensor err = subtract(yh, y);
+  EXPECT_LT(std::fabs(err.mean()), 3.0 * err.stddev() / std::sqrt(static_cast<double>(err.numel())) + 1e-3);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,201 @@
+// End-to-end pipeline tests: the full flow of the paper (profile ->
+// sigma search -> multi-objective allocation -> validation -> weight
+// search) on small networks, plus the headline comparison against the
+// search-based baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numeric>
+
+#include "baseline/search_baseline.hpp"
+#include "core/pipeline.hpp"
+#include "hw/energy_model.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+struct PipelineFixture {
+  ZooModel model;
+  std::unique_ptr<SyntheticImageDataset> dataset;
+  PipelineResult result;
+};
+
+// Run the pipeline once on the tiny CNN with both objectives.
+const PipelineFixture& pipeline_fixture() {
+  static PipelineFixture* fix = [] {
+    auto* f = new PipelineFixture();
+    ZooOptions zo;
+    zo.num_classes = 10;
+    zo.seed = 31337;
+    zo.calibration_images = 8;
+    f->model = build_tiny_cnn(zo);
+
+    DatasetConfig dc;
+    dc.num_classes = 10;
+    dc.height = f->model.height;
+    dc.width = f->model.width;
+    dc.seed = 4;
+    f->dataset = std::make_unique<SyntheticImageDataset>(dc);
+
+    PipelineConfig cfg;
+    cfg.harness.profile_images = 16;
+    cfg.harness.eval_images = 256;
+    cfg.profiler.points = 8;
+    cfg.sigma.relative_accuracy_drop = 0.05;
+    cfg.search_weights = true;
+
+    const std::vector<ObjectiveSpec> objectives = {
+        objective_input_bits(f->model.net, f->model.analyzed),
+        objective_mac_energy(f->model.net, f->model.analyzed),
+    };
+    f->result = run_pipeline(f->model.net, f->model.analyzed, *f->dataset, objectives, cfg);
+    return f;
+  }();
+  return *fix;
+}
+
+TEST(Pipeline, ProducesModelForEveryLayer) {
+  const PipelineResult& r = pipeline_fixture().result;
+  EXPECT_EQ(r.models.size(), 4u);
+  EXPECT_EQ(r.ranges.size(), 4u);
+  for (const auto& m : r.models) EXPECT_GT(m.lambda, 0.0);
+}
+
+TEST(Pipeline, SigmaPositiveAndMeetsAccuracy) {
+  const PipelineResult& r = pipeline_fixture().result;
+  EXPECT_GT(r.sigma.sigma_yl, 0.0);
+  EXPECT_GE(r.sigma.accuracy_at_sigma, 0.95 - 1e-9);
+}
+
+TEST(Pipeline, BothObjectivesAllocated) {
+  const PipelineResult& r = pipeline_fixture().result;
+  ASSERT_EQ(r.objectives.size(), 2u);
+  EXPECT_EQ(r.objectives[0].spec.name, "input_bits");
+  EXPECT_EQ(r.objectives[1].spec.name, "mac_energy");
+  for (const auto& obj : r.objectives) {
+    EXPECT_EQ(obj.alloc.bits.size(), 4u);
+    for (int b : obj.alloc.bits) {
+      EXPECT_GE(b, 1);
+      EXPECT_LE(b, 32);
+    }
+  }
+}
+
+TEST(Pipeline, ValidatedAccuracyMeetsConstraint) {
+  // The paper: "No accuracy criterion was violated" — real quantized
+  // validation must satisfy the 5% budget exactly (the refinement loop
+  // shrinks sigma until it does).
+  const PipelineResult& r = pipeline_fixture().result;
+  for (const auto& obj : r.objectives) {
+    EXPECT_GE(obj.validated_accuracy, 0.95) << obj.spec.name;
+    EXPECT_LE(obj.sigma_used, r.sigma_calibrated * (1.0 + 1e-12));
+  }
+}
+
+TEST(Pipeline, ObjectivesSpecialize) {
+  // Each optimized allocation must win (or tie) its own objective against
+  // the allocation optimized for the other objective — the essence of
+  // "multi-objective" (paper Table II / Fig. 4).
+  const PipelineResult& r = pipeline_fixture().result;
+  const auto& input_alloc = r.objectives[0];
+  const auto& mac_alloc = r.objectives[1];
+
+  // Continuous objective (Eq. 8): each solution must be at least as good
+  // as the other objective's solution evaluated under its own weights.
+  const auto cont = [&](const ObjectiveSpec& spec, const std::vector<double>& xi) {
+    return allocation_objective(r.models, r.sigma.sigma_yl, spec.rho, xi);
+  };
+  EXPECT_LE(cont(input_alloc.spec, input_alloc.alloc.xi),
+            cont(input_alloc.spec, mac_alloc.alloc.xi) + 1e-6);
+  EXPECT_LE(cont(mac_alloc.spec, mac_alloc.alloc.xi),
+            cont(mac_alloc.spec, input_alloc.alloc.xi) + 1e-6);
+
+  // After integer bit rounding (ceil of fraction bits), allow a small
+  // regression: on a 4-layer net with ~3-bit formats, one bit of rounding
+  // is ~10% of the objective and can exceed the continuous gap. (On the
+  // paper-scale nets of Table II/III the specialization signal dominates.)
+  const auto value = [&](const ObjectiveSpec& spec, const std::vector<int>& bits) {
+    return static_cast<double>(total_weighted_bits(spec.rho, bits));
+  };
+  EXPECT_LE(value(input_alloc.spec, input_alloc.alloc.bits),
+            value(input_alloc.spec, mac_alloc.alloc.bits) * 1.12);
+  EXPECT_LE(value(mac_alloc.spec, mac_alloc.alloc.bits),
+            value(mac_alloc.spec, input_alloc.alloc.bits) * 1.12);
+}
+
+TEST(Pipeline, WeightSearchRan) {
+  const PipelineResult& r = pipeline_fixture().result;
+  for (const auto& obj : r.objectives) {
+    EXPECT_GE(obj.weight_bits, 2);
+    EXPECT_LE(obj.weight_bits, 16);
+  }
+}
+
+TEST(Pipeline, TimingsRecorded) {
+  const PipelineTimings& t = pipeline_fixture().result.timings;
+  EXPECT_GT(t.harness_ms, 0.0);
+  EXPECT_GT(t.profile_ms, 0.0);
+  EXPECT_GT(t.sigma_ms, 0.0);
+  EXPECT_GT(t.allocate_ms, 0.0);
+}
+
+TEST(Pipeline, BeatsOrMatchesSearchBaselineOnItsObjective) {
+  // The headline claim: the analytical method achieves savings over the
+  // search-based baseline at the same accuracy budget. On a 4-layer net
+  // the gap can be small, so assert "never worse by more than 10%",
+  // and that both meet accuracy.
+  const PipelineFixture& f = pipeline_fixture();
+  HarnessConfig hc;
+  hc.profile_images = 16;
+  hc.eval_images = 256;
+  AnalysisHarness harness(f.model.net, f.model.analyzed, *f.dataset, hc);
+  BaselineConfig bcfg;
+  bcfg.relative_accuracy_drop = 0.05;
+  const BaselineResult base = profile_search_baseline(harness, bcfg);
+
+  const auto& mac_obj = f.result.objectives[1];
+  const double ours = static_cast<double>(total_weighted_bits(mac_obj.spec.rho, mac_obj.alloc.bits));
+  const double theirs = static_cast<double>(total_weighted_bits(mac_obj.spec.rho, base.bits));
+  EXPECT_LE(ours, theirs * 1.10);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  // Re-run the pipeline with the same seeds: identical bit allocations.
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.seed = 31337;
+  zo.calibration_images = 8;
+  ZooModel model = build_tiny_cnn(zo);
+  DatasetConfig dc;
+  dc.num_classes = 10;
+  dc.height = model.height;
+  dc.width = model.width;
+  dc.seed = 4;
+  SyntheticImageDataset ds(dc);
+
+  PipelineConfig cfg;
+  cfg.harness.profile_images = 16;
+  cfg.harness.eval_images = 256;
+  cfg.profiler.points = 8;
+  cfg.sigma.relative_accuracy_drop = 0.05;
+
+  const std::vector<ObjectiveSpec> objectives = {objective_input_bits(model.net, model.analyzed)};
+  const PipelineResult r = run_pipeline(model.net, model.analyzed, ds, objectives, cfg);
+  EXPECT_EQ(r.objectives[0].alloc.bits, pipeline_fixture().result.objectives[0].alloc.bits);
+}
+
+TEST(ObjectiveHelpers, MatchNodeCosts) {
+  const PipelineFixture& f = pipeline_fixture();
+  const ObjectiveSpec in_obj = objective_input_bits(f.model.net, f.model.analyzed);
+  const ObjectiveSpec mac_obj = objective_mac_energy(f.model.net, f.model.analyzed);
+  ASSERT_EQ(in_obj.rho.size(), f.model.analyzed.size());
+  for (std::size_t k = 0; k < f.model.analyzed.size(); ++k) {
+    EXPECT_EQ(in_obj.rho[k], f.model.net.node(f.model.analyzed[k]).cost.input_elems);
+    EXPECT_EQ(mac_obj.rho[k], f.model.net.node(f.model.analyzed[k]).cost.macs);
+  }
+}
+
+}  // namespace
+}  // namespace mupod

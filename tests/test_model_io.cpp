@@ -1,0 +1,92 @@
+#include "io/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ModelIo, RoundTripPreservesForward) {
+  ZooOptions opts;
+  opts.calibration_images = 4;
+  ZooModel a = build_tiny_cnn(opts);
+  const std::string path = temp_path("weights_roundtrip.bin");
+  ASSERT_TRUE(save_weights(a.net, path));
+
+  // Same topology, different weights.
+  ZooOptions other = opts;
+  other.seed = opts.seed + 1;
+  ZooModel b = build_tiny_cnn(other);
+
+  Tensor x(Shape({2, 3, 16, 16}), 0.3f);
+  const Tensor ya = a.net.forward(x);
+  EXPECT_GT(max_abs_diff(ya, b.net.forward(x)), 0.0);
+
+  load_weights(b.net, path);
+  EXPECT_DOUBLE_EQ(max_abs_diff(ya, b.net.forward(x)), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  ZooOptions opts;
+  opts.calibration_images = 0;
+  ZooModel m = build_tiny_cnn(opts);
+  EXPECT_THROW(load_weights(m.net, "/nonexistent/dir/weights.bin"), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsGarbageFile) {
+  const std::string path = temp_path("garbage.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a weights file";
+  }
+  ZooOptions opts;
+  opts.calibration_images = 0;
+  ZooModel m = build_tiny_cnn(opts);
+  EXPECT_THROW(load_weights(m.net, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsTopologyMismatch) {
+  ZooOptions opts;
+  opts.calibration_images = 0;
+  ZooModel tiny_model = build_tiny_cnn(opts);
+  const std::string path = temp_path("tiny_weights.bin");
+  ASSERT_TRUE(save_weights(tiny_model.net, path));
+
+  ZooModel nin_model = build_nin(opts);
+  EXPECT_THROW(load_weights(nin_model.net, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsTruncatedFile) {
+  ZooOptions opts;
+  opts.calibration_images = 0;
+  ZooModel m = build_tiny_cnn(opts);
+  const std::string path = temp_path("trunc.bin");
+  ASSERT_TRUE(save_weights(m.net, path));
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::string half(static_cast<std::size_t>(size) / 2, '\0');
+  in.read(half.data(), static_cast<std::streamsize>(half.size()));
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << half;
+  }
+  EXPECT_THROW(load_weights(m.net, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mupod

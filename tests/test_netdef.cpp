@@ -1,0 +1,119 @@
+#include "io/netdef.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+constexpr const char* kSimpleNet = R"(
+# A LeNet-ish classifier.
+name: simple
+input: 3 16 16
+layer conv1 type=conv in=data out=8 kernel=3 stride=1 pad=1
+layer relu1 type=relu in=conv1
+layer pool1 type=maxpool in=relu1 kernel=2 stride=2
+layer conv2 type=conv in=pool1 out=16 kernel=3 pad=1
+layer relu2 type=relu in=conv2
+layer gap type=avgpool in=relu2 global=1
+layer fc type=fc in=gap out=10
+)";
+
+TEST(Netdef, ParsesSimpleNet) {
+  Network net = parse_netdef(kSimpleNet);
+  EXPECT_EQ(net.name(), "simple");
+  EXPECT_EQ(net.num_nodes(), 8);
+  EXPECT_TRUE(net.finalized());
+  EXPECT_EQ(net.analyzable_nodes().size(), 3u);
+  EXPECT_EQ(net.node(net.node_id("fc")).unit_shape, Shape({1, 10}));
+}
+
+TEST(Netdef, ParsedNetRuns) {
+  Network net = parse_netdef(kSimpleNet);
+  init_weights_he(net, 5);
+  Tensor x(Shape({2, 3, 16, 16}), 0.5f);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 10}));
+}
+
+TEST(Netdef, BranchAndConcat) {
+  Network net = parse_netdef(R"(
+input: 1 8 8
+layer a type=conv in=data out=2 kernel=1
+layer b type=conv in=data out=3 kernel=1
+layer cat type=concat in=a,b
+)");
+  EXPECT_EQ(net.node(net.node_id("cat")).unit_shape, Shape({1, 5, 8, 8}));
+}
+
+TEST(Netdef, EltwiseResidual) {
+  Network net = parse_netdef(R"(
+input: 1 4 4
+layer c1 type=conv in=data out=1 kernel=3 pad=1
+layer add type=eltwise in=c1,data
+layer r type=relu in=add
+)");
+  EXPECT_EQ(net.node(net.node_id("add")).unit_shape, Shape({1, 1, 4, 4}));
+}
+
+TEST(Netdef, GroupedConv) {
+  Network net = parse_netdef(R"(
+input: 4 4 4
+layer dw type=conv in=data out=4 kernel=3 pad=1 groups=4
+)");
+  const auto& cfg = static_cast<const Conv2DLayer&>(net.layer(net.node_id("dw"))).config();
+  EXPECT_EQ(cfg.groups, 4);
+}
+
+TEST(Netdef, ErrorsCarryLineNumbers) {
+  try {
+    parse_netdef("input: 1 4 4\nlayer bad type=warp in=data\n");
+    FAIL() << "expected NetdefError";
+  } catch (const NetdefError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("warp"), std::string::npos);
+  }
+}
+
+TEST(Netdef, RejectsMissingInput) {
+  EXPECT_THROW(parse_netdef("layer r type=relu in=data\n"), NetdefError);
+}
+
+TEST(Netdef, RejectsUnknownUpstream) {
+  EXPECT_THROW(parse_netdef("input: 1 4 4\nlayer r type=relu in=ghost\n"), NetdefError);
+}
+
+TEST(Netdef, RejectsMalformedAttributes) {
+  EXPECT_THROW(parse_netdef("input: 1 4 4\nlayer c type=conv in=data out\n"), NetdefError);
+  EXPECT_THROW(parse_netdef("input: 0 4 4\n"), NetdefError);
+}
+
+TEST(Netdef, RoundTripThroughSerializer) {
+  Network net = parse_netdef(kSimpleNet);
+  const std::string text = to_netdef(net);
+  Network again = parse_netdef(text);
+  EXPECT_EQ(again.num_nodes(), net.num_nodes());
+  // Forward equality after identical init.
+  init_weights_he(net, 7);
+  init_weights_he(again, 7);
+  Tensor x(Shape({1, 3, 16, 16}), 0.25f);
+  EXPECT_DOUBLE_EQ(max_abs_diff(net.forward(x), again.forward(x)), 0.0);
+}
+
+TEST(Netdef, ZooModelsRoundTrip) {
+  // Every zoo topology must survive netdef serialization (LRN, groups,
+  // eltwise, concat, global pooling all exercised).
+  for (const char* name : {"alexnet", "nin", "googlenet", "resnet50", "squeezenet", "mobilenet"}) {
+    ZooOptions opts;
+    opts.calibration_images = 0;
+    ZooModel m = build_model(name, opts);
+    Network round = parse_netdef(to_netdef(m.net));
+    EXPECT_EQ(round.num_nodes(), m.net.num_nodes()) << name;
+    EXPECT_EQ(round.analyzable_nodes().size(), m.net.analyzable_nodes().size()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,86 @@
+// Property tests of the netdef parser: randomized sequential topologies
+// round-trip through parse -> serialize -> parse with identical structure
+// and forward behavior.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/netdef.hpp"
+#include "nn/layers.hpp"
+#include "stats/rng.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+// Generates a random but always-valid sequential netdef.
+std::string random_netdef(std::uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream os;
+  os << "name: fuzz" << seed << "\n";
+  int c = 1 + static_cast<int>(rng.uniform_index(4));
+  int h = 8 + static_cast<int>(rng.uniform_index(3)) * 4;  // 8..16
+  int w = h;
+  os << "input: " << c << ' ' << h << ' ' << w << "\n";
+  std::string prev = "data";
+  const int layers = 2 + static_cast<int>(rng.uniform_index(5));
+  for (int i = 0; i < layers; ++i) {
+    const std::string name = "l" + std::to_string(i);
+    switch (rng.uniform_index(4)) {
+      case 0: {  // conv (kernel always fits)
+        const int k = h >= 3 ? 3 : 1;
+        const int out = 2 + static_cast<int>(rng.uniform_index(6));
+        os << "layer " << name << " type=conv in=" << prev << " out=" << out << " kernel=" << k
+           << " pad=" << (k / 2) << "\n";
+        c = out;
+        break;
+      }
+      case 1:
+        os << "layer " << name << " type=relu in=" << prev << "\n";
+        break;
+      case 2: {
+        if (h >= 4) {
+          os << "layer " << name << " type=maxpool in=" << prev << " kernel=2 stride=2\n";
+          h /= 2;
+          w /= 2;
+        } else {
+          os << "layer " << name << " type=relu in=" << prev << "\n";
+        }
+        break;
+      }
+      default:
+        os << "layer " << name << " type=dropout in=" << prev << "\n";
+        break;
+    }
+    prev = name;
+  }
+  os << "layer gap type=avgpool in=" << prev << " global=1\n";
+  os << "layer fc type=fc in=gap out=7\n";
+  return os.str();
+}
+
+class NetdefFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetdefFuzz, RoundTripPreservesStructureAndForward) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 1000 + trial;
+    const std::string text = random_netdef(seed);
+    Network net = parse_netdef(text);
+    Network again = parse_netdef(to_netdef(net));
+    ASSERT_EQ(again.num_nodes(), net.num_nodes()) << text;
+    ASSERT_EQ(again.analyzable_nodes(), net.analyzable_nodes()) << text;
+
+    init_weights_he(net, seed);
+    init_weights_he(again, seed);
+    const auto& in = static_cast<const InputLayer&>(net.layer(net.input_node()));
+    Tensor x(Shape({2, in.channels(), in.height(), in.width()}));
+    Rng rng(seed ^ 0xabcdef);
+    for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.gaussian());
+    EXPECT_DOUBLE_EQ(max_abs_diff(net.forward(x), again.forward(x)), 0.0) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetdefFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,211 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "stats/rng.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+// A small diamond DAG: data -> conv1 -> {branch_a, branch_b} -> add -> relu.
+Network make_diamond() {
+  Network net("diamond");
+  net.add_input("data", 2, 4, 4);
+  Conv2DLayer::Config c1;
+  c1.in_channels = 2;
+  c1.out_channels = 4;
+  c1.kernel_h = c1.kernel_w = 3;
+  c1.pad = 1;
+  net.add("conv1", std::make_unique<Conv2DLayer>(c1), std::vector<std::string>{"data"});
+  Conv2DLayer::Config cb;
+  cb.in_channels = 4;
+  cb.out_channels = 4;
+  cb.kernel_h = cb.kernel_w = 1;
+  net.add("branch_a", std::make_unique<Conv2DLayer>(cb), std::vector<std::string>{"conv1"});
+  net.add("branch_b", std::make_unique<Conv2DLayer>(cb), std::vector<std::string>{"conv1"});
+  net.add("add", std::make_unique<EltwiseAddLayer>(),
+          std::vector<std::string>{"branch_a", "branch_b"});
+  net.add("relu", std::make_unique<ReLULayer>(), std::vector<std::string>{"add"});
+  net.finalize();
+  init_weights_he(net, 99);
+  return net;
+}
+
+Tensor random_input(const Shape& s, std::uint64_t seed) {
+  Tensor t(s);
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.gaussian());
+  return t;
+}
+
+TEST(Network, BuildAndIntrospect) {
+  Network net = make_diamond();
+  EXPECT_EQ(net.num_nodes(), 6);
+  EXPECT_EQ(net.input_node(), 0);
+  EXPECT_EQ(net.output_node(), 5);
+  EXPECT_EQ(net.node_id("conv1"), 1);
+  EXPECT_EQ(net.node_id("missing"), -1);
+  EXPECT_EQ(net.analyzable_nodes().size(), 3u);  // conv1, branch_a, branch_b
+}
+
+TEST(Network, RejectsDuplicateNames) {
+  Network net;
+  net.add_input("data", 1, 2, 2);
+  EXPECT_THROW(net.add_input("data2", 1, 2, 2), std::logic_error);  // second input
+  Conv2DLayer::Config c;
+  c.in_channels = 1;
+  c.out_channels = 1;
+  c.kernel_h = c.kernel_w = 1;
+  net.add("conv", std::make_unique<Conv2DLayer>(c), std::vector<std::string>{"data"});
+  EXPECT_THROW(net.add("conv", std::make_unique<ReLULayer>(), std::vector<std::string>{"data"}),
+               std::invalid_argument);
+}
+
+TEST(Network, RejectsUnknownInput) {
+  Network net;
+  net.add_input("data", 1, 2, 2);
+  EXPECT_THROW(net.add("relu", std::make_unique<ReLULayer>(), std::vector<std::string>{"nope"}),
+               std::invalid_argument);
+}
+
+TEST(Network, UnitShapesInferred) {
+  Network net = make_diamond();
+  EXPECT_EQ(net.node(net.node_id("conv1")).unit_shape, Shape({1, 4, 4, 4}));
+  EXPECT_EQ(net.node(net.node_id("relu")).unit_shape, Shape({1, 4, 4, 4}));
+}
+
+TEST(Network, CostsPopulated) {
+  Network net = make_diamond();
+  const auto& conv1 = net.node(net.node_id("conv1"));
+  EXPECT_EQ(conv1.cost.input_elems, 2 * 4 * 4);
+  EXPECT_EQ(conv1.cost.macs, 4LL * 4 * 4 * 2 * 3 * 3);
+  EXPECT_EQ(net.total_macs(),
+            conv1.cost.macs + 2 * net.node(net.node_id("branch_a")).cost.macs);
+}
+
+TEST(Network, ForwardShapes) {
+  Network net = make_diamond();
+  const Tensor x = random_input(Shape({3, 2, 4, 4}), 1);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), Shape({3, 4, 4, 4}));
+}
+
+TEST(Network, ForwardDeterministic) {
+  Network net = make_diamond();
+  const Tensor x = random_input(Shape({2, 2, 4, 4}), 2);
+  const Tensor a = net.forward(x);
+  const Tensor b = net.forward(x);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Network, ForwardAllMatchesForward) {
+  Network net = make_diamond();
+  const Tensor x = random_input(Shape({2, 2, 4, 4}), 3);
+  const Tensor y = net.forward(x);
+  const std::vector<Tensor> acts = net.forward_all(x);
+  EXPECT_DOUBLE_EQ(max_abs_diff(acts[static_cast<std::size_t>(net.output_node())], y), 0.0);
+  // Input is materialized in the cache.
+  EXPECT_DOUBLE_EQ(max_abs_diff(acts[0], x), 0.0);
+}
+
+TEST(Network, ForwardFromIdentityWithoutInjection) {
+  Network net = make_diamond();
+  const Tensor x = random_input(Shape({2, 2, 4, 4}), 4);
+  const std::vector<Tensor> acts = net.forward_all(x);
+  for (int k = 0; k < net.num_nodes(); ++k) {
+    const Tensor y = net.forward_from(k, acts);
+    EXPECT_NEAR(max_abs_diff(y, acts[static_cast<std::size_t>(net.output_node())]), 0.0, 1e-6)
+        << "node " << k;
+  }
+}
+
+TEST(Network, ForwardFromMatchesFullForwardWithInjection) {
+  Network net = make_diamond();
+  const Tensor x = random_input(Shape({2, 2, 4, 4}), 5);
+  const std::vector<Tensor> acts = net.forward_all(x);
+
+  const int target = net.node_id("branch_a");
+  std::unordered_map<int, InjectionSpec> inject;
+  inject.emplace(target, InjectionSpec::uniform(0.05));
+  ForwardOptions opts;
+  opts.inject = &inject;
+  opts.seed = 42;
+
+  const Tensor full = net.forward(x, opts);
+  const Tensor partial = net.forward_from(target, acts, opts);
+  EXPECT_NEAR(max_abs_diff(full, partial), 0.0, 1e-6);
+}
+
+TEST(Network, UpdateFromRecomputesDownstreamOnly) {
+  Network net = make_diamond();
+  const Tensor x = random_input(Shape({1, 2, 4, 4}), 6);
+  std::vector<Tensor> acts = net.forward_all(x);
+
+  // Scale branch_a weights and update in place.
+  const int target = net.node_id("branch_a");
+  *net.layer(target).mutable_weights() *= 2.0f;
+  std::vector<Tensor> fresh = net.forward_all(x);
+  net.update_from(target, acts);
+  for (int k = 0; k < net.num_nodes(); ++k) {
+    EXPECT_NEAR(max_abs_diff(acts[static_cast<std::size_t>(k)], fresh[static_cast<std::size_t>(k)]),
+                0.0, 1e-6)
+        << "node " << k;
+  }
+}
+
+TEST(Network, ProfileInputRanges) {
+  Network net = make_diamond();
+  const Tensor x = random_input(Shape({2, 2, 4, 4}), 7);
+  const std::vector<double> ranges = net.profile_input_ranges(x);
+  // conv1's input is the raw data tensor.
+  EXPECT_DOUBLE_EQ(ranges[static_cast<std::size_t>(net.node_id("conv1"))],
+                   static_cast<double>(x.max_abs()));
+  for (int id : net.analyzable_nodes()) EXPECT_GT(ranges[static_cast<std::size_t>(id)], 0.0);
+}
+
+TEST(Network, WeightSnapshotRestores) {
+  Network net = make_diamond();
+  const Tensor x = random_input(Shape({1, 2, 4, 4}), 8);
+  const Tensor before = net.forward(x);
+
+  const Network::WeightSnapshot snap = net.snapshot_weights();
+  net.quantize_weights_uniform(3);
+  const Tensor coarse = net.forward(x);
+  EXPECT_GT(max_abs_diff(before, coarse), 0.0);
+
+  net.restore_weights(snap);
+  const Tensor after = net.forward(x);
+  EXPECT_DOUBLE_EQ(max_abs_diff(before, after), 0.0);
+}
+
+TEST(Network, QuantizeWeightsReducesPrecisionMonotonically) {
+  const Tensor x = random_input(Shape({2, 2, 4, 4}), 9);
+  Network net = make_diamond();
+  const Tensor exact = net.forward(x);
+  const Network::WeightSnapshot snap = net.snapshot_weights();
+
+  double prev_err = 0.0;
+  for (int bits : {12, 8, 5, 3}) {
+    net.quantize_weights_uniform(bits);
+    const double err = max_abs_diff(exact, net.forward(x));
+    net.restore_weights(snap);
+    // Fewer weight bits -> larger forward error (weakly monotone).
+    EXPECT_GE(err, prev_err * 0.5) << bits;
+    prev_err = err;
+  }
+  EXPECT_GT(prev_err, 0.0);
+}
+
+TEST(Network, FinalizeRequiredBeforeUse) {
+  Network net;
+  net.add_input("data", 1, 2, 2);
+  EXPECT_THROW(net.finalize(), std::logic_error);  // single-node network
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,118 @@
+// Engine-level property tests, parameterized over the smaller zoo
+// topologies: batch invariance, partial-forward equivalence at every
+// analyzable node, and cost-metadata consistency. These are the
+// invariants the paper's measurement methodology silently relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "nn/layers.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+class NetworkProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  static ZooModel make() {
+    ZooOptions opts;
+    opts.num_classes = 16;
+    opts.seed = 555;
+    opts.calibration_images = 4;
+    return build_model(GetParam(), opts);
+  }
+  static Tensor batch_for(const ZooModel& m, std::int64_t first, int n) {
+    DatasetConfig dc;
+    dc.num_classes = 16;
+    dc.channels = m.channels;
+    dc.height = m.height;
+    dc.width = m.width;
+    dc.seed = 777;
+    return SyntheticImageDataset(dc).make_batch(first, n);
+  }
+};
+
+TEST_P(NetworkProperty, BatchSplitInvariance) {
+  // forward(AB) rows must equal forward(A) ++ forward(B): no cross-image
+  // leakage anywhere in the engine.
+  ZooModel m = make();
+  const Tensor whole = batch_for(m, 0, 6);
+  const Tensor first = batch_for(m, 0, 3);
+  const Tensor second = batch_for(m, 3, 3);
+
+  const Tensor y_whole = m.net.forward(whole);
+  const Tensor y_first = m.net.forward(first);
+  const Tensor y_second = m.net.forward(second);
+
+  const std::int64_t row = y_whole.numel() / 6;
+  for (int n = 0; n < 3; ++n) {
+    for (std::int64_t c = 0; c < row; ++c) {
+      EXPECT_NEAR(y_whole[n * row + c], y_first[n * row + c], 1e-4);
+      EXPECT_NEAR(y_whole[(n + 3) * row + c], y_second[n * row + c], 1e-4);
+    }
+  }
+}
+
+TEST_P(NetworkProperty, PartialForwardEquivalentAtEveryAnalyzedNode) {
+  ZooModel m = make();
+  const Tensor x = batch_for(m, 10, 2);
+  const std::vector<Tensor> cache = m.net.forward_all(x);
+  const Tensor& exact = cache[static_cast<std::size_t>(m.net.output_node())];
+
+  for (int node : m.analyzed) {
+    std::unordered_map<int, InjectionSpec> inject;
+    inject.emplace(node, InjectionSpec::uniform(0.01));
+    ForwardOptions opts;
+    opts.inject = &inject;
+    opts.seed = 31;
+
+    const Tensor full = m.net.forward(x, opts);
+    const Tensor partial = m.net.forward_from(node, cache, opts);
+    ASSERT_NEAR(max_abs_diff(full, partial), 0.0, 1e-4) << "node " << node;
+    // And the injection really did something.
+    EXPECT_GT(max_abs_diff(partial, exact), 0.0) << "node " << node;
+  }
+}
+
+TEST_P(NetworkProperty, CostsConsistentWithShapes) {
+  ZooModel m = make();
+  for (int node : m.analyzed) {
+    const auto& n = m.net.node(node);
+    ASSERT_EQ(n.inputs.size(), 1u);
+    const auto& producer = m.net.node(n.inputs[0]);
+    EXPECT_EQ(n.cost.input_elems, producer.unit_shape.numel())
+        << "node " << node << " " << n.name;
+    EXPECT_GT(n.cost.macs, 0);
+  }
+}
+
+TEST_P(NetworkProperty, LogitsFiniteUnderHeavyQuantization) {
+  // Even absurdly coarse input quantization must not produce NaN/inf.
+  ZooModel m = make();
+  std::unordered_map<int, InjectionSpec> inject;
+  for (std::size_t k = 0; k < m.analyzed.size(); ++k) {
+    FixedPointFormat f{.integer_bits = 3, .fraction_bits = 0};
+    inject.emplace(m.analyzed[k], InjectionSpec::quantize(f));
+  }
+  ForwardOptions opts;
+  opts.inject = &inject;
+  const Tensor y = m.net.forward(batch_for(m, 20, 2), opts);
+  for (std::int64_t i = 0; i < y.numel(); ++i) ASSERT_TRUE(std::isfinite(y[i]));
+}
+
+TEST_P(NetworkProperty, RangeProfilingCoversAnalyzedInputs) {
+  ZooModel m = make();
+  const std::vector<double> ranges = m.net.profile_input_ranges(batch_for(m, 0, 4));
+  for (int node : m.analyzed) {
+    EXPECT_GT(ranges[static_cast<std::size_t>(node)], 0.0) << "node " << node;
+    EXPECT_LT(ranges[static_cast<std::size_t>(node)], 1e4) << "node " << node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallZoo, NetworkProperty,
+                         ::testing::Values("tiny", "alexnet", "nin", "squeezenet", "mobilenet"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,123 @@
+// Property tests of the simplex machinery over randomized problems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "opt/simplex.hpp"
+#include "stats/rng.hpp"
+
+namespace mupod {
+namespace {
+
+class SimplexProjectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexProjectionProperty, FeasibleAndIdempotent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_index(10));
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (double& x : v) x = rng.uniform(-3.0, 3.0);
+    const double lower = rng.uniform(0.0, 0.5 / n);
+
+    const auto p = project_to_simplex(v, 1.0, lower);
+    double sum = 0.0;
+    for (double x : p) {
+      EXPECT_GE(x, lower - 1e-12);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    const auto pp = project_to_simplex(p, 1.0, lower);
+    for (std::size_t i = 0; i < p.size(); ++i) EXPECT_NEAR(pp[i], p[i], 1e-9);
+  }
+}
+
+TEST_P(SimplexProjectionProperty, IsClosestFeasiblePoint) {
+  // Projection must be at least as close to v as any random feasible point.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 3;
+    std::vector<double> v = {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const auto p = project_to_simplex(v);
+    const auto dist2 = [&](const std::vector<double>& q) {
+      double d = 0;
+      for (int i = 0; i < n; ++i) d += (q[static_cast<std::size_t>(i)] - v[static_cast<std::size_t>(i)]) *
+                                       (q[static_cast<std::size_t>(i)] - v[static_cast<std::size_t>(i)]);
+      return d;
+    };
+    const double dp = dist2(p);
+    for (int probe = 0; probe < 100; ++probe) {
+      std::vector<double> q = {rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+      const double s = q[0] + q[1] + q[2];
+      for (double& x : q) x /= s;
+      EXPECT_LE(dp, dist2(q) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexProjectionProperty, ::testing::Values(1, 2, 3, 4));
+
+class SolverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverProperty, SolversAgreeOnRandomWeightedLogObjectives) {
+  // Random instances of the paper's objective family:
+  //   F(xi) = -sum rho_K log(a_K sqrt(xi_K) + b_K), b_K small.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = 3 + static_cast<int>(rng.uniform_index(6));
+    std::vector<double> rho(static_cast<std::size_t>(n)), a(static_cast<std::size_t>(n)),
+        b(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      rho[static_cast<std::size_t>(i)] = rng.uniform(1.0, 100.0);
+      a[static_cast<std::size_t>(i)] = rng.uniform(0.5, 5.0);
+      b[static_cast<std::size_t>(i)] = rng.uniform(-0.01, 0.01);
+    }
+    SimplexProblem prob;
+    prob.objective = [&](std::span<const double> xi) {
+      double f = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const double d = std::max(a[static_cast<std::size_t>(i)] * std::sqrt(xi[static_cast<std::size_t>(i)]) +
+                                  b[static_cast<std::size_t>(i)], 1e-12);
+        f -= rho[static_cast<std::size_t>(i)] * std::log(d);
+      }
+      return f;
+    };
+    const SimplexResult pg = minimize_on_simplex(n, prob);
+    const SimplexResult sqp = sqp_minimize_on_simplex(n, prob);
+    // Both should find near-identical objective values.
+    EXPECT_NEAR(pg.objective, sqp.objective,
+                std::fabs(pg.objective) * 0.01 + 0.5)
+        << "n=" << n << " trial=" << trial;
+    // And both must beat the uniform start.
+    const std::vector<double> uniform(static_cast<std::size_t>(n), 1.0 / n);
+    EXPECT_LE(pg.objective, prob.objective(uniform) + 1e-9);
+    EXPECT_LE(sqp.objective, prob.objective(uniform) + 1e-9);
+  }
+}
+
+TEST_P(SolverProperty, SolutionsAreStationary) {
+  // At the solution, the projected gradient step must not improve the
+  // objective by more than a hair (first-order optimality).
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const int n = 4;
+  std::vector<double> rho(static_cast<std::size_t>(n));
+  for (double& r : rho) r = rng.uniform(1.0, 50.0);
+  SimplexProblem prob;
+  prob.objective = [&](std::span<const double> xi) {
+    double f = 0.0;
+    for (int i = 0; i < n; ++i)
+      f -= rho[static_cast<std::size_t>(i)] * std::log(std::max(xi[static_cast<std::size_t>(i)], 1e-12));
+    return f;
+  };
+  const SimplexResult r = minimize_on_simplex(n, prob);
+  // Known optimum: xi ~ rho.
+  const double total = std::accumulate(rho.begin(), rho.end(), 0.0);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(r.xi[static_cast<std::size_t>(i)], rho[static_cast<std::size_t>(i)] / total, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace mupod

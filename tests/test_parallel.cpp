@@ -1,0 +1,69 @@
+#include "tensor/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mupod {
+namespace {
+
+TEST(Parallel, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  std::atomic<int> count{0};
+  parallel_for(5, 5, [&](std::int64_t) { count++; });
+  parallel_for(5, 3, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(Parallel, ChunkedPartitionsDisjoint) {
+  std::vector<std::atomic<int>> hits(512);
+  parallel_for_chunked(0, 512, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, NestedCallsFallBackToSerial) {
+  std::atomic<long> total{0};
+  parallel_for_chunked(0, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      // Nested region must still execute correctly (serially).
+      parallel_for(0, 10, [&](std::int64_t) { total++; });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(Parallel, SumMatchesSerial) {
+  std::vector<double> xs(10000);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  std::atomic<long long> sum{0};
+  parallel_for_chunked(0, static_cast<std::int64_t>(xs.size()), [&](std::int64_t b, std::int64_t e) {
+    long long local = 0;
+    for (std::int64_t i = b; i < e; ++i) local += static_cast<long long>(xs[static_cast<std::size_t>(i)]);
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(Parallel, WorkerCountPositive) {
+  EXPECT_GE(parallel_worker_count(), 1);
+}
+
+TEST(Parallel, RepeatedInvocationsStable) {
+  for (int rep = 0; rep < 50; ++rep) {
+    std::atomic<int> count{0};
+    parallel_for(0, 64, [&](std::int64_t) { count++; });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace mupod

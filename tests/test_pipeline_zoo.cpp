@@ -1,0 +1,84 @@
+// Full-pipeline smoke tests across topology families: sequential+LRN
+// (AlexNet head excluded), concat (SqueezeNet fire), depthwise
+// (MobileNet). Budgets are kept tiny so each case runs in seconds; the
+// assertions check pipeline INVARIANTS, not specific numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+class PipelineZoo : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PipelineZoo, EndToEndInvariantsHold) {
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.seed = 97;
+  zo.data_seed = 55;
+  zo.calibration_images = 8;
+  zo.head_images = 96;
+  ZooModel m = build_model(GetParam(), zo);
+
+  DatasetConfig dc;
+  dc.num_classes = 10;
+  dc.channels = m.channels;
+  dc.height = m.height;
+  dc.width = m.width;
+  dc.seed = 55;
+  SyntheticImageDataset ds(dc);
+
+  PipelineConfig cfg;
+  cfg.harness.profile_images = 8;
+  cfg.harness.eval_images = 96;
+  cfg.harness.metric = AccuracyMetric::kLabels;
+  cfg.profiler.points = 5;
+  cfg.profiler.reps_per_point = 1;
+  cfg.sigma.relative_accuracy_drop = 0.10;
+
+  const std::vector<ObjectiveSpec> objectives = {objective_mac_energy(m.net, m.analyzed)};
+  const PipelineResult r = run_pipeline(m.net, m.analyzed, ds, objectives, cfg);
+
+  // Every analyzed layer got a model and a format.
+  ASSERT_EQ(r.models.size(), m.analyzed.size());
+  const auto& alloc = r.objectives[0].alloc;
+  ASSERT_EQ(alloc.bits.size(), m.analyzed.size());
+
+  int profiled = 0;
+  for (const auto& lm : r.models) {
+    if (lm.lambda > 0.0) {
+      ++profiled;
+      EXPECT_TRUE(std::isfinite(lm.lambda));
+      EXPECT_GT(lm.r2, 0.5) << GetParam() << " layer " << lm.layer_index;
+    }
+  }
+  // The vast majority of layers must profile successfully.
+  EXPECT_GE(profiled, static_cast<int>(m.analyzed.size()) - 1) << GetParam();
+
+  // xi is a distribution; bits are sane; accuracy constraint enforced.
+  const double xi_sum = std::accumulate(alloc.xi.begin(), alloc.xi.end(), 0.0);
+  EXPECT_NEAR(xi_sum, 1.0, 1e-6) << GetParam();
+  for (int b : alloc.bits) {
+    EXPECT_GE(b, 1) << GetParam();
+    EXPECT_LE(b, 24) << GetParam();
+  }
+  // Accuracy must be non-degenerate (well above the 10% chance level) —
+  // the exact (1 - drop) * float_accuracy constraint is asserted in the
+  // tiny-net pipeline tests where the harness is accessible; here we
+  // check the refinement loop produced a usable operating point for
+  // every topology family.
+  EXPECT_GT(r.objectives[0].validated_accuracy, 0.2) << GetParam();
+  EXPECT_GT(r.objectives[0].sigma_used, 0.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, PipelineZoo,
+                         ::testing::Values("tiny", "squeezenet", "mobilenet", "nin"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,101 @@
+#include "io/profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/allocator.hpp"
+#include "data/synthetic.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+struct ProfiledFixture {
+  ZooModel model;
+  std::unique_ptr<SyntheticImageDataset> dataset;
+  PipelineResult result;
+};
+
+const ProfiledFixture& fixture() {
+  static ProfiledFixture* fix = [] {
+    auto* f = new ProfiledFixture();
+    ZooOptions zo;
+    zo.num_classes = 10;
+    zo.seed = 404;
+    zo.data_seed = 8;
+    zo.calibration_images = 8;
+    f->model = build_tiny_cnn(zo);
+    DatasetConfig dc;
+    dc.num_classes = 10;
+    dc.height = 16;
+    dc.width = 16;
+    dc.seed = 8;
+    f->dataset = std::make_unique<SyntheticImageDataset>(dc);
+    PipelineConfig cfg;
+    cfg.harness.profile_images = 16;
+    cfg.harness.eval_images = 128;
+    cfg.profiler.points = 6;
+    cfg.sigma.relative_accuracy_drop = 0.05;
+    f->result = run_pipeline(f->model.net, f->model.analyzed, *f->dataset,
+                             {objective_input_bits(f->model.net, f->model.analyzed)}, cfg);
+    return f;
+  }();
+  return *fix;
+}
+
+TEST(ProfileIo, RoundTripPreservesEverything) {
+  const ProfiledFixture& f = fixture();
+  const ProfileBundle a = make_profile_bundle(f.model.net, f.model.analyzed, f.result);
+  const ProfileBundle b = parse_profile(serialize_profile(a));
+
+  EXPECT_EQ(b.network, a.network);
+  EXPECT_DOUBLE_EQ(b.sigma_yl, a.sigma_yl);
+  EXPECT_DOUBLE_EQ(b.sigma_calibrated, a.sigma_calibrated);
+  ASSERT_EQ(b.models.size(), a.models.size());
+  for (std::size_t k = 0; k < a.models.size(); ++k) {
+    EXPECT_DOUBLE_EQ(b.models[k].lambda, a.models[k].lambda);
+    EXPECT_DOUBLE_EQ(b.models[k].theta, a.models[k].theta);
+    EXPECT_DOUBLE_EQ(b.ranges[k], a.ranges[k]);
+    EXPECT_EQ(b.layer_names[k], a.layer_names[k]);
+    ASSERT_EQ(b.models[k].deltas.size(), a.models[k].deltas.size());
+    for (std::size_t i = 0; i < a.models[k].deltas.size(); ++i) {
+      EXPECT_DOUBLE_EQ(b.models[k].deltas[i], a.models[k].deltas[i]);
+      EXPECT_DOUBLE_EQ(b.models[k].sigmas[i], a.models[k].sigmas[i]);
+    }
+  }
+}
+
+TEST(ProfileIo, ReoptimizationFromLoadedProfileMatches) {
+  // The paper's workflow: persist the profile, re-run only the last step.
+  const ProfiledFixture& f = fixture();
+  const ProfileBundle bundle =
+      parse_profile(serialize_profile(make_profile_bundle(f.model.net, f.model.analyzed, f.result)));
+
+  ObjectiveSpec obj = objective_input_bits(f.model.net, f.model.analyzed);
+  const BitwidthAllocation from_memory =
+      allocate_bitwidths(f.result.models, f.result.sigma_calibrated, f.result.ranges, obj);
+  const BitwidthAllocation from_disk =
+      allocate_bitwidths(bundle.models, bundle.sigma_calibrated, bundle.ranges, obj);
+  EXPECT_EQ(from_memory.bits, from_disk.bits);
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  const ProfiledFixture& f = fixture();
+  const std::string path = std::string(::testing::TempDir()) + "/profile.txt";
+  ASSERT_TRUE(save_profile(path, make_profile_bundle(f.model.net, f.model.analyzed, f.result)));
+  const ProfileBundle loaded = load_profile(path);
+  EXPECT_EQ(loaded.models.size(), f.result.models.size());
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_profile("not a profile"), std::runtime_error);
+  EXPECT_THROW(parse_profile("mupod-profile v1\nbogus tag\n"), std::runtime_error);
+  EXPECT_THROW(parse_profile("mupod-profile v1\npoint 5 0.1 0.2\n"), std::runtime_error);
+  EXPECT_THROW(parse_profile("mupod-profile v1\nlayer 3 0 x 1 1 0 1\n"), std::runtime_error);
+  EXPECT_THROW(load_profile("/nonexistent/profile.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mupod

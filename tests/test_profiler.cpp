@@ -1,0 +1,93 @@
+// Tests of the lambda/theta profiling pass — the paper's core empirical
+// law (Eq. 5): Delta_XK is linear in sigma_{Y_{K->L}} with R^2 ~ 1.
+#include "core/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixtures.hpp"
+
+namespace mupod {
+namespace {
+
+using testfix::tiny;
+
+ProfilerConfig fast_cfg() {
+  ProfilerConfig cfg;
+  cfg.points = 8;
+  return cfg;
+}
+
+TEST(Profiler, FitsEveryAnalyzedLayer) {
+  const auto models = profile_lambda_theta(*tiny().harness, fast_cfg());
+  ASSERT_EQ(models.size(), 4u);
+  for (const auto& m : models) {
+    EXPECT_GE(m.node, 0);
+    EXPECT_EQ(static_cast<int>(m.deltas.size()), 8);
+    EXPECT_EQ(m.deltas.size(), m.sigmas.size());
+  }
+}
+
+TEST(Profiler, LinearLawHolds) {
+  // The paper reports the regression predicts Delta mostly within 5%,
+  // worst case ~10%. Our tiny network should satisfy the same bound.
+  const auto models = profile_lambda_theta(*tiny().harness, fast_cfg());
+  for (const auto& m : models) {
+    EXPECT_GT(m.lambda, 0.0) << "layer " << m.layer_index;
+    EXPECT_GT(m.r2, 0.98) << "layer " << m.layer_index;
+    EXPECT_LT(m.max_rel_error, 0.25) << "layer " << m.layer_index;
+  }
+}
+
+TEST(Profiler, SigmasIncreaseWithDelta) {
+  const LayerLinearModel m = profile_layer(*tiny().harness, 1, fast_cfg());
+  for (std::size_t i = 1; i < m.sigmas.size(); ++i) {
+    EXPECT_GT(m.sigmas[i], m.sigmas[i - 1]) << i;
+    EXPECT_GT(m.deltas[i], m.deltas[i - 1]) << i;
+  }
+}
+
+TEST(Profiler, DeltaForSigmaInvertsFit) {
+  const LayerLinearModel m = profile_layer(*tiny().harness, 0, fast_cfg());
+  // At a measured point, the model prediction is close to the true Delta.
+  const std::size_t mid = m.sigmas.size() / 2;
+  EXPECT_NEAR(m.delta_for_sigma(m.sigmas[mid]), m.deltas[mid], m.deltas[mid] * 0.15);
+}
+
+TEST(Profiler, EarlierLayersNotCheaperThanFreeLunch) {
+  // lambda encodes how much input noise a layer tolerates per unit of
+  // output error. All lambdas must be positive and finite.
+  const auto models = profile_lambda_theta(*tiny().harness, fast_cfg());
+  for (const auto& m : models) {
+    EXPECT_TRUE(std::isfinite(m.lambda));
+    EXPECT_TRUE(std::isfinite(m.theta));
+    EXPECT_GT(m.lambda, 0.0);
+    EXPECT_LT(m.lambda, 1e6);
+  }
+}
+
+TEST(Profiler, NoInterceptModeForcesThetaZero) {
+  ProfilerConfig cfg = fast_cfg();
+  cfg.no_intercept = true;
+  const LayerLinearModel m = profile_layer(*tiny().harness, 2, cfg);
+  EXPECT_DOUBLE_EQ(m.theta, 0.0);
+  EXPECT_GT(m.lambda, 0.0);
+}
+
+TEST(Profiler, DeterministicAcrossRuns) {
+  const LayerLinearModel a = profile_layer(*tiny().harness, 1, fast_cfg());
+  const LayerLinearModel b = profile_layer(*tiny().harness, 1, fast_cfg());
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+  EXPECT_DOUBLE_EQ(a.theta, b.theta);
+}
+
+TEST(Profiler, PointCountRespected) {
+  ProfilerConfig cfg;
+  cfg.points = 5;
+  const LayerLinearModel m = profile_layer(*tiny().harness, 0, cfg);
+  EXPECT_EQ(m.deltas.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,106 @@
+// Property tests of fixed point quantization, parameterized over a grid
+// of I.F formats (including negative-F implicit-shift formats).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/fixed_point.hpp"
+#include "stats/rng.hpp"
+
+namespace mupod {
+namespace {
+
+struct FormatCase {
+  int integer_bits;
+  int fraction_bits;
+};
+
+class QuantFormatProperty : public ::testing::TestWithParam<FormatCase> {
+ protected:
+  FixedPointFormat fmt() const {
+    return {.integer_bits = GetParam().integer_bits, .fraction_bits = GetParam().fraction_bits};
+  }
+  // Values well inside the representable range.
+  float sample(Rng& rng) const {
+    const double hi = fmt().max_value() * 0.9;
+    return static_cast<float>(rng.uniform(-hi, hi));
+  }
+};
+
+TEST_P(QuantFormatProperty, Idempotent) {
+  Rng rng(GetParam().integer_bits * 131 + GetParam().fraction_bits + 64);
+  const FixedPointFormat f = fmt();
+  for (int i = 0; i < 2000; ++i) {
+    const float x = sample(rng);
+    const float q = quantize_value(x, f);
+    EXPECT_EQ(quantize_value(q, f), q) << "x=" << x;
+  }
+}
+
+TEST_P(QuantFormatProperty, ErrorBoundedByDelta) {
+  Rng rng(GetParam().integer_bits * 7 + GetParam().fraction_bits + 512);
+  const FixedPointFormat f = fmt();
+  const double bound = f.delta() * (1.0 + 1e-6) + 1e-7;
+  for (int i = 0; i < 2000; ++i) {
+    const float x = sample(rng);
+    EXPECT_LE(std::fabs(quantize_value(x, f) - x), bound) << "x=" << x;
+  }
+}
+
+TEST_P(QuantFormatProperty, Monotone) {
+  Rng rng(GetParam().integer_bits * 31 + GetParam().fraction_bits + 1024);
+  const FixedPointFormat f = fmt();
+  for (int i = 0; i < 2000; ++i) {
+    const float a = sample(rng);
+    const float b = sample(rng);
+    const float qa = quantize_value(std::min(a, b), f);
+    const float qb = quantize_value(std::max(a, b), f);
+    EXPECT_LE(qa, qb);
+  }
+}
+
+TEST_P(QuantFormatProperty, ZeroIsExact) {
+  EXPECT_EQ(quantize_value(0.0f, fmt()), 0.0f);
+}
+
+TEST_P(QuantFormatProperty, OutputOnStepGrid) {
+  Rng rng(GetParam().integer_bits * 17 + GetParam().fraction_bits + 99);
+  const FixedPointFormat f = fmt();
+  for (int i = 0; i < 1000; ++i) {
+    const float q = quantize_value(sample(rng), f);
+    const double steps = static_cast<double>(q) / f.step();
+    EXPECT_NEAR(steps, std::nearbyint(steps), 1e-6) << q;
+  }
+}
+
+TEST_P(QuantFormatProperty, SaturationClampsToRange) {
+  const FixedPointFormat f = fmt();
+  EXPECT_FLOAT_EQ(quantize_value(1e30f, f), static_cast<float>(f.max_value()));
+  EXPECT_FLOAT_EQ(quantize_value(-1e30f, f), static_cast<float>(f.min_value()));
+}
+
+TEST_P(QuantFormatProperty, NoiseStddevTracksTheory) {
+  // Dense uniform population: measured error s.d. ~= 2*Delta/sqrt(12).
+  const FixedPointFormat f = fmt();
+  Tensor t(Shape({100000}));
+  Rng rng(5);
+  const double hi = f.max_value() * 0.9;
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-hi, hi));
+  const QuantErrorStats st = quantization_error_stats(t, f);
+  EXPECT_NEAR(st.stddev, f.noise_stddev(), f.noise_stddev() * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FormatGrid, QuantFormatProperty,
+    ::testing::Values(FormatCase{2, 10}, FormatCase{4, 8}, FormatCase{6, 4}, FormatCase{8, 0},
+                      FormatCase{9, -3}, FormatCase{10, -4}, FormatCase{3, 13},
+                      FormatCase{12, 2}),
+    [](const auto& info) {
+      const int f = info.param.fraction_bits;
+      return "I" + std::to_string(info.param.integer_bits) +
+             (f < 0 ? "Fm" + std::to_string(-f) : "F" + std::to_string(f));
+    });
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,87 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace mupod {
+namespace {
+
+TEST(Regression, ExactLine) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys = {3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_EQ(f.n, 4);
+}
+
+TEST(Regression, PredictAndInvert) {
+  LinearFit f;
+  f.slope = 3.0;
+  f.intercept = -1.0;
+  EXPECT_DOUBLE_EQ(f.predict(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.invert(5.0), 2.0);
+}
+
+TEST(Regression, NoisyLineRecovered) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(0.7 * x + 2.0 + rng.gaussian(0.0, 0.05));
+  }
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 0.7, 0.01);
+  EXPECT_NEAR(f.intercept, 2.0, 0.05);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Regression, DegenerateInputs) {
+  std::vector<double> one = {1.0};
+  EXPECT_EQ(fit_linear(one, one).n, 0);
+
+  std::vector<double> xs = {2.0, 2.0, 2.0};
+  std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(fit_linear(xs, ys).n, 0);  // vertical line: no fit
+}
+
+TEST(Regression, MismatchedSizes) {
+  std::vector<double> xs = {1.0, 2.0};
+  std::vector<double> ys = {1.0};
+  EXPECT_EQ(fit_linear(xs, ys).n, 0);
+}
+
+TEST(Regression, ConstantYsPerfectFlatFit) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  std::vector<double> ys = {4.0, 4.0, 4.0};
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);
+}
+
+TEST(RegressionNoIntercept, ExactProportional) {
+  std::vector<double> xs = {1.0, 2.0, 4.0};
+  std::vector<double> ys = {2.5, 5.0, 10.0};
+  const LinearFit f = fit_linear_no_intercept(xs, ys);
+  EXPECT_NEAR(f.slope, 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(f.intercept, 0.0);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(RegressionNoIntercept, BiasedDataFitsWorse) {
+  // y = x + 10: the through-origin fit must have lower r2 than the full fit.
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> ys = {11.0, 12.0, 13.0, 14.0, 15.0};
+  const LinearFit with = fit_linear(xs, ys);
+  const LinearFit without = fit_linear_no_intercept(xs, ys);
+  EXPECT_GT(with.r2, without.r2);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,89 @@
+#include "io/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/synthetic.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+struct ReportFixture {
+  ZooModel model;
+  std::unique_ptr<SyntheticImageDataset> dataset;
+  PipelineResult result;
+};
+
+const ReportFixture& fixture() {
+  static ReportFixture* fix = [] {
+    auto* f = new ReportFixture();
+    ZooOptions zo;
+    zo.num_classes = 10;
+    zo.seed = 77;
+    zo.calibration_images = 8;
+    f->model = build_tiny_cnn(zo);
+    DatasetConfig dc;
+    dc.num_classes = 10;
+    dc.height = 16;
+    dc.width = 16;
+    f->dataset = std::make_unique<SyntheticImageDataset>(dc);
+    PipelineConfig cfg;
+    cfg.harness.profile_images = 16;
+    cfg.harness.eval_images = 128;
+    cfg.profiler.points = 6;
+    cfg.sigma.relative_accuracy_drop = 0.05;
+    cfg.search_weights = true;
+    f->result = run_pipeline(f->model.net, f->model.analyzed, *f->dataset,
+                             {objective_input_bits(f->model.net, f->model.analyzed)}, cfg);
+    return f;
+  }();
+  return *fix;
+}
+
+TEST(Report, ContainsAllSections) {
+  const ReportFixture& f = fixture();
+  ReportOptions opts;
+  opts.title = "tiny report";
+  const std::string md = render_report(f.model.net, f.model.analyzed, f.result, opts);
+  EXPECT_NE(md.find("# tiny report"), std::string::npos);
+  EXPECT_NE(md.find("Per-layer error propagation"), std::string::npos);
+  EXPECT_NE(md.find("Objective `input_bits`"), std::string::npos);
+  EXPECT_NE(md.find("## Timings"), std::string::npos);
+  // Every analyzed layer appears by name.
+  for (int id : f.model.analyzed)
+    EXPECT_NE(md.find(f.model.net.node(id).name), std::string::npos);
+}
+
+TEST(Report, OmitsOptionalSections) {
+  const ReportFixture& f = fixture();
+  ReportOptions opts;
+  opts.include_lambda_theta = false;
+  opts.include_xi = false;
+  const std::string md = render_report(f.model.net, f.model.analyzed, f.result, opts);
+  EXPECT_EQ(md.find("Per-layer error propagation"), std::string::npos);
+  EXPECT_EQ(md.find("| xi |"), std::string::npos);
+}
+
+TEST(Report, WritesFile) {
+  const ReportFixture& f = fixture();
+  const std::string path = std::string(::testing::TempDir()) + "/report.md";
+  ASSERT_TRUE(write_report(path, f.model.net, f.model.analyzed, f.result));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("# ", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteFailsOnBadPath) {
+  const ReportFixture& f = fixture();
+  EXPECT_FALSE(write_report("/nonexistent_dir_xyz/report.md", f.model.net, f.model.analyzed,
+                            f.result));
+}
+
+}  // namespace
+}  // namespace mupod

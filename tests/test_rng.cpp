@@ -1,0 +1,107 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mupod {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntervalBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform(-1.0, 1.0);
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  // Var of U[-1,1] = (b-a)^2/12 = 1/3.
+  EXPECT_NEAR(var, 1.0 / 3.0, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(5.0, 0.5);
+    sum += g;
+    sumsq += (g - 5.0) * (g - 5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sumsq / n), 0.5, 0.02);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(42);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(10), 10u);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+}
+
+TEST(Splitmix, AdvancesState) {
+  std::uint64_t s = 1;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mupod

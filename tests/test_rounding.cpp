@@ -1,0 +1,104 @@
+#include "quant/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace mupod {
+namespace {
+
+FixedPointFormat fmt44() { return {.integer_bits = 4, .fraction_bits = 4}; }
+
+TEST(Rounding, NearestMatchesDefaultQuantizer) {
+  Rng rng(1);
+  const FixedPointFormat f = fmt44();
+  for (int i = 0; i < 2000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-7.0, 7.0));
+    EXPECT_EQ(quantize_value_mode(x, f, RoundingMode::kNearest, rng), quantize_value(x, f));
+  }
+}
+
+TEST(Rounding, TruncateNeverRoundsUp) {
+  Rng rng(2);
+  const FixedPointFormat f = fmt44();
+  for (int i = 0; i < 2000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-7.0, 7.0));
+    EXPECT_LE(quantize_value_mode(x, f, RoundingMode::kTruncate, rng), x + 1e-6);
+  }
+}
+
+TEST(Rounding, StochasticIsUnbiased) {
+  Rng rng(3);
+  const FixedPointFormat f = fmt44();
+  const float x = 1.03125f;  // half a step above 1.0
+  RunningStats rs;
+  for (int i = 0; i < 40000; ++i) rs.add(quantize_value_mode(x, f, RoundingMode::kStochastic, rng));
+  EXPECT_NEAR(rs.mean(), x, 5e-4);
+}
+
+TEST(Rounding, StochasticRoundsToNeighbors) {
+  Rng rng(4);
+  const FixedPointFormat f = fmt44();
+  const float x = 2.02f;
+  const float lo = 2.0f, hi = 2.0625f;
+  for (int i = 0; i < 1000; ++i) {
+    const float q = quantize_value_mode(x, f, RoundingMode::kStochastic, rng);
+    EXPECT_TRUE(q == lo || q == hi) << q;
+  }
+}
+
+class RoundingMoments : public ::testing::TestWithParam<RoundingMode> {};
+
+TEST_P(RoundingMoments, MeasuredMomentsMatchModel) {
+  const FixedPointFormat f = fmt44();
+  const RoundingErrorModel model = rounding_error_model(f, GetParam());
+
+  Tensor t(Shape({200000}));
+  Rng rng(7);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-7.0, 7.0));
+  Tensor q = t;
+  quantize_tensor_mode(q, f, GetParam(), 99);
+
+  RunningStats rs;
+  for (std::int64_t i = 0; i < t.numel(); ++i) rs.add(static_cast<double>(q[i]) - t[i]);
+  EXPECT_NEAR(rs.mean(), model.mean, f.step() * 0.02);
+  EXPECT_NEAR(rs.stddev(), model.stddev, model.stddev * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, RoundingMoments,
+                         ::testing::Values(RoundingMode::kNearest, RoundingMode::kTruncate,
+                                           RoundingMode::kStochastic),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case RoundingMode::kNearest: return "nearest";
+                             case RoundingMode::kTruncate: return "truncate";
+                             default: return "stochastic";
+                           }
+                         });
+
+TEST(Rounding, TruncationBiasIsWorstForErrorModel) {
+  // The paper's zero-mean uniform noise model requires correct rounding;
+  // truncation shifts the mean by -step/2, which the model cannot absorb.
+  const FixedPointFormat f = fmt44();
+  EXPECT_DOUBLE_EQ(rounding_error_model(f, RoundingMode::kNearest).mean, 0.0);
+  EXPECT_LT(rounding_error_model(f, RoundingMode::kTruncate).mean, 0.0);
+  EXPECT_GT(rounding_error_model(f, RoundingMode::kStochastic).stddev,
+            rounding_error_model(f, RoundingMode::kNearest).stddev);
+}
+
+TEST(Rounding, DeterministicGivenSeed) {
+  const FixedPointFormat f = fmt44();
+  Tensor a(Shape({256}));
+  Rng rng(5);
+  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] = static_cast<float>(rng.uniform(-7, 7));
+  Tensor b = a;
+  quantize_tensor_mode(a, f, RoundingMode::kStochastic, 42);
+  quantize_tensor_mode(b, f, RoundingMode::kStochastic, 42);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace mupod

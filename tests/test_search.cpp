@@ -1,0 +1,59 @@
+#include "opt/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mupod {
+namespace {
+
+TEST(BinarySearch, FindsThresholdFromBelow) {
+  // satisfied(x) == x <= 3.7, starting upper bound 1 (needs doubling).
+  const auto res = binary_search_max_satisfying([](double x) { return x <= 3.7; });
+  EXPECT_NEAR(res.value, 3.7, 0.01);
+  EXPECT_TRUE(res.bounded);
+}
+
+TEST(BinarySearch, FindsThresholdBelowInitialUpper) {
+  const auto res = binary_search_max_satisfying([](double x) { return x <= 0.32; });
+  EXPECT_NEAR(res.value, 0.32, 0.01);
+}
+
+TEST(BinarySearch, ToleranceRespected) {
+  BinarySearchOptions opts;
+  opts.tolerance = 1e-6;
+  const auto res = binary_search_max_satisfying([](double x) { return x <= 0.123456; }, opts);
+  EXPECT_NEAR(res.value, 0.123456, 1e-6);
+}
+
+TEST(BinarySearch, NothingSatisfiesReturnsZero) {
+  const auto res = binary_search_max_satisfying([](double) { return false; });
+  EXPECT_NEAR(res.value, 0.0, 0.01);
+}
+
+TEST(BinarySearch, EverythingSatisfiesReportsUnbounded) {
+  BinarySearchOptions opts;
+  opts.max_doublings = 5;
+  const auto res = binary_search_max_satisfying([](double) { return true; }, opts);
+  EXPECT_FALSE(res.bounded);
+  EXPECT_GT(res.value, 0.0);
+}
+
+TEST(BinarySearch, EvaluationCountIsLogarithmic) {
+  BinarySearchOptions opts;
+  opts.tolerance = 0.01;
+  const auto res = binary_search_max_satisfying([](double x) { return x <= 7.3; }, opts);
+  // Doublings (~4) + bisection of [4, 8] down to 0.01 (~9) + slack.
+  EXPECT_LT(res.evaluations, 25);
+}
+
+TEST(BinarySearch, MonotonePredicateOnNoisyBoundary) {
+  // The value the paper searches (sigma vs accuracy) is monotone; check a
+  // steep-but-smooth predicate converges to its knee.
+  const auto satisfied = [](double x) { return 1.0 / (1.0 + std::exp(10 * (x - 2.0))) > 0.5; };
+  const auto res = binary_search_max_satisfying(satisfied);
+  EXPECT_NEAR(res.value, 2.0, 0.02);
+}
+
+}  // namespace
+}  // namespace mupod

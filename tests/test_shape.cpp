@@ -1,0 +1,64 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mupod {
+namespace {
+
+TEST(Shape, DefaultIsEmpty) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, RankAndDims) {
+  Shape s({2, 3, 4, 5});
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(3), 5);
+  EXPECT_EQ(s[1], 3);
+}
+
+TEST(Shape, Numel) {
+  EXPECT_EQ(Shape({7}).numel(), 7);
+  EXPECT_EQ(Shape({2, 3}).numel(), 6);
+  EXPECT_EQ(Shape({2, 3, 4, 5}).numel(), 120);
+}
+
+TEST(Shape, NumelWithZeroDim) {
+  EXPECT_EQ(Shape({0, 5}).numel(), 0);
+}
+
+TEST(Shape, NchwAccessors) {
+  Shape s({8, 3, 32, 16});
+  EXPECT_EQ(s.n(), 8);
+  EXPECT_EQ(s.c(), 3);
+  EXPECT_EQ(s.h(), 32);
+  EXPECT_EQ(s.w(), 16);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+}
+
+TEST(Shape, WithDim) {
+  Shape s({4, 3, 8, 8});
+  Shape t = s.with_dim(0, 16);
+  EXPECT_EQ(t.n(), 16);
+  EXPECT_EQ(t.c(), 3);
+  EXPECT_EQ(s.n(), 4);  // original untouched
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({1, 2, 3}).to_string(), "(1, 2, 3)");
+  EXPECT_EQ(Shape({7}).to_string(), "(7)");
+}
+
+TEST(Shape, ScalarFactory) {
+  EXPECT_EQ(Shape::scalar().numel(), 1);
+}
+
+}  // namespace
+}  // namespace mupod

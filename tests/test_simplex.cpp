@@ -1,0 +1,139 @@
+#include "opt/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace mupod {
+namespace {
+
+double sum_of(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(SimplexProjection, AlreadyFeasibleUnchanged) {
+  std::vector<double> v = {0.2, 0.3, 0.5};
+  const auto p = project_to_simplex(v);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(p[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)], 1e-12);
+}
+
+TEST(SimplexProjection, NormalizesSum) {
+  std::vector<double> v = {2.0, 2.0};
+  const auto p = project_to_simplex(v);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+TEST(SimplexProjection, ClampsNegatives) {
+  std::vector<double> v = {-5.0, 1.0, 1.0};
+  const auto p = project_to_simplex(v);
+  EXPECT_NEAR(p[0], 0.0, 1e-12);
+  EXPECT_NEAR(sum_of(p), 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+TEST(SimplexProjection, RespectsLowerBound) {
+  std::vector<double> v = {-10.0, 5.0, 5.0};
+  const auto p = project_to_simplex(v, 1.0, 0.05);
+  EXPECT_NEAR(p[0], 0.05, 1e-12);
+  EXPECT_NEAR(sum_of(p), 1.0, 1e-12);
+  for (double x : p) EXPECT_GE(x, 0.05 - 1e-12);
+}
+
+TEST(SimplexProjection, CustomTotal) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  const auto p = project_to_simplex(v, 2.0);
+  EXPECT_NEAR(sum_of(p), 2.0, 1e-12);
+}
+
+// --- solvers ---------------------------------------------------------------
+
+SimplexProblem quadratic_problem(const std::vector<double>& target) {
+  SimplexProblem prob;
+  prob.objective = [target](std::span<const double> x) {
+    double f = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) f += (x[i] - target[i]) * (x[i] - target[i]);
+    return f;
+  };
+  prob.gradient = [target](std::span<const double> x, std::span<double> g) {
+    for (std::size_t i = 0; i < x.size(); ++i) g[i] = 2.0 * (x[i] - target[i]);
+  };
+  return prob;
+}
+
+TEST(SimplexSolvers, QuadraticWithInteriorOptimum) {
+  const std::vector<double> target = {0.5, 0.3, 0.2};  // already on the simplex
+  for (auto solver : {&minimize_on_simplex, &sqp_minimize_on_simplex}) {
+    const SimplexResult r = solver(3, quadratic_problem(target), {}, {});
+    for (int i = 0; i < 3; ++i)
+      EXPECT_NEAR(r.xi[static_cast<std::size_t>(i)], target[static_cast<std::size_t>(i)], 1e-4);
+    EXPECT_NEAR(sum_of(r.xi), 1.0, 1e-9);
+  }
+}
+
+TEST(SimplexSolvers, QuadraticWithExteriorOptimum) {
+  // Unconstrained optimum off the simplex; solution is its projection.
+  const std::vector<double> target = {2.0, 0.0, 0.0};
+  const auto expected = project_to_simplex(target, 1.0, 1e-4);
+  for (auto solver : {&minimize_on_simplex, &sqp_minimize_on_simplex}) {
+    const SimplexResult r = solver(3, quadratic_problem(target), {}, {});
+    for (int i = 0; i < 3; ++i)
+      EXPECT_NEAR(r.xi[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)], 1e-3);
+  }
+}
+
+TEST(SimplexSolvers, EntropyLikeObjectiveClosedForm) {
+  // min -sum(w_i * log(x_i)) on the simplex has solution x_i = w_i/sum(w).
+  const std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  SimplexProblem prob;
+  prob.objective = [w](std::span<const double> x) {
+    double f = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) f -= w[i] * std::log(std::max(x[i], 1e-300));
+    return f;
+  };
+  const double total = 10.0;
+  for (auto solver : {&minimize_on_simplex, &sqp_minimize_on_simplex}) {
+    const SimplexResult r = solver(4, prob, {}, {});
+    for (int i = 0; i < 4; ++i)
+      EXPECT_NEAR(r.xi[static_cast<std::size_t>(i)], w[static_cast<std::size_t>(i)] / total, 2e-3);
+  }
+}
+
+TEST(SimplexSolvers, NumericGradientFallback) {
+  SimplexProblem prob;
+  prob.objective = [](std::span<const double> x) {
+    return (x[0] - 0.7) * (x[0] - 0.7) + (x[1] - 0.3) * (x[1] - 0.3);
+  };
+  // No gradient supplied.
+  const SimplexResult r = minimize_on_simplex(2, prob);
+  EXPECT_NEAR(r.xi[0], 0.7, 1e-3);
+  EXPECT_NEAR(r.xi[1], 0.3, 1e-3);
+}
+
+TEST(SimplexSolvers, RespectsMinXi) {
+  SimplexProblem prob = quadratic_problem({1.0, 0.0, 0.0});
+  SimplexSolverOptions opts;
+  opts.min_xi = 0.01;
+  for (auto solver : {&minimize_on_simplex, &sqp_minimize_on_simplex}) {
+    const SimplexResult r = solver(3, prob, opts, {});
+    for (double x : r.xi) EXPECT_GE(x, 0.01 - 1e-9);
+  }
+}
+
+TEST(SimplexSolvers, HonorsInitialPoint) {
+  SimplexProblem prob = quadratic_problem({0.25, 0.25, 0.25, 0.25});
+  const std::vector<double> init = {0.97, 0.01, 0.01, 0.01};
+  const SimplexResult r = minimize_on_simplex(4, prob, {}, init);
+  for (double x : r.xi) EXPECT_NEAR(x, 0.25, 1e-3);
+}
+
+TEST(SimplexSolvers, SingleCoordinate) {
+  SimplexProblem prob;
+  prob.objective = [](std::span<const double> x) { return x[0] * x[0]; };
+  const SimplexResult r = minimize_on_simplex(1, prob);
+  EXPECT_NEAR(r.xi[0], 1.0, 1e-12);  // only feasible point
+}
+
+}  // namespace
+}  // namespace mupod

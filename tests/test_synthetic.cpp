@@ -1,0 +1,113 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace mupod {
+namespace {
+
+DatasetConfig small_cfg() {
+  DatasetConfig cfg;
+  cfg.num_classes = 5;
+  cfg.channels = 3;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Synthetic, Deterministic) {
+  SyntheticImageDataset a(small_cfg());
+  SyntheticImageDataset b(small_cfg());
+  const Tensor ba = a.make_batch(10, 4);
+  const Tensor bb = b.make_batch(10, 4);
+  EXPECT_DOUBLE_EQ(max_abs_diff(ba, bb), 0.0);
+}
+
+TEST(Synthetic, BatchSplitInvariant) {
+  SyntheticImageDataset ds(small_cfg());
+  const Tensor whole = ds.make_batch(0, 6);
+  const Tensor first = ds.make_batch(0, 3);
+  const Tensor second = ds.make_batch(3, 3);
+  for (int n = 0; n < 3; ++n)
+    for (int c = 0; c < 3; ++c)
+      for (int h = 0; h < 8; ++h)
+        for (int w = 0; w < 8; ++w) {
+          EXPECT_FLOAT_EQ(whole.at(n, c, h, w), first.at(n, c, h, w));
+          EXPECT_FLOAT_EQ(whole.at(n + 3, c, h, w), second.at(n, c, h, w));
+        }
+}
+
+TEST(Synthetic, LabelsCycleClasses) {
+  SyntheticImageDataset ds(small_cfg());
+  const std::vector<int> labels = ds.labels(0, 12);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(labels[static_cast<std::size_t>(i)], i % 5);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  DatasetConfig c1 = small_cfg();
+  DatasetConfig c2 = small_cfg();
+  c2.seed = 8;
+  SyntheticImageDataset a(c1), b(c2);
+  EXPECT_GT(max_abs_diff(a.make_batch(0, 2), b.make_batch(0, 2)), 0.0);
+}
+
+TEST(Synthetic, SameClassSharesStructure) {
+  // Images of the same class must correlate more than images of different
+  // classes (otherwise the class prototypes are meaningless).
+  DatasetConfig cfg = small_cfg();
+  cfg.noise = 0.1f;
+  SyntheticImageDataset ds(cfg);
+  const Tensor b = ds.make_batch(0, 15);  // 3 images per class
+
+  const auto correlation = [&](int i, int j) {
+    double si = 0, sj = 0, sij = 0, sii = 0, sjj = 0;
+    const std::int64_t sz = b.numel() / 15;
+    for (std::int64_t k = 0; k < sz; ++k) {
+      const double x = b[i * sz + k], y = b[j * sz + k];
+      si += x; sj += y; sij += x * y; sii += x * x; sjj += y * y;
+    }
+    const double n = static_cast<double>(sz);
+    const double cov = sij / n - (si / n) * (sj / n);
+    const double vx = sii / n - (si / n) * (si / n);
+    const double vy = sjj / n - (sj / n) * (sj / n);
+    return cov / std::sqrt(vx * vy);
+  };
+
+  // Same class: (0, 5), (0, 10). Different: (0, 1), (0, 2).
+  const double same = 0.5 * (correlation(0, 5) + correlation(0, 10));
+  const double diff = 0.5 * (correlation(0, 1) + correlation(0, 2));
+  EXPECT_GT(same, diff + 0.2);
+}
+
+TEST(Synthetic, ValuesBounded) {
+  SyntheticImageDataset ds(small_cfg());
+  const Tensor b = ds.make_batch(0, 20);
+  // Sum of <=4 unit-amplitude gratings + noise: must stay in sane range.
+  EXPECT_LT(b.max_abs(), 10.0f);
+  EXPECT_GT(b.stddev(), 0.1);
+}
+
+TEST(ArgmaxRows, MatchesTensorArgmax) {
+  Tensor logits(Shape({3, 4}));
+  logits[1] = 1.0f;            // row 0 -> 1
+  logits[4 + 3] = 2.0f;        // row 1 -> 3
+  logits[8 + 0] = 0.5f;        // row 2 -> 0
+  const std::vector<int> am = argmax_rows(logits);
+  EXPECT_EQ(am, (std::vector<int>{1, 3, 0}));
+}
+
+TEST(Top1Agreement, CountsMatches) {
+  Tensor logits(Shape({2, 3}));
+  logits[2] = 1.0f;  // row 0 -> 2
+  logits[3] = 1.0f;  // row 1 -> 0
+  EXPECT_DOUBLE_EQ(top1_agreement(logits, {2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(top1_agreement(logits, {2, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(top1_agreement(logits, {0, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,53 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mupod {
+namespace {
+
+TEST(TextTable, AlignedRendering) {
+  TextTable t({"layer", "bits"});
+  t.add_row({"conv1", "9"});
+  t.add_row({"conv10", "6"});
+  const std::string s = t.render_text();
+  EXPECT_NE(s.find("layer"), std::string::npos);
+  EXPECT_NE(s.find("conv10"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvRendering) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+  TextTable t({"a"});
+  t.add_row({"x,y"});
+  EXPECT_EQ(t.render_csv(), "a\n\"x,y\"\n");
+}
+
+TEST(TextTable, MarkdownRendering) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string s = t.render_markdown();
+  EXPECT_EQ(s, "| a | b |\n|---|---|\n| 1 | 2 |\n");
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(3.14159, 0), "3");
+  EXPECT_EQ(TextTable::fmt_int(1234567), "1234567");
+}
+
+TEST(TextTable, Dimensions) {
+  TextTable t({"x", "y", "z"});
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.rows(), 0);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,109 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mupod {
+namespace {
+
+TEST(Tensor, ConstructFill) {
+  Tensor t(Shape({2, 3}), 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, NchwIndexing) {
+  Tensor t(Shape({2, 3, 4, 5}));
+  t.at(1, 2, 3, 4) = 42.0f;
+  // Flat index: ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_FLOAT_EQ(t[119], 42.0f);
+  EXPECT_EQ(t.index(1, 2, 3, 4), 119);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t(Shape({2, 6}));
+  t[7] = 3.0f;
+  t.reshape(Shape({2, 3, 2, 1}));
+  EXPECT_EQ(t.shape(), Shape({2, 3, 2, 1}));
+  EXPECT_FLOAT_EQ(t[7], 3.0f);  // data untouched
+}
+
+TEST(Tensor, Arithmetic) {
+  Tensor a(Shape({4}), 2.0f);
+  Tensor b(Shape({4}), 3.0f);
+  a += b;
+  EXPECT_FLOAT_EQ(a[0], 5.0f);
+  a -= b;
+  EXPECT_FLOAT_EQ(a[2], 2.0f);
+  a *= 4.0f;
+  EXPECT_FLOAT_EQ(a[3], 8.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t(Shape({4}));
+  t[0] = -3.0f;
+  t[1] = 1.0f;
+  t[2] = 2.0f;
+  t[3] = 0.0f;
+  EXPECT_FLOAT_EQ(t.max_abs(), 3.0f);
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 2.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(Tensor, Stddev) {
+  Tensor t(Shape({2}));
+  t[0] = -1.0f;
+  t[1] = 1.0f;
+  EXPECT_NEAR(t.stddev(), 1.0, 1e-12);  // population stddev
+}
+
+TEST(Tensor, ArgmaxRow) {
+  Tensor t(Shape({2, 3}));
+  t[0] = 0.1f; t[1] = 0.9f; t[2] = 0.3f;   // row 0 -> 1
+  t[3] = 5.0f; t[4] = -1.0f; t[5] = 4.9f;  // row 1 -> 0
+  EXPECT_EQ(t.argmax_row(0), 1);
+  EXPECT_EQ(t.argmax_row(1), 0);
+}
+
+TEST(Tensor, ArgmaxRowRank4) {
+  Tensor t(Shape({1, 4, 1, 1}));
+  t[2] = 7.0f;
+  EXPECT_EQ(t.argmax_row(0), 2);
+}
+
+TEST(Tensor, Subtract) {
+  Tensor a(Shape({3}), 5.0f);
+  Tensor b(Shape({3}), 2.0f);
+  Tensor c = subtract(a, b);
+  EXPECT_FLOAT_EQ(c[1], 3.0f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a(Shape({3}), 1.0f);
+  Tensor b(Shape({3}), 1.0f);
+  b[2] = -1.0f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+}
+
+TEST(Tensor, StddevOfDiffMatchesMaterialized) {
+  Tensor a(Shape({64}));
+  Tensor b(Shape({64}));
+  for (int i = 0; i < 64; ++i) {
+    a[i] = static_cast<float>(i) * 0.25f;
+    b[i] = static_cast<float>(i % 7) - 2.0f;
+  }
+  const Tensor d = subtract(a, b);
+  EXPECT_NEAR(stddev_of_diff(a, b), d.stddev(), 1e-9);
+}
+
+TEST(Tensor, ApplyTransform) {
+  Tensor t(Shape({3}), -2.0f);
+  t.apply([](float v) { return std::fabs(v); });
+  EXPECT_FLOAT_EQ(t[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace mupod

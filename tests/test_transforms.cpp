@@ -1,0 +1,112 @@
+#include "nn/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "stats/rng.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+// conv -> bn -> relu -> conv -> bn(shared conv) chain + a BN whose conv
+// feeds two consumers (unfoldable).
+Network make_bn_net() {
+  Network net("bn_net");
+  net.add_input("data", 2, 6, 6);
+  Conv2DLayer::Config c;
+  c.in_channels = 2;
+  c.out_channels = 4;
+  c.kernel_h = c.kernel_w = 3;
+  c.pad = 1;
+  net.add("conv1", std::make_unique<Conv2DLayer>(c), std::vector<std::string>{"data"});
+  net.add("bn1", std::make_unique<BatchNormScaleLayer>(4), std::vector<std::string>{"conv1"});
+  net.add("relu1", std::make_unique<ReLULayer>(), std::vector<std::string>{"bn1"});
+  Conv2DLayer::Config c2 = c;
+  c2.in_channels = 4;
+  c2.has_bias = false;  // exercises the bias-materialization path
+  net.add("conv2", std::make_unique<Conv2DLayer>(c2), std::vector<std::string>{"relu1"});
+  net.add("bn2", std::make_unique<BatchNormScaleLayer>(4), std::vector<std::string>{"conv2"});
+  // conv3 feeds BOTH bn3 and the eltwise: bn3 must NOT fold.
+  Conv2DLayer::Config c3 = c;
+  c3.in_channels = 4;
+  net.add("conv3", std::make_unique<Conv2DLayer>(c3), std::vector<std::string>{"bn2"});
+  net.add("bn3", std::make_unique<BatchNormScaleLayer>(4), std::vector<std::string>{"conv3"});
+  net.add("add", std::make_unique<EltwiseAddLayer>(), std::vector<std::string>{"bn3", "conv3"});
+  net.finalize();
+
+  init_weights_he(net, 17);
+  // Non-trivial BN parameters.
+  Rng rng(5);
+  for (const char* name : {"bn1", "bn2", "bn3"}) {
+    auto& bn = static_cast<BatchNormScaleLayer&>(net.layer(net.node_id(name)));
+    for (std::int64_t i = 0; i < bn.scale().numel(); ++i) {
+      bn.scale()[i] = static_cast<float>(rng.uniform(0.5, 1.5));
+      bn.shift()[i] = static_cast<float>(rng.uniform(-0.3, 0.3));
+    }
+  }
+  return net;
+}
+
+Tensor probe_input(std::uint64_t seed) {
+  Tensor x(Shape({3, 2, 6, 6}));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.gaussian());
+  return x;
+}
+
+TEST(FoldBatchnorm, CountsFoldablePairs) {
+  Network net = make_bn_net();
+  EXPECT_EQ(count_foldable_batchnorm(net), 2);  // bn1, bn2; bn3 blocked
+}
+
+TEST(FoldBatchnorm, PreservesForwardExactly) {
+  Network net = make_bn_net();
+  Network folded = fold_batchnorm(net);
+  const Tensor x = probe_input(3);
+  EXPECT_LT(max_abs_diff(net.forward(x), folded.forward(x)), 1e-4);
+}
+
+TEST(FoldBatchnorm, RemovesFoldedNodes) {
+  Network net = make_bn_net();
+  Network folded = fold_batchnorm(net);
+  EXPECT_EQ(folded.num_nodes(), net.num_nodes() - 2);
+  EXPECT_EQ(folded.node_id("bn1"), -1);
+  EXPECT_EQ(folded.node_id("bn2"), -1);
+  EXPECT_NE(folded.node_id("bn3"), -1);  // unfoldable BN survives
+  EXPECT_NE(folded.node_id("conv1"), -1);
+}
+
+TEST(FoldBatchnorm, MaterializesBiasWhenAbsent) {
+  Network net = make_bn_net();
+  Network folded = fold_batchnorm(net);
+  const auto& conv2 = static_cast<const Conv2DLayer&>(folded.layer(folded.node_id("conv2")));
+  ASSERT_NE(conv2.bias(), nullptr);
+  // Folded bias equals bn2's shift (conv2 had no bias of its own).
+  const auto& bn2 = static_cast<const BatchNormScaleLayer&>(net.layer(net.node_id("bn2")));
+  for (int c = 0; c < 4; ++c) EXPECT_FLOAT_EQ((*conv2.bias())[c], bn2.shift()[c]);
+}
+
+TEST(FoldBatchnorm, IdempotentOnBnFreeNets) {
+  ZooOptions opts;
+  opts.calibration_images = 0;
+  opts.head_images = 0;
+  ZooModel m = build_nin(opts);
+  EXPECT_EQ(count_foldable_batchnorm(m.net), 0);
+  Network folded = fold_batchnorm(m.net);
+  EXPECT_EQ(folded.num_nodes(), m.net.num_nodes());
+}
+
+TEST(NetworkSummary, ListsEveryNodeAndTotals) {
+  Network net = make_bn_net();
+  const std::string s = network_summary(net);
+  EXPECT_NE(s.find("conv1"), std::string::npos);
+  EXPECT_NE(s.find("bn3"), std::string::npos);
+  EXPECT_NE(s.find("total params:"), std::string::npos);
+  EXPECT_NE(s.find("total MACs/image:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mupod

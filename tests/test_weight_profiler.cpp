@@ -1,0 +1,129 @@
+// Tests of the analytic weight-precision extension: the Eq. 5 linear law
+// holds for weight perturbations too, and the analytic allocation is
+// competitive with the paper's uniform weight search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/weight_profiler.hpp"
+#include "core/weight_search.hpp"
+#include "fixtures.hpp"
+
+namespace mupod {
+namespace {
+
+using testfix::tiny;
+
+Network& net() { return const_cast<Network&>(tiny().harness->net()); }
+
+const std::vector<LayerLinearModel>& wmodels() {
+  static const std::vector<LayerLinearModel>* m = [] {
+    ProfilerConfig cfg;
+    cfg.points = 8;
+    // Weight noise is one realization shared by every image (unlike
+    // activation noise, which is fresh per element), so each sigma
+    // estimate has realization-level variance: average more reps.
+    cfg.reps_per_point = 4;
+    return new std::vector<LayerLinearModel>(
+        profile_weight_lambda_theta(net(), *tiny().harness, cfg));
+  }();
+  return *m;
+}
+
+TEST(WeightProfiler, LinearLawHoldsForWeights) {
+  for (const auto& m : wmodels()) {
+    EXPECT_GT(m.lambda, 0.0) << "layer " << m.layer_index;
+    EXPECT_GT(m.r2, 0.9) << "layer " << m.layer_index;
+    EXPECT_TRUE(std::isfinite(m.theta));
+  }
+}
+
+TEST(WeightProfiler, RestoresWeights) {
+  DatasetConfig dc;
+  dc.height = 16;
+  dc.width = 16;
+  SyntheticImageDataset ds(dc);
+  const Tensor probe = ds.make_batch(8000, 4);
+  const Tensor before = net().forward(probe);
+  ProfilerConfig cfg;
+  cfg.points = 4;
+  (void)profile_weight_layer(net(), *tiny().harness, 1, cfg);
+  EXPECT_DOUBLE_EQ(max_abs_diff(before, net().forward(probe)), 0.0);
+}
+
+TEST(WeightProfiler, SigmasMonotoneInDelta) {
+  const LayerLinearModel& m = wmodels()[0];
+  for (std::size_t i = 1; i < m.sigmas.size(); ++i)
+    EXPECT_GT(m.sigmas[i], m.sigmas[i - 1] * 0.8) << i;
+}
+
+TEST(WeightProfiler, RangesMatchMaxAbs) {
+  const auto ranges = weight_ranges(net(), tiny().harness->analyzed());
+  ASSERT_EQ(ranges.size(), tiny().harness->analyzed().size());
+  for (std::size_t k = 0; k < ranges.size(); ++k) {
+    const Tensor* w = net().layer(tiny().harness->analyzed()[k]).weights();
+    ASSERT_NE(w, nullptr);
+    EXPECT_DOUBLE_EQ(ranges[k], static_cast<double>(w->max_abs()));
+  }
+}
+
+TEST(WeightProfiler, AnalyticAllocationMeetsAccuracy) {
+  // Allocate per-layer weight formats for a modest budget and validate
+  // with real weight quantization.
+  ObjectiveSpec obj;
+  obj.name = "unit";
+  obj.rho.assign(wmodels().size(), 1);
+  const auto ranges = weight_ranges(net(), tiny().harness->analyzed());
+  // Use a deliberately conservative weight budget: a third of an
+  // activation budget that itself passes at 10% drop.
+  const BitwidthAllocation a = allocate_weight_bitwidths(wmodels(), 0.05, ranges, obj);
+
+  const Network::WeightSnapshot snap = net().snapshot_weights();
+  apply_weight_formats(net(), tiny().harness->analyzed(), a.formats);
+  const double acc = tiny().harness->accuracy_full_forward({});
+  net().restore_weights(snap);
+  EXPECT_GE(acc, 0.85);
+  for (int b : a.bits) {
+    EXPECT_GE(b, 1);
+    EXPECT_LE(b, 24);
+  }
+}
+
+TEST(WeightProfiler, AnalyticCompetitiveWithUniformSearch) {
+  // The analytic per-layer weight allocation should not need dramatically
+  // more total weight bits than the paper's uniform search at a matched
+  // accuracy level.
+  WeightSearchConfig scfg;
+  scfg.relative_accuracy_drop = 0.10;
+  const WeightSearchResult uniform = search_weight_bitwidth(net(), *tiny().harness, {}, scfg);
+
+  ObjectiveSpec obj;
+  obj.name = "unit";
+  obj.rho.assign(wmodels().size(), 1);
+  const auto ranges = weight_ranges(net(), tiny().harness->analyzed());
+
+  // Find an analytic budget meeting the same constraint by doubling.
+  const double threshold = (1.0 - scfg.relative_accuracy_drop) * tiny().harness->float_accuracy();
+  double sigma_w = 0.01;
+  BitwidthAllocation best;
+  for (int it = 0; it < 12; ++it, sigma_w *= 2.0) {
+    const BitwidthAllocation a = allocate_weight_bitwidths(wmodels(), sigma_w, ranges, obj);
+    const Network::WeightSnapshot snap = net().snapshot_weights();
+    apply_weight_formats(net(), tiny().harness->analyzed(), a.formats);
+    const double acc = tiny().harness->accuracy_full_forward({});
+    net().restore_weights(snap);
+    if (acc >= threshold) {
+      best = a;
+    } else {
+      break;
+    }
+  }
+  ASSERT_FALSE(best.bits.empty());
+  double analytic_total = 0, uniform_total = 0;
+  for (int b : best.bits) analytic_total += b;
+  uniform_total = static_cast<double>(uniform.bits) * static_cast<double>(best.bits.size());
+  EXPECT_LE(analytic_total, uniform_total * 1.5 + 4.0);
+}
+
+}  // namespace
+}  // namespace mupod

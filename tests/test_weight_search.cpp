@@ -1,0 +1,69 @@
+#include "core/weight_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixtures.hpp"
+
+namespace mupod {
+namespace {
+
+using testfix::tiny;
+
+TEST(WeightSearch, FindsSatisfyingBitwidth) {
+  Network& net = const_cast<Network&>(tiny().harness->net());
+  WeightSearchConfig cfg;
+  cfg.relative_accuracy_drop = 0.05;
+  const WeightSearchResult res = search_weight_bitwidth(net, *tiny().harness, {}, cfg);
+  EXPECT_GE(res.bits, cfg.min_bits);
+  EXPECT_LE(res.bits, cfg.max_bits);
+  EXPECT_GE(res.accuracy, 0.95);
+  EXPECT_GT(res.evaluations, 1);
+}
+
+TEST(WeightSearch, RestoresWeights) {
+  Network& net = const_cast<Network&>(tiny().harness->net());
+  DatasetConfig dc;
+  dc.height = 16;
+  dc.width = 16;
+  SyntheticImageDataset ds(dc);
+  const Tensor probe = ds.make_batch(5000, 4);
+  const Tensor before = net.forward(probe);
+
+  WeightSearchConfig cfg;
+  cfg.relative_accuracy_drop = 0.05;
+  (void)search_weight_bitwidth(net, *tiny().harness, {}, cfg);
+  const Tensor after = net.forward(probe);
+  EXPECT_DOUBLE_EQ(max_abs_diff(before, after), 0.0);
+}
+
+TEST(WeightSearch, TighterConstraintNeedsMoreBits) {
+  Network& net = const_cast<Network&>(tiny().harness->net());
+  WeightSearchConfig tight, loose;
+  tight.relative_accuracy_drop = 0.01;
+  loose.relative_accuracy_drop = 0.20;
+  const int b_tight = search_weight_bitwidth(net, *tiny().harness, {}, tight).bits;
+  const int b_loose = search_weight_bitwidth(net, *tiny().harness, {}, loose).bits;
+  EXPECT_GE(b_tight, b_loose);
+}
+
+TEST(WeightSearch, InputQuantizationConsumesBudget) {
+  // With aggressive input quantization already applied, the weight search
+  // cannot need FEWER bits than with exact inputs.
+  Network& net = const_cast<Network&>(tiny().harness->net());
+  WeightSearchConfig cfg;
+  cfg.relative_accuracy_drop = 0.05;
+
+  std::unordered_map<int, InjectionSpec> harsh;
+  for (int node : tiny().harness->analyzed()) {
+    FixedPointFormat f{.integer_bits = 3, .fraction_bits = 2};
+    harsh.emplace(node, InjectionSpec::quantize(f));
+  }
+  const int with_inputs = search_weight_bitwidth(net, *tiny().harness, harsh, cfg).bits;
+  const int without = search_weight_bitwidth(net, *tiny().harness, {}, cfg).bits;
+  EXPECT_GE(with_inputs, without);
+}
+
+}  // namespace
+}  // namespace mupod

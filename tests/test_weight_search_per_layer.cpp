@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/weight_search.hpp"
+#include "fixtures.hpp"
+
+namespace mupod {
+namespace {
+
+using testfix::tiny;
+
+std::vector<std::int64_t> mac_rho() {
+  std::vector<std::int64_t> rho;
+  for (int id : tiny().harness->analyzed())
+    rho.push_back(tiny().harness->net().node(id).cost.macs);
+  return rho;
+}
+
+TEST(PerLayerWeightSearch, MeetsConstraint) {
+  Network& net = const_cast<Network&>(tiny().harness->net());
+  WeightSearchConfig cfg;
+  cfg.relative_accuracy_drop = 0.05;
+  const auto res = search_weight_bitwidth_per_layer(net, *tiny().harness, {}, mac_rho(), cfg);
+  EXPECT_EQ(res.bits.size(), static_cast<std::size_t>(tiny().harness->num_layers()));
+  EXPECT_GE(res.accuracy, 0.95);
+  for (int b : res.bits) {
+    EXPECT_GE(b, cfg.min_bits);
+    EXPECT_LE(b, cfg.max_bits);
+  }
+}
+
+TEST(PerLayerWeightSearch, NotWorseThanUniform) {
+  Network& net = const_cast<Network&>(tiny().harness->net());
+  WeightSearchConfig cfg;
+  cfg.relative_accuracy_drop = 0.05;
+  const auto rho = mac_rho();
+  const WeightSearchResult uniform = search_weight_bitwidth(net, *tiny().harness, {}, cfg);
+  const auto per_layer = search_weight_bitwidth_per_layer(net, *tiny().harness, {}, rho, cfg);
+
+  // Weighted weight-bit cost must not regress vs uniform (greedy starts
+  // from the uniform solution and only keeps improving moves).
+  std::int64_t uni_cost = 0, pl_cost = 0;
+  for (std::size_t k = 0; k < rho.size(); ++k) {
+    uni_cost += rho[k] * uniform.bits;
+    pl_cost += rho[k] * per_layer.bits[k];
+  }
+  EXPECT_LE(pl_cost, uni_cost);
+}
+
+TEST(PerLayerWeightSearch, RestoresWeights) {
+  Network& net = const_cast<Network&>(tiny().harness->net());
+  DatasetConfig dc;
+  dc.height = 16;
+  dc.width = 16;
+  SyntheticImageDataset ds(dc);
+  const Tensor probe = ds.make_batch(7000, 4);
+  const Tensor before = net.forward(probe);
+  WeightSearchConfig cfg;
+  cfg.relative_accuracy_drop = 0.05;
+  (void)search_weight_bitwidth_per_layer(net, *tiny().harness, {}, mac_rho(), cfg);
+  EXPECT_DOUBLE_EQ(max_abs_diff(before, net.forward(probe)), 0.0);
+}
+
+TEST(QuantizeLayerWeights, AffectsOnlyThatLayer) {
+  Network& net = const_cast<Network&>(tiny().harness->net());
+  const Network::WeightSnapshot snap = net.snapshot_weights();
+  const int target = tiny().harness->analyzed()[1];
+
+  quantize_layer_weights(net, target, 3);
+  for (int id : tiny().harness->analyzed()) {
+    const Tensor* w = net.layer(id).weights();
+    ASSERT_NE(w, nullptr);
+    // Find the snapshot entry.
+    for (const auto& [sid, sw] : snap.weights) {
+      if (sid != id) continue;
+      if (id == target) {
+        EXPECT_GT(max_abs_diff(*w, sw), 0.0);
+      } else {
+        EXPECT_DOUBLE_EQ(max_abs_diff(*w, sw), 0.0);
+      }
+    }
+  }
+  net.restore_weights(snap);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,118 @@
+// Tests of the classifier-head training that gives the zoo models real
+// decision margins (DESIGN.md substitution #1).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+#include "core/harness.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+DatasetConfig data_cfg(int classes, const ZooModel& m, std::uint64_t seed) {
+  DatasetConfig dc;
+  dc.num_classes = classes;
+  dc.channels = m.channels;
+  dc.height = m.height;
+  dc.width = m.width;
+  dc.seed = seed;
+  return dc;
+}
+
+double label_accuracy(const ZooModel& m, const SyntheticImageDataset& ds) {
+  HarnessConfig hc;
+  hc.profile_images = 4;
+  hc.eval_images = 128;
+  hc.metric = AccuracyMetric::kLabels;
+  AnalysisHarness h(m.net, m.analyzed, ds, hc);
+  return h.float_accuracy();
+}
+
+TEST(HeadTraining, ReportsTrainAccuracy) {
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.head_images = 0;  // build untrained
+  zo.data_seed = 11;
+  ZooModel m = build_tiny_cnn(zo);
+  SyntheticImageDataset ds(data_cfg(10, m, 11));
+  const double train_acc = train_classifier_head(m.net, ds, 10, 96, 20, 0.5f, 3);
+  EXPECT_GT(train_acc, 0.6);  // linearly separable synthetic task
+  EXPECT_LE(train_acc, 1.0);
+}
+
+TEST(HeadTraining, ImprovesHeldOutLabelAccuracy) {
+  ZooOptions untrained;
+  untrained.num_classes = 10;
+  untrained.head_images = 0;
+  untrained.data_seed = 11;
+  ZooModel base = build_tiny_cnn(untrained);
+  SyntheticImageDataset ds(data_cfg(10, base, 11));
+  const double before = label_accuracy(base, ds);
+
+  ZooOptions trained = untrained;
+  trained.head_images = 128;
+  ZooModel with_head = build_tiny_cnn(trained);
+  const double after = label_accuracy(with_head, ds);
+
+  EXPECT_GT(after, before + 0.2);
+  EXPECT_GT(after, 0.5);
+}
+
+TEST(HeadTraining, FailsGracefullyWithoutTrainableHead) {
+  // A network ending in ReLU has no (fc | 1x1-conv)+linear-path head.
+  Network net("headless");
+  net.add_input("data", 1, 4, 4);
+  Conv2DLayer::Config c;
+  c.in_channels = 1;
+  c.out_channels = 2;
+  c.kernel_h = c.kernel_w = 3;
+  c.pad = 1;
+  net.add("conv", std::make_unique<Conv2DLayer>(c), std::vector<std::string>{"data"});
+  net.add("relu", std::make_unique<ReLULayer>(), std::vector<std::string>{"conv"});
+  net.finalize();
+  DatasetConfig dc;
+  dc.num_classes = 2;
+  dc.channels = 1;
+  dc.height = 4;
+  dc.width = 4;
+  SyntheticImageDataset ds(dc);
+  EXPECT_LT(train_classifier_head(net, ds, 2, 16, 2, 0.5f, 1), 0.0);
+}
+
+TEST(HeadTraining, ClassCountMismatchRejected) {
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.head_images = 0;
+  ZooModel m = build_tiny_cnn(zo);
+  SyntheticImageDataset ds(data_cfg(10, m, 11));
+  // Asking to train for 7 classes against a 10-way head must refuse.
+  EXPECT_LT(train_classifier_head(m.net, ds, 7, 32, 2, 0.5f, 1), 0.0);
+}
+
+TEST(HeadTraining, DeterministicGivenSeeds) {
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.data_seed = 31;
+  ZooModel a = build_tiny_cnn(zo);
+  ZooModel b = build_tiny_cnn(zo);
+  SyntheticImageDataset ds(data_cfg(10, a, 31));
+  const Tensor batch = ds.make_batch(5000, 4);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.net.forward(batch), b.net.forward(batch)), 0.0);
+}
+
+TEST(HeadTraining, ConvHeadTrainsToo) {
+  // NiN's head is a 1x1 conv feeding a global average pool.
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.data_seed = 77;
+  zo.head_images = 96;
+  ZooModel m = build_nin(zo);
+  SyntheticImageDataset ds(data_cfg(10, m, 77));
+  EXPECT_GT(label_accuracy(m, ds), 0.5);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -6,8 +6,10 @@
 //   netdef_tool <net.netdef> [--drop 0.01] [--objective input|mac|both]
 //               [--weights file.bin] [--save-weights file.bin]
 //               [--classes 100] [--eval 512] [--csv] [--report out.md]
+//               [--save-profile p.txt]
 //
 // With no arguments it runs a built-in demo network.
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -17,6 +19,7 @@
 #include "data/synthetic.hpp"
 #include "io/model_io.hpp"
 #include "io/netdef.hpp"
+#include "io/profile_io.hpp"
 #include "io/report.hpp"
 #include "io/table.hpp"
 #include "nn/layers.hpp"
@@ -45,7 +48,8 @@ void usage() {
   std::printf(
       "usage: netdef_tool [net.netdef] [--drop D] [--objective input|mac|both]\n"
       "                   [--weights in.bin] [--save-weights out.bin]\n"
-      "                   [--classes N] [--eval N] [--csv]\n");
+      "                   [--classes N] [--eval N] [--csv] [--report out.md]\n"
+      "                   [--save-profile p.txt]\n");
 }
 
 }  // namespace
@@ -56,7 +60,7 @@ int main(int argc, char** argv) {
   std::string netdef_path;
   double drop = 0.01;
   std::string objective = "both";
-  std::string weights_in, weights_out, report_out;
+  std::string weights_in, weights_out, report_out, profile_out;
   int classes = 100;
   int eval_images = 512;
   bool csv = false;
@@ -78,6 +82,7 @@ int main(int argc, char** argv) {
     else if (arg == "--eval") eval_images = std::atoi(next());
     else if (arg == "--csv") csv = true;
     else if (arg == "--report") report_out = next();
+    else if (arg == "--save-profile") profile_out = next();
     else if (arg == "--help" || arg == "-h") { usage(); return 0; }
     else if (!arg.empty() && arg[0] == '-') { usage(); return 2; }
     else netdef_path = arg;
@@ -119,8 +124,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no weights given; He-initialized and calibrated\n");
   }
   if (!weights_out.empty()) {
+    errno = 0;
     if (!save_weights(net, weights_out)) {
-      std::fprintf(stderr, "error: cannot write %s\n", weights_out.c_str());
+      std::fprintf(stderr, "error: cannot write weights '%s': %s\n", weights_out.c_str(),
+                   std::strerror(errno));
       return 1;
     }
     std::fprintf(stderr, "saved weights to %s\n", weights_out.c_str());
@@ -164,12 +171,32 @@ int main(int argc, char** argv) {
     std::printf("objective %-12s validated accuracy: %.2f%%\n", obj.spec.name.c_str(),
                 obj.validated_accuracy * 100);
   }
+  if (!r.diagnostics.empty()) {
+    std::fprintf(stderr, "%d diagnostic(s) (%d error(s), %d warning(s)):\n",
+                 static_cast<int>(r.diagnostics.size()),
+                 r.diagnostics.count(DiagSeverity::kError),
+                 r.diagnostics.count(DiagSeverity::kWarning));
+    for (const Diagnostic& d : r.diagnostics.entries())
+      std::fprintf(stderr, "  %s\n", format_diagnostic(d).c_str());
+  }
+
+  if (!profile_out.empty()) {
+    errno = 0;
+    if (!save_profile(profile_out, make_profile_bundle(net, analyzed, r))) {
+      std::fprintf(stderr, "error: cannot write profile '%s': %s\n", profile_out.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    std::fprintf(stderr, "saved profile to %s\n", profile_out.c_str());
+  }
 
   if (!report_out.empty()) {
     ReportOptions ropts;
     ropts.title = "precision report — " + net.name();
+    errno = 0;
     if (!write_report(report_out, net, analyzed, r, ropts)) {
-      std::fprintf(stderr, "error: cannot write report to %s\n", report_out.c_str());
+      std::fprintf(stderr, "error: cannot write report '%s': %s\n", report_out.c_str(),
+                   std::strerror(errno));
       return 1;
     }
     std::fprintf(stderr, "wrote report to %s\n", report_out.c_str());

@@ -10,6 +10,7 @@
 //       # re-runs ONLY the optimization step from a saved profile — the
 //       # paper's "changing the user constraints only requires re-running
 //       # the last optimization step" (Sec. VI-A), across processes
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -186,10 +187,20 @@ int main(int argc, char** argv) {
     std::printf("%s: validated accuracy %.2f%%, weight bits %d\n", obj.spec.name.c_str(),
                 obj.validated_accuracy * 100, obj.weight_bits);
   }
+  if (!r.diagnostics.empty()) {
+    std::fprintf(stderr, "%d diagnostic(s) (%d error(s), %d warning(s)):\n",
+                 static_cast<int>(r.diagnostics.size()),
+                 r.diagnostics.count(DiagSeverity::kError),
+                 r.diagnostics.count(DiagSeverity::kWarning));
+    for (const Diagnostic& d : r.diagnostics.entries())
+      std::fprintf(stderr, "  %s\n", format_diagnostic(d).c_str());
+  }
 
   if (!profile_out.empty()) {
+    errno = 0;
     if (!save_profile(profile_out, make_profile_bundle(m.net, m.analyzed, r))) {
-      std::fprintf(stderr, "error writing profile\n");
+      std::fprintf(stderr, "error: cannot write profile '%s': %s\n", profile_out.c_str(),
+                   std::strerror(errno));
       return 1;
     }
     std::fprintf(stderr, "wrote profile to %s (reoptimize with: zoo_tool reoptimize %s)\n",
@@ -199,8 +210,10 @@ int main(int argc, char** argv) {
   if (!report_out.empty()) {
     ReportOptions ropts;
     ropts.title = "precision report — " + model_name;
+    errno = 0;
     if (!write_report(report_out, m.net, m.analyzed, r, ropts)) {
-      std::fprintf(stderr, "error writing report\n");
+      std::fprintf(stderr, "error: cannot write report '%s': %s\n", report_out.c_str(),
+                   std::strerror(errno));
       return 1;
     }
     std::fprintf(stderr, "wrote %s\n", report_out.c_str());

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under ASan + UBSan
+# (-fno-sanitize-recover=all: any finding aborts the test).
+#
+# Usage: scripts/run_sanitized_tests.sh [ctest-args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-asan
+
+cmake -B "$BUILD_DIR" -S . -DMUPOD_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

@@ -22,11 +22,31 @@ double delta_floor(const LayerLinearModel& m) {
 }
 
 double delta_of(const LayerLinearModel& m, double sigma_yl, double xi) {
+  // A model with non-finite parameters (corrupted profile input) carries
+  // no usable law; keep the layer at its floor instead of propagating NaN
+  // into the objective.
+  if (!std::isfinite(m.lambda) || !std::isfinite(m.theta)) return delta_floor(m);
   const double lambda = m.lambda > 0.0 ? m.lambda : 0.0;
   const double d = lambda * sigma_yl * std::sqrt(xi) + m.theta;
   return std::max(d, delta_floor(m));
 }
+
+bool solution_valid(const SimplexResult& r) {
+  if (!r.converged || !std::isfinite(r.objective)) return false;
+  for (double x : r.xi)
+    if (!std::isfinite(x) || x < 0.0) return false;
+  return !r.xi.empty();
+}
 }  // namespace
+
+const char* xi_solver_name(XiSolver s) {
+  switch (s) {
+    case XiSolver::kProjectedGradient: return "projected-gradient";
+    case XiSolver::kSqp: return "sqp";
+    case XiSolver::kClosedForm: return "closed-form";
+  }
+  return "?";
+}
 
 double allocation_objective(const std::vector<LayerLinearModel>& models, double sigma_yl,
                             const std::vector<std::int64_t>& rho,
@@ -53,16 +73,17 @@ std::vector<double> closed_form_xi(const std::vector<std::int64_t>& rho, double 
 BitwidthAllocation allocate_bitwidths(const std::vector<LayerLinearModel>& models,
                                       double sigma_yl, const std::vector<double>& ranges,
                                       const ObjectiveSpec& objective,
-                                      const AllocatorConfig& cfg) {
+                                      const AllocatorConfig& cfg, DiagnosticSink* diag) {
   const std::size_t L = models.size();
   assert(objective.rho.size() == L && ranges.size() == L);
 
   BitwidthAllocation out;
+  out.solver_used = cfg.solver;
 
   // A non-positive budget means "no tolerable noise was found": fall back
   // to the safest profiled precision per layer (Delta at the floor) and
   // skip the optimization entirely.
-  if (sigma_yl <= 0.0) {
+  if (sigma_yl <= 0.0 || !std::isfinite(sigma_yl)) {
     out.xi.assign(L, 1.0 / static_cast<double>(L));
     out.deltas.resize(L);
     out.formats.resize(L);
@@ -76,7 +97,29 @@ BitwidthAllocation allocate_bitwidths(const std::vector<LayerLinearModel>& model
       out.formats[k] = fmt;
       out.bits[k] = fmt.total_bits();
     }
+    diag_report(diag, DiagSeverity::kInfo, PipelineStage::kAllocate, -1,
+                "no usable error budget (sigma_YL <= 0)",
+                "all layers allocated at max profiled precision");
     return out;
+  }
+
+  // Pinned / degenerate layers take no share of the error budget: zero
+  // their weight in the closed-form warm start so xi re-normalizes over
+  // the layers that actually have an error-propagation law.
+  std::vector<std::int64_t> rho_eff = objective.rho;
+  {
+    int pinned = 0;
+    for (std::size_t k = 0; k < L; ++k) {
+      if (models[k].lambda <= 0.0 || !std::isfinite(models[k].lambda)) {
+        rho_eff[k] = 0;
+        ++pinned;
+      }
+    }
+    if (pinned > 0 && pinned < static_cast<int>(L)) {
+      diag_report(diag, DiagSeverity::kInfo, PipelineStage::kAllocate, -1,
+                  std::to_string(pinned) + " pinned layer(s) excluded from the xi optimization",
+                  "budget re-normalized over the remaining layers");
+    }
   }
 
   SimplexProblem prob;
@@ -99,39 +142,65 @@ BitwidthAllocation allocate_bitwidths(const std::vector<LayerLinearModel>& model
     }
   };
 
-  switch (cfg.solver) {
-    case XiSolver::kClosedForm:
-      out.xi = closed_form_xi(objective.rho, cfg.min_xi);
-      out.objective_value = prob.objective(out.xi);
-      out.solver_iterations = 0;
-      break;
-    case XiSolver::kProjectedGradient: {
-      const SimplexSolverOptions so = [&] {
-        SimplexSolverOptions o = cfg.solver_options;
-        o.min_xi = cfg.min_xi;
-        return o;
-      }();
-      // Warm-start from the closed-form relaxation.
-      const std::vector<double> init = closed_form_xi(objective.rho, cfg.min_xi);
-      SimplexResult r = minimize_on_simplex(static_cast<int>(L), prob, so, init);
-      out.xi = std::move(r.xi);
+  // Escalation chain: run the requested solver; if the solution is
+  // invalid (not converged, non-finite, or off-simplex), downgrade
+  // SQP -> projected gradient -> closed form. The closed form cannot
+  // fail: it is a finite ratio of the (non-negative) rho weights.
+  const SimplexSolverOptions so = [&] {
+    SimplexSolverOptions o = cfg.solver_options;
+    o.min_xi = cfg.min_xi;
+    return o;
+  }();
+  // Warm-start from the closed-form relaxation (pinned layers excluded).
+  const std::vector<double> init = closed_form_xi(rho_eff, cfg.min_xi);
+
+  const auto run_solver = [&](XiSolver s) {
+    SimplexResult r;
+    switch (s) {
+      case XiSolver::kSqp:
+        r = sqp_minimize_on_simplex(static_cast<int>(L), prob, so, init);
+        break;
+      case XiSolver::kProjectedGradient:
+        r = minimize_on_simplex(static_cast<int>(L), prob, so, init);
+        break;
+      case XiSolver::kClosedForm:
+        r.xi = init;
+        r.objective = prob.objective(r.xi);
+        r.iterations = 0;
+        r.converged = true;
+        break;
+    }
+    return r;
+  };
+
+  XiSolver attempt = cfg.solver;
+  for (;;) {
+    const SimplexResult r = run_solver(attempt);
+    if (solution_valid(r) || attempt == XiSolver::kClosedForm) {
+      out.xi = r.xi;
       out.objective_value = r.objective;
       out.solver_iterations = r.iterations;
+      out.solver_used = attempt;
+      out.solver_converged = solution_valid(r);
       break;
     }
-    case XiSolver::kSqp: {
-      const SimplexSolverOptions so = [&] {
-        SimplexSolverOptions o = cfg.solver_options;
-        o.min_xi = cfg.min_xi;
-        return o;
-      }();
-      const std::vector<double> init = closed_form_xi(objective.rho, cfg.min_xi);
-      SimplexResult r = sqp_minimize_on_simplex(static_cast<int>(L), prob, so, init);
-      out.xi = std::move(r.xi);
-      out.objective_value = r.objective;
-      out.solver_iterations = r.iterations;
-      break;
-    }
+    const XiSolver next = attempt == XiSolver::kSqp ? XiSolver::kProjectedGradient
+                                                    : XiSolver::kClosedForm;
+    diag_report(diag, DiagSeverity::kWarning, PipelineStage::kAllocate, -1,
+                std::string(xi_solver_name(attempt)) +
+                    " solver failed to produce a valid xi (converged = " +
+                    (r.converged ? "true" : "false") + ")",
+                std::string("downgrading to the ") + xi_solver_name(next) + " solver");
+    ++out.solver_downgrades;
+    attempt = next;
+  }
+  if (!out.solver_converged) {
+    // Even the closed form produced a non-finite objective (the xi point
+    // itself is still a valid simplex point, so format derivation below
+    // proceeds): the objective callbacks are returning garbage.
+    diag_report(diag, DiagSeverity::kError, PipelineStage::kAllocate, -1,
+                "objective is non-finite even at the closed-form xi",
+                "formats derived from the closed-form xi; inspect the rho weights and models");
   }
 
   // Translate xi -> Delta -> fixed point formats (Sec. II-A).

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/diagnostics.hpp"
 #include "core/profiler.hpp"
 #include "opt/simplex.hpp"
 #include "quant/fixed_point.hpp"
@@ -30,6 +31,8 @@ enum class XiSolver {
   kSqp,                // diagonal-Newton SQP-style (the paper used Octave sqp)
   kClosedForm,         // exact KKT solution of the theta = 0 relaxation
 };
+
+const char* xi_solver_name(XiSolver s);
 
 struct AllocatorConfig {
   XiSolver solver = XiSolver::kSqp;
@@ -49,6 +52,12 @@ struct BitwidthAllocation {
   std::vector<int> bits;                   // total bits (I + F) per layer
   double objective_value = 0.0;            // F(xi) at the solution
   int solver_iterations = 0;
+  // Solver provenance: which solver produced xi, whether it converged,
+  // and how many times the escalation chain (SQP -> projected gradient ->
+  // closed form) downgraded before a valid solution came out.
+  XiSolver solver_used = XiSolver::kSqp;
+  bool solver_converged = true;
+  int solver_downgrades = 0;
 };
 
 // The Eq. 8 objective. Exposed for tests and the ablation bench.
@@ -59,10 +68,16 @@ double allocation_objective(const std::vector<LayerLinearModel>& models, double 
 // KKT solution of the theta = 0 relaxation: xi_K proportional to rho_K.
 std::vector<double> closed_form_xi(const std::vector<std::int64_t>& rho, double min_xi = 1e-4);
 
+// Solves Eq. 8 and derives the per-layer formats. Degradation behavior:
+// a non-positive sigma budget yields the max-precision fallback; a solver
+// that fails to converge (or returns a non-finite solution) escalates
+// down the chain SQP -> projected gradient -> closed form, recording each
+// downgrade in the allocation and in `diag`.
 BitwidthAllocation allocate_bitwidths(const std::vector<LayerLinearModel>& models,
                                       double sigma_yl, const std::vector<double>& ranges,
                                       const ObjectiveSpec& objective,
-                                      const AllocatorConfig& cfg = {});
+                                      const AllocatorConfig& cfg = {},
+                                      DiagnosticSink* diag = nullptr);
 
 // Formats for an explicit per-layer total bitwidth (used for baselines):
 // integer bits from the range, fraction bits = total - integer.

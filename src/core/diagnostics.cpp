@@ -1,0 +1,70 @@
+#include "core/diagnostics.hpp"
+
+#include <sstream>
+
+namespace mupod {
+
+const char* severity_name(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::kInfo: return "info";
+    case DiagSeverity::kWarning: return "warning";
+    case DiagSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+const char* stage_name(PipelineStage s) {
+  switch (s) {
+    case PipelineStage::kHarness: return "harness";
+    case PipelineStage::kProfile: return "profile";
+    case PipelineStage::kSigmaSearch: return "sigma-search";
+    case PipelineStage::kAllocate: return "allocate";
+    case PipelineStage::kValidate: return "validate";
+    case PipelineStage::kWeightSearch: return "weight-search";
+    case PipelineStage::kIo: return "io";
+  }
+  return "?";
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+  std::ostringstream os;
+  os << '[' << severity_name(d.severity) << "] " << stage_name(d.stage);
+  if (d.layer >= 0) os << " node " << d.layer;
+  os << ": " << d.message;
+  if (!d.remediation.empty()) os << " — " << d.remediation;
+  return os.str();
+}
+
+void DiagnosticSink::report(DiagSeverity severity, PipelineStage stage, int layer,
+                            std::string message, std::string remediation) {
+  Diagnostic d;
+  d.severity = severity;
+  d.stage = stage;
+  d.layer = layer;
+  d.message = std::move(message);
+  d.remediation = std::move(remediation);
+  entries_.push_back(std::move(d));
+}
+
+int DiagnosticSink::count(DiagSeverity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : entries_)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+int DiagnosticSink::count(PipelineStage stage) const {
+  int n = 0;
+  for (const Diagnostic& d : entries_)
+    if (d.stage == stage) ++n;
+  return n;
+}
+
+int DiagnosticSink::count(PipelineStage stage, DiagSeverity at_least) const {
+  int n = 0;
+  for (const Diagnostic& d : entries_)
+    if (d.stage == stage && static_cast<int>(d.severity) >= static_cast<int>(at_least)) ++n;
+  return n;
+}
+
+}  // namespace mupod

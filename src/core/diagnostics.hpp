@@ -1,0 +1,79 @@
+// Structured pipeline diagnostics.
+//
+// Every stage of the paper's pipeline is an empirical measurement — the
+// Eq. 5 linear fits, the Sec. V-C binary search, the Eq. 8 simplex solve —
+// and each can silently go wrong (poisoned activations, degenerate fits,
+// failed brackets, non-converged solvers). Rather than asserting or
+// emitting a confident-but-invalid allocation, each stage reports what it
+// saw and what fallback it applied into a DiagnosticSink that travels with
+// the PipelineResult and is rendered by src/io/report.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mupod {
+
+enum class DiagSeverity {
+  kInfo,     // something noteworthy; no degradation
+  kWarning,  // a measurement was degraded; a fallback preserved validity
+  kError,    // a stage failed outright; a conservative fallback is in effect
+};
+
+enum class PipelineStage {
+  kHarness,      // profiling/eval set construction (Sec. V-A substrate)
+  kProfile,      // Eq. 5 lambda/theta fits
+  kSigmaSearch,  // Sec. V-C binary search for sigma_YL
+  kAllocate,     // Eq. 8 simplex solve + format derivation
+  kValidate,     // real-quantization validation / refinement loop
+  kWeightSearch, // Sec. V-E weight bitwidth search
+  kIo,           // profile/report (de)serialization
+};
+
+const char* severity_name(DiagSeverity s);
+const char* stage_name(PipelineStage s);
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kInfo;
+  PipelineStage stage = PipelineStage::kHarness;
+  // Network node id the diagnostic is attributed to; -1 = whole pipeline.
+  int layer = -1;
+  std::string message;      // what was observed
+  std::string remediation;  // what the pipeline did about it
+};
+
+// One-line human-readable rendering: "[warning] profile layer 3: ...".
+std::string format_diagnostic(const Diagnostic& d);
+
+// Append-only collector threaded through the pipeline stages. Value
+// semantics so it can live inside PipelineResult.
+class DiagnosticSink {
+ public:
+  void report(Diagnostic d) { entries_.push_back(std::move(d)); }
+  void report(DiagSeverity severity, PipelineStage stage, int layer, std::string message,
+              std::string remediation = std::string());
+
+  const std::vector<Diagnostic>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  int count(DiagSeverity severity) const;
+  int count(PipelineStage stage) const;
+  // Entries matching both a stage and a minimum severity.
+  int count(PipelineStage stage, DiagSeverity at_least) const;
+  bool has_errors() const { return count(DiagSeverity::kError) > 0; }
+  bool has_warnings() const { return count(DiagSeverity::kWarning) > 0; }
+
+ private:
+  std::vector<Diagnostic> entries_;
+};
+
+// Null-safe reporting helper: every stage takes an optional sink.
+inline void diag_report(DiagnosticSink* sink, DiagSeverity severity, PipelineStage stage,
+                        int layer, std::string message, std::string remediation = std::string()) {
+  if (sink != nullptr)
+    sink->report(severity, stage, layer, std::move(message), std::move(remediation));
+}
+
+}  // namespace mupod

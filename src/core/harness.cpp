@@ -17,10 +17,17 @@ std::int64_t acts_bytes(const std::vector<Tensor>& acts) {
   for (const Tensor& t : acts) total += t.numel() * static_cast<std::int64_t>(sizeof(float));
   return total;
 }
+
+bool acts_all_finite(const std::vector<Tensor>& acts) {
+  for (const Tensor& t : acts)
+    if (!t.all_finite()) return false;
+  return true;
+}
 }  // namespace
 
 AnalysisHarness::AnalysisHarness(const Network& net, std::vector<int> analyzed,
-                                 const SyntheticImageDataset& dataset, const HarnessConfig& cfg)
+                                 const SyntheticImageDataset& dataset, const HarnessConfig& cfg,
+                                 DiagnosticSink* diag)
     : net_(&net), analyzed_(std::move(analyzed)), cfg_(cfg) {
   assert(net.finalized());
   assert(!analyzed_.empty());
@@ -28,16 +35,31 @@ AnalysisHarness::AnalysisHarness(const Network& net, std::vector<int> analyzed,
   ranges_.assign(analyzed_.size(), 0.0);
 
   // --- profiling set with cached exact activations -----------------------
+  // Poisoned batches (non-finite activations anywhere in the cache) are
+  // quarantined: a single NaN in the exact-activation cache would corrupt
+  // every sigma_{Y_{K->L}} measurement built on it. Replacement batches
+  // are drawn from later dataset indices, with a bounded attempt budget so
+  // a fully-poisoned network still terminates.
   std::int64_t per_image_bytes = 0;
   {
     std::int64_t index = 0;
     int remaining = cfg_.profile_images;
-    while (remaining > 0) {
+    int attempts_left = 4 * (cfg_.profile_images / std::max(1, std::min(cfg_.profile_images, cfg_.batch)) + 1);
+    while (remaining > 0 && attempts_left-- > 0) {
       const int n = std::min(remaining, cfg_.batch);
       Batch b;
       b.images = dataset.make_batch(index, n);
       b.acts = net.forward_all(b.images);
       forward_count_ += n;
+      index += n;
+      if (cfg_.quarantine_nonfinite && !acts_all_finite(b.acts)) {
+        ++quarantined_profile_;
+        diag_report(diag, DiagSeverity::kWarning, PipelineStage::kHarness, -1,
+                    "profiling batch at dataset index " + std::to_string(index - n) +
+                        " produced non-finite activations",
+                    "batch quarantined; replacement drawn");
+        continue;
+      }
       const Tensor& logits = b.acts[static_cast<std::size_t>(net.output_node())];
       b.reference = argmax_rows(logits);
       // Range profiling on the same batch.
@@ -48,8 +70,13 @@ AnalysisHarness::AnalysisHarness(const Network& net, std::vector<int> analyzed,
       }
       per_image_bytes = acts_bytes(b.acts) / n;
       profile_batches_.push_back(std::move(b));
-      index += n;
       remaining -= n;
+    }
+    if (profile_batches_.empty()) {
+      diag_report(diag, DiagSeverity::kError, PipelineStage::kHarness, -1,
+                  "no usable profiling batch: every forward pass produced non-finite "
+                  "activations",
+                  "sigma measurements disabled; downstream stages degrade to max precision");
     }
   }
 
@@ -59,15 +86,26 @@ AnalysisHarness::AnalysisHarness(const Network& net, std::vector<int> analyzed,
     // Disjoint from the profiling images.
     std::int64_t index = cfg_.eval_start_index;
     int remaining = cfg_.eval_images;
+    int attempts_left = 4 * (cfg_.eval_images / std::max(1, std::min(cfg_.eval_images, cfg_.batch)) + 1);
     std::int64_t float_hits = 0;
-    while (remaining > 0) {
+    std::int64_t images_used = 0;
+    while (remaining > 0 && attempts_left-- > 0) {
       const int n = std::min(remaining, cfg_.batch);
       Batch b;
       b.images = dataset.make_batch(index, n);
       std::vector<Tensor> acts = net.forward_all(b.images);
       forward_count_ += n;
-      const std::vector<int> float_pred =
-          argmax_rows(acts[static_cast<std::size_t>(net.output_node())]);
+      const Tensor& logits = acts[static_cast<std::size_t>(net.output_node())];
+      if (cfg_.quarantine_nonfinite && !logits.all_finite()) {
+        ++quarantined_eval_;
+        diag_report(diag, DiagSeverity::kWarning, PipelineStage::kHarness, -1,
+                    "eval batch at dataset index " + std::to_string(index) +
+                        " produced non-finite logits",
+                    "batch quarantined; replacement drawn");
+        index += n;
+        continue;
+      }
+      const std::vector<int> float_pred = argmax_rows(logits);
       if (cfg_.metric == AccuracyMetric::kLabels) {
         b.reference = dataset.labels(index, n);
         for (int i = 0; i < n; ++i)
@@ -79,12 +117,20 @@ AnalysisHarness::AnalysisHarness(const Network& net, std::vector<int> analyzed,
       }
       if (eval_acts_cached_) b.acts = std::move(acts);
       eval_batches_.push_back(std::move(b));
+      images_used += n;
       index += n;
       remaining -= n;
     }
-    float_accuracy_ = cfg_.eval_images > 0
-                          ? static_cast<double>(float_hits) / cfg_.eval_images
-                          : 1.0;
+    // 0.0 (not 1.0) when nothing could be measured: a threshold derived
+    // from it must not pretend the float network was evaluated.
+    float_accuracy_ = images_used > 0 ? static_cast<double>(float_hits) /
+                                            static_cast<double>(images_used)
+                                      : 0.0;
+    if (eval_batches_.empty()) {
+      diag_report(diag, DiagSeverity::kError, PipelineStage::kHarness, -1,
+                  "no usable eval batch: every forward pass produced non-finite logits",
+                  "accuracy measurements disabled; sigma search will report bracket failure");
+    }
   }
 }
 

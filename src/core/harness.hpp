@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/diagnostics.hpp"
 #include "data/synthetic.hpp"
 #include "nn/network.hpp"
 
@@ -41,14 +42,21 @@ struct HarnessConfig {
   // harness, e.g. for measuring search-method overfitting (paper Sec. I).
   std::int64_t eval_start_index = 1'000'000;
   std::uint64_t noise_seed = 777;
+  // Quarantine batches whose activations contain NaN/Inf instead of
+  // letting one poisoned forward pass corrupt every sigma measurement
+  // downstream. Replacement batches are drawn (bounded attempts).
+  bool quarantine_nonfinite = true;
 };
 
 class AnalysisHarness {
  public:
   // `net` and `analyzed` must outlive the harness. `analyzed` lists the
   // node ids whose input precision is being allocated (ZooModel::analyzed).
+  // `diag` (optional, borrowed for the constructor only) receives
+  // quarantine and degradation diagnostics.
   AnalysisHarness(const Network& net, std::vector<int> analyzed,
-                  const SyntheticImageDataset& dataset, const HarnessConfig& cfg = {});
+                  const SyntheticImageDataset& dataset, const HarnessConfig& cfg = {},
+                  DiagnosticSink* diag = nullptr);
 
   const Network& net() const { return *net_; }
   const std::vector<int>& analyzed() const { return analyzed_; }
@@ -60,8 +68,18 @@ class AnalysisHarness {
   const std::vector<double>& input_ranges() const { return ranges_; }
 
   // Float accuracy on the eval set: 1.0 under kAgreement, the measured
-  // label accuracy of the float network under kLabels.
+  // label accuracy of the float network under kLabels. 0.0 when every
+  // eval batch was quarantined (no usable measurement exists).
   double float_accuracy() const { return float_accuracy_; }
+
+  // Measurement-substrate health: batches that survived construction and
+  // batches dropped because their activations were non-finite. A zero
+  // usable count means the corresponding measurements are meaningless —
+  // callers must degrade rather than trust them.
+  int profile_batch_count() const { return static_cast<int>(profile_batches_.size()); }
+  int eval_batch_count() const { return static_cast<int>(eval_batches_.size()); }
+  int quarantined_profile_batches() const { return quarantined_profile_; }
+  int quarantined_eval_batches() const { return quarantined_eval_; }
 
   // --- profiling-set measurements ----------------------------------------
   // s.d. of (Y_hat_L - Y_L) over the profiling set when injecting
@@ -128,6 +146,8 @@ class AnalysisHarness {
   std::vector<double> ranges_;
   double float_accuracy_ = 1.0;
   bool eval_acts_cached_ = false;
+  int quarantined_profile_ = 0;
+  int quarantined_eval_ = 0;
   mutable std::int64_t forward_count_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <cmath>
 
 namespace mupod {
 
@@ -33,31 +34,60 @@ PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
                             const std::vector<ObjectiveSpec>& objectives,
                             const PipelineConfig& cfg) {
   PipelineResult res;
+  DiagnosticSink* diag = &res.diagnostics;
 
   auto t0 = Clock::now();
-  AnalysisHarness harness(net, analyzed, dataset, cfg.harness);
+  AnalysisHarness harness(net, analyzed, dataset, cfg.harness, diag);
   res.timings.harness_ms = ms_since(t0);
   res.ranges = harness.input_ranges();
 
   t0 = Clock::now();
-  res.models = profile_lambda_theta(harness, cfg.profiler);
+  res.models = profile_lambda_theta(harness, cfg.profiler, diag);
   res.timings.profile_ms = ms_since(t0);
 
+  std::size_t usable_models = 0;
+  for (const LayerLinearModel& m : res.models)
+    if (m.usable()) ++usable_models;
+
   t0 = Clock::now();
-  res.sigma = search_sigma_yl(harness, res.models, cfg.sigma);
+  if (usable_models == 0) {
+    // Every layer is pinned: there is no error budget any layer could
+    // spend, so the search would only burn forwards. res.sigma stays at
+    // its kBracketFailed default and the allocator takes the conservative
+    // max-precision path below.
+    diag_report(diag, DiagSeverity::kError, PipelineStage::kSigmaSearch, -1,
+                "sigma search skipped: no layer has a usable error model",
+                "all layers stay at max profiled precision");
+  } else {
+    res.sigma = search_sigma_yl(harness, res.models, cfg.sigma, diag);
+  }
   res.timings.sigma_ms = ms_since(t0);
 
   // Correlation calibration: rescale the budget so the *realized* output
-  // error under an equal-xi injection matches the searched sigma.
-  res.sigma_calibrated = res.sigma.sigma_yl;
-  if (cfg.calibrate_sigma && res.sigma.sigma_yl > 0.0) {
+  // error under an equal-xi injection matches the searched sigma. A failed
+  // bracket has no budget to calibrate — sigma_calibrated stays 0 and the
+  // allocator falls back to max precision per layer.
+  res.sigma_calibrated = res.sigma.bracket_ok() ? res.sigma.sigma_yl : 0.0;
+  if (cfg.calibrate_sigma && res.sigma.bracket_ok()) {
     const std::vector<double> equal_xi(analyzed.size(), 1.0 / static_cast<double>(analyzed.size()));
-    const auto inject = injection_for_xi(res.models, res.sigma.sigma_yl, equal_xi);
+    std::vector<int> dropped;
+    const auto inject = injection_for_xi(res.models, res.sigma.sigma_yl, equal_xi, &dropped);
+    if (!dropped.empty()) {
+      diag_report(diag, DiagSeverity::kWarning, PipelineStage::kSigmaSearch, dropped.front(),
+                  "calibration injection skipped " + std::to_string(dropped.size()) +
+                      " layer(s) without a usable model",
+                  "calibration measures the remaining layers only");
+    }
     const double measured = harness.output_sigma_for_injection_map(inject);
-    if (measured > 0.0) {
+    if (measured > 0.0 && std::isfinite(measured)) {
       const double correction = res.sigma.sigma_yl / measured;
       if (correction > 0.3 && correction < 3.0)
         res.sigma_calibrated = res.sigma.sigma_yl * correction;
+    } else {
+      diag_report(diag, DiagSeverity::kWarning, PipelineStage::kSigmaSearch, -1,
+                  "calibration measurement degenerate (measured sigma " +
+                      std::to_string(measured) + ")",
+                  "using the uncalibrated budget");
     }
   }
 
@@ -71,13 +101,24 @@ PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
     obj.sigma_used = res.sigma_calibrated;
 
     t0 = Clock::now();
-    obj.alloc = allocate_bitwidths(res.models, obj.sigma_used, res.ranges, spec, cfg.allocator);
+    obj.alloc = allocate_bitwidths(res.models, obj.sigma_used, res.ranges, spec, cfg.allocator,
+                                   diag);
     res.timings.allocate_ms += ms_since(t0);
 
     if (cfg.validate) {
       t0 = Clock::now();
-      const auto inject = quantization_for_formats(res.models, obj.alloc.formats);
-      obj.validated_accuracy = harness.accuracy_with_injection(inject);
+      const auto measure = [&](const BitwidthAllocation& alloc) {
+        const auto inject = quantization_for_formats(res.models, alloc.formats);
+        const double acc = harness.accuracy_with_injection(inject);
+        if (!std::isfinite(acc)) {
+          diag_report(diag, DiagSeverity::kError, PipelineStage::kValidate, -1,
+                      "validation accuracy is non-finite for objective '" + spec.name + "'",
+                      "treated as 0 accuracy; the refinement loop will shrink the budget");
+          return 0.0;
+        }
+        return acc;
+      };
+      obj.validated_accuracy = measure(obj.alloc);
       // The sigma schemes estimate accuracy; real quantization may land
       // slightly below the budget. Shrink the budget until validation
       // passes (paper: "no accuracy criterion was violated").
@@ -86,9 +127,16 @@ PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
         ++obj.refinements;
         obj.sigma_used *= cfg.refinement_shrink;
         obj.alloc = allocate_bitwidths(res.models, obj.sigma_used, res.ranges, spec,
-                                       cfg.allocator);
-        const auto retry = quantization_for_formats(res.models, obj.alloc.formats);
-        obj.validated_accuracy = harness.accuracy_with_injection(retry);
+                                       cfg.allocator, diag);
+        obj.validated_accuracy = measure(obj.alloc);
+      }
+      if (cfg.refine_on_violation && obj.validated_accuracy < threshold) {
+        diag_report(diag, DiagSeverity::kWarning, PipelineStage::kValidate, -1,
+                    "objective '" + spec.name + "' still violates the accuracy budget after " +
+                        std::to_string(obj.refinements) + " refinements (accuracy " +
+                        std::to_string(obj.validated_accuracy) + " < threshold " +
+                        std::to_string(threshold) + ")",
+                    "shrink refinement_shrink / raise max_refinements, or relax the drop");
       }
       res.timings.validate_ms += ms_since(t0);
     }

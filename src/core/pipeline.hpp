@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/allocator.hpp"
+#include "core/diagnostics.hpp"
 #include "core/harness.hpp"
 #include "core/profiler.hpp"
 #include "core/sigma_search.hpp"
@@ -81,6 +82,10 @@ struct PipelineResult {
   // Image-forward equivalents issued by the whole pipeline (cost
   // accounting for the Sec. VI-A comparison against search methods).
   std::int64_t forward_count = 0;
+  // Structured diagnostics collected from every stage: quarantined
+  // batches, degenerate fits, bracket failures, solver downgrades,
+  // refinement exhaustion. Rendered by write_report / print_report.
+  DiagnosticSink diagnostics;
 };
 
 // Standard objective weights from layer cost metadata.

@@ -5,8 +5,47 @@
 
 namespace mupod {
 
+namespace {
+
+// Worst relative prediction error over the upper half of the sweep — the
+// operating region of the bitwidth allocator. (At the smallest Deltas the
+// intercept theta dominates and relative error is meaningless, exactly as
+// in the paper's Fig. 2 where measurements start at moderate Deltas.)
+double max_rel_error_of(const LayerLinearModel& m) {
+  double worst = 0.0;
+  for (std::size_t i = m.deltas.size() / 2; i < m.deltas.size(); ++i) {
+    const double pred = m.delta_for_sigma(m.sigmas[i]);
+    if (m.deltas[i] > 0.0)
+      worst = std::max(worst, std::fabs(pred - m.deltas[i]) / m.deltas[i]);
+  }
+  return worst;
+}
+
+// Invert a sigma-on-Delta fit into the Eq. 5 (lambda, theta) form;
+// returns false when the fit has no usable positive slope.
+bool apply_fit(LayerLinearModel& m, const LinearFit& raw) {
+  if (!(raw.slope > 0.0) || !std::isfinite(raw.slope) || !std::isfinite(raw.intercept))
+    return false;
+  m.lambda = 1.0 / raw.slope;  // Delta = (sigma - b) / a
+  m.theta = -raw.intercept / raw.slope;
+  m.r2 = raw.r2;
+  m.max_rel_error = max_rel_error_of(m);
+  return true;
+}
+
+void pin_layer(LayerLinearModel& m, DiagnosticSink* diag, const std::string& why) {
+  m.lambda = 0.0;
+  m.theta = 0.0;
+  m.fit_status = FitStatus::kPinned;
+  diag_report(diag, DiagSeverity::kError, PipelineStage::kProfile, m.node,
+              "no usable Eq. 5 fit: " + why,
+              "layer pinned to max profiled precision; xi re-normalized over remaining layers");
+}
+
+}  // namespace
+
 LayerLinearModel profile_layer(const AnalysisHarness& harness, int layer_index,
-                               const ProfilerConfig& cfg) {
+                               const ProfilerConfig& cfg, DiagnosticSink* diag) {
   assert(layer_index >= 0 && layer_index < harness.num_layers());
   assert(cfg.points >= 2);
   LayerLinearModel m;
@@ -14,13 +53,17 @@ LayerLinearModel profile_layer(const AnalysisHarness& harness, int layer_index,
   m.node = harness.analyzed()[static_cast<std::size_t>(layer_index)];
 
   const double range = harness.input_ranges()[static_cast<std::size_t>(layer_index)];
-  // A layer whose input is identically zero cannot be profiled; report a
-  // degenerate model (lambda 0) that the allocator treats as "free".
-  if (range <= 0.0) return m;
+  // A layer whose input is identically zero (or was never measured because
+  // every profiling batch was quarantined) cannot be profiled.
+  if (!(range > 0.0) || !std::isfinite(range)) {
+    pin_layer(m, diag, "input range is zero or unmeasured (no valid profiling data)");
+    return m;
+  }
 
   m.deltas.reserve(static_cast<std::size_t>(cfg.points));
   m.sigmas.reserve(static_cast<std::size_t>(cfg.points));
   const int reps = std::max(cfg.reps_per_point, 1);
+  int dropped_points = 0;
   for (int p = 0; p < cfg.points; ++p) {
     const double t = cfg.points == 1
                          ? 0.0
@@ -32,8 +75,26 @@ LayerLinearModel profile_layer(const AnalysisHarness& harness, int layer_index,
       const double s = harness.output_sigma_for_injection(m.node, delta, p * reps + rep);
       var += s * s;
     }
+    const double sigma = std::sqrt(var / reps);
+    // A non-finite measurement (poisoned downstream activations) would
+    // wreck the regression; drop the point and fit on the survivors.
+    if (!std::isfinite(sigma)) {
+      ++dropped_points;
+      continue;
+    }
     m.deltas.push_back(delta);
-    m.sigmas.push_back(std::sqrt(var / reps));
+    m.sigmas.push_back(sigma);
+  }
+  if (dropped_points > 0) {
+    diag_report(diag, DiagSeverity::kWarning, PipelineStage::kProfile, m.node,
+                std::to_string(dropped_points) + " of " + std::to_string(cfg.points) +
+                    " sweep points measured a non-finite sigma",
+                "points dropped; fit on the remaining " +
+                    std::to_string(m.deltas.size()) + " points");
+  }
+  if (m.deltas.size() < 2) {
+    pin_layer(m, diag, "fewer than 2 finite sweep points survived");
+    return m;
   }
 
   // Regress sigma on Delta and invert. Delta is the *controlled* variable
@@ -42,29 +103,44 @@ LayerLinearModel profile_layer(const AnalysisHarness& harness, int layer_index,
   // variables attenuation when the sigma estimates are noisy.
   const LinearFit raw = cfg.no_intercept ? fit_linear_no_intercept(m.deltas, m.sigmas)
                                          : fit_linear(m.deltas, m.sigmas);
-  if (raw.slope > 0.0) {
-    m.lambda = 1.0 / raw.slope;                 // Delta = (sigma - b) / a
-    m.theta = -raw.intercept / raw.slope;
-    m.r2 = raw.r2;
-  }
+  const bool ols_ok = apply_fit(m, raw);
 
-  // Prediction quality is assessed over the upper half of the sweep — the
-  // operating region of the bitwidth allocator. (At the smallest Deltas the
-  // intercept theta dominates and relative error is meaningless, exactly as
-  // in the paper's Fig. 2 where measurements start at moderate Deltas.)
-  for (std::size_t i = m.deltas.size() / 2; i < m.deltas.size(); ++i) {
-    const double pred = m.delta_for_sigma(m.sigmas[i]);
-    if (m.deltas[i] > 0.0)
-      m.max_rel_error = std::max(m.max_rel_error, std::fabs(pred - m.deltas[i]) / m.deltas[i]);
+  // Quality gates: a clean fit on a healthy layer has r2 ~0.99 and small
+  // relative error. Anything else means the measurements were degraded
+  // (saturation, poisoned reps, a non-monotone response) — try a robust
+  // Theil–Sen refit before giving up on the layer.
+  const bool gates_pass = ols_ok && m.r2 >= cfg.min_r2 && m.max_rel_error <= cfg.max_rel_error_gate;
+  if (!gates_pass) {
+    const double ols_r2 = ols_ok ? m.r2 : 0.0;
+    const LinearFit robust = fit_theil_sen(m.deltas, m.sigmas);
+    if (!apply_fit(m, robust)) {
+      pin_layer(m, diag,
+                ols_ok ? "fit failed quality gates and robust refit has non-positive slope"
+                       : "regression slope is non-positive");
+      return m;
+    }
+    m.fit_status = FitStatus::kRobustRefit;
+    if (m.r2 < cfg.pin_r2) {
+      pin_layer(m, diag, "robust refit r2 = " + std::to_string(m.r2) + " below pin gate " +
+                             std::to_string(cfg.pin_r2));
+      return m;
+    }
+    diag_report(diag, DiagSeverity::kWarning, PipelineStage::kProfile, m.node,
+                "OLS fit failed quality gates (r2 = " + std::to_string(ols_r2) +
+                    ", gates: min_r2 = " + std::to_string(cfg.min_r2) +
+                    ", max_rel_error = " + std::to_string(cfg.max_rel_error_gate) + ")",
+                "Theil–Sen robust refit applied (r2 = " + std::to_string(m.r2) + ")");
   }
   return m;
 }
 
 std::vector<LayerLinearModel> profile_lambda_theta(const AnalysisHarness& harness,
-                                                   const ProfilerConfig& cfg) {
+                                                   const ProfilerConfig& cfg,
+                                                   DiagnosticSink* diag) {
   std::vector<LayerLinearModel> models;
   models.reserve(static_cast<std::size_t>(harness.num_layers()));
-  for (int k = 0; k < harness.num_layers(); ++k) models.push_back(profile_layer(harness, k, cfg));
+  for (int k = 0; k < harness.num_layers(); ++k)
+    models.push_back(profile_layer(harness, k, cfg, diag));
   return models;
 }
 

@@ -7,10 +7,18 @@
 
 #include <vector>
 
+#include "core/diagnostics.hpp"
 #include "core/harness.hpp"
 #include "stats/regression.hpp"
 
 namespace mupod {
+
+// How the Eq. 5 fit of a layer was obtained.
+enum class FitStatus {
+  kOk,          // clean OLS fit passed the quality gates
+  kRobustRefit, // OLS failed a gate; a Theil–Sen refit recovered a usable law
+  kPinned,      // no usable law; layer pinned to max profiled precision
+};
 
 struct LayerLinearModel {
   int node = -1;            // network node id
@@ -19,11 +27,15 @@ struct LayerLinearModel {
   double theta = 0.0;       // intercept
   double r2 = 0.0;          // regression fit quality
   double max_rel_error = 0.0;  // worst |Delta_pred - Delta| / Delta over the sweep
+  FitStatus fit_status = FitStatus::kOk;
   std::vector<double> deltas;  // injected boundaries (measurement x... y axis in Fig. 2)
   std::vector<double> sigmas;  // measured final-layer error s.d.
 
   // Eq. 5 forward: predicted Delta for a target output sigma.
   double delta_for_sigma(double sigma) const { return lambda * sigma + theta; }
+  // A pinned / degenerate model carries no usable error-propagation law;
+  // the allocator keeps such layers at the floor Delta (max precision).
+  bool usable() const { return lambda > 0.0 && fit_status != FitStatus::kPinned; }
 };
 
 struct ProfilerConfig {
@@ -44,14 +56,24 @@ struct ProfilerConfig {
   double log2_hi_scale = -5.0;
   // Fit through the origin instead of with an intercept (theta ablation).
   bool no_intercept = false;
+  // --- degenerate-fit gates (graceful degradation) ----------------------
+  // A fit failing any gate is re-fit robustly (Theil–Sen); if the refit
+  // still yields no usable positive slope, or its r2 stays below pin_r2,
+  // the layer is pinned to max precision (lambda = 0, FitStatus::kPinned)
+  // and the allocator re-normalizes xi over the remaining layers.
+  double min_r2 = 0.9;            // below → refit (warn)
+  double max_rel_error_gate = 0.5; // above → refit (warn)
+  double pin_r2 = 0.5;            // refit still below → pin (error)
 };
 
 // Profiles every analyzed layer. Deterministic given the harness seed.
+// `diag` (optional) receives dropped-point / refit / pin diagnostics.
 std::vector<LayerLinearModel> profile_lambda_theta(const AnalysisHarness& harness,
-                                                   const ProfilerConfig& cfg = {});
+                                                   const ProfilerConfig& cfg = {},
+                                                   DiagnosticSink* diag = nullptr);
 
 // Single-layer variant.
 LayerLinearModel profile_layer(const AnalysisHarness& harness, int layer_index,
-                               const ProfilerConfig& cfg = {});
+                               const ProfilerConfig& cfg = {}, DiagnosticSink* diag = nullptr);
 
 }  // namespace mupod

@@ -2,19 +2,26 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
 
 namespace mupod {
 
 std::unordered_map<int, InjectionSpec> injection_for_xi(
     const std::vector<LayerLinearModel>& models, double sigma_yl,
-    const std::vector<double>& xi) {
+    const std::vector<double>& xi, std::vector<int>* dropped) {
   assert(models.size() == xi.size());
   std::unordered_map<int, InjectionSpec> inject;
   for (std::size_t k = 0; k < models.size(); ++k) {
     const LayerLinearModel& m = models[k];
-    if (m.lambda <= 0.0) continue;  // degenerate layer: nothing to inject
+    if (m.lambda <= 0.0) {  // degenerate layer: nothing to inject
+      if (dropped != nullptr) dropped->push_back(m.node);
+      continue;
+    }
     const double delta = m.lambda * sigma_yl * std::sqrt(xi[k]) + m.theta;
-    if (delta <= 0.0) continue;
+    if (delta <= 0.0 || !std::isfinite(delta)) {
+      if (dropped != nullptr) dropped->push_back(m.node);
+      continue;
+    }
     inject.emplace(m.node, InjectionSpec::uniform(delta));
   }
   return inject;
@@ -33,9 +40,46 @@ double accuracy_for_sigma(const AnalysisHarness& harness,
 
 SigmaSearchResult search_sigma_yl(const AnalysisHarness& harness,
                                   const std::vector<LayerLinearModel>& models,
-                                  const SigmaSearchConfig& cfg) {
-  const double threshold = (1.0 - cfg.relative_accuracy_drop) * harness.float_accuracy();
+                                  const SigmaSearchConfig& cfg, DiagnosticSink* diag) {
   SigmaSearchResult res;
+
+  // Preconditions on the measurement substrate: without usable eval
+  // measurements every accuracy probe returns 0, and the binary search
+  // would confidently report garbage in either direction.
+  if (harness.eval_batch_count() == 0 || harness.float_accuracy() <= 0.0) {
+    diag_report(diag, DiagSeverity::kError, PipelineStage::kSigmaSearch, -1,
+                "no usable accuracy measurement (float accuracy " +
+                    std::to_string(harness.float_accuracy()) + ", " +
+                    std::to_string(harness.eval_batch_count()) + " eval batches)",
+                "sigma search skipped; conservative max-precision fallback in effect");
+    return res;  // kBracketFailed
+  }
+  if (cfg.scheme == AccuracyScheme::kEqualInjection) {
+    // Scheme 1 with no usable layer model injects nothing: the accuracy
+    // probe would be the float network and the search unbounded.
+    std::size_t usable = 0;
+    std::vector<int> degenerate;
+    for (const LayerLinearModel& m : models) {
+      if (m.lambda > 0.0) ++usable;
+      else degenerate.push_back(m.node);
+    }
+    if (usable == 0) {
+      diag_report(diag, DiagSeverity::kError, PipelineStage::kSigmaSearch, -1,
+                  "scheme-1 search impossible: no layer has a usable error model",
+                  "sigma search skipped; conservative max-precision fallback in effect");
+      return res;  // kBracketFailed
+    }
+    if (!degenerate.empty()) {
+      std::string list;
+      for (int id : degenerate) list += (list.empty() ? "" : ", ") + std::to_string(id);
+      diag_report(diag, DiagSeverity::kWarning, PipelineStage::kSigmaSearch, degenerate.front(),
+                  "scheme-1 injection excludes " + std::to_string(degenerate.size()) +
+                      " layer(s) without a usable model (nodes " + list + ")",
+                  "searched budget is conservative for the excluded layers");
+    }
+  }
+
+  const double threshold = (1.0 - cfg.relative_accuracy_drop) * harness.float_accuracy();
 
   const auto satisfied = [&](double sigma) {
     return accuracy_for_sigma(harness, models, sigma, cfg.scheme) >= threshold;
@@ -43,8 +87,32 @@ SigmaSearchResult search_sigma_yl(const AnalysisHarness& harness,
   const BinarySearchResult bs = binary_search_max_satisfying(satisfied, cfg.search);
   res.sigma_yl = bs.value;
   res.evaluations = bs.evaluations;
-  res.accuracy_at_sigma =
-      res.sigma_yl > 0.0 ? accuracy_for_sigma(harness, models, res.sigma_yl, cfg.scheme) : 1.0;
+
+  if (!(bs.value > 0.0)) {
+    // Bracket failure: even sigma -> 0 violates the constraint. This is a
+    // hard failure that must NOT be masked as a perfect accuracy — leave
+    // accuracy_at_sigma at -1 and report.
+    res.status = SigmaSearchStatus::kBracketFailed;
+    diag_report(diag, DiagSeverity::kError, PipelineStage::kSigmaSearch, -1,
+                "bracket failure: no sigma satisfies the accuracy constraint (threshold " +
+                    std::to_string(threshold) + ")",
+                "no error budget exists; conservative max-precision fallback in effect");
+    return res;
+  }
+
+  if (!bs.bounded) {
+    // The constraint never violated within the doubling range: either the
+    // accuracy metric is degenerate or the probe range was too small.
+    // The value is still the largest probed satisfying sigma, but callers
+    // should treat it with suspicion.
+    res.status = SigmaSearchStatus::kUnbounded;
+    diag_report(diag, DiagSeverity::kWarning, PipelineStage::kSigmaSearch, -1,
+                "accuracy constraint never violated up to sigma = " + std::to_string(bs.value),
+                "using largest probed sigma; verify the accuracy metric is meaningful");
+  } else {
+    res.status = SigmaSearchStatus::kOk;
+  }
+  res.accuracy_at_sigma = accuracy_for_sigma(harness, models, res.sigma_yl, cfg.scheme);
   return res;
 }
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/diagnostics.hpp"
 #include "core/harness.hpp"
 #include "core/profiler.hpp"
 #include "opt/search.hpp"
@@ -42,17 +43,36 @@ struct SigmaSearchConfig {
   BinarySearchOptions search = default_sigma_search_options();
 };
 
+enum class SigmaSearchStatus {
+  kOk,             // bracket converged on a positive budget
+  kBracketFailed,  // even the smallest probed sigma violated the
+                   // constraint (or no usable measurement existed):
+                   // NO tolerable noise budget was found
+  kUnbounded,      // the constraint never violated within the probe range;
+                   // the returned sigma is the last known-good value and
+                   // the accuracy measurement is likely degenerate
+};
+
 struct SigmaSearchResult {
   double sigma_yl = 0.0;
   int evaluations = 0;
-  double accuracy_at_sigma = 0.0;  // measured accuracy at the returned sigma
+  // Measured accuracy at the returned sigma; -1.0 when the bracket failed
+  // (there is no sigma to measure at — NOT a claim of perfect accuracy).
+  double accuracy_at_sigma = -1.0;
+  SigmaSearchStatus status = SigmaSearchStatus::kBracketFailed;
+
+  // True when the search produced a budget callers may allocate against.
+  bool bracket_ok() const { return status != SigmaSearchStatus::kBracketFailed && sigma_yl > 0.0; }
 };
 
 // Eq. 7 realized as an injection map: Delta_XK = lambda_K*sigma*sqrt(xi_K)
 // + theta_K for every analyzed layer (non-positive Delta -> no injection).
+// Layers skipped because they have no usable model (lambda <= 0) or a
+// non-positive Delta are appended to `dropped` (node ids) when given, so
+// callers can warn instead of silently under-injecting.
 std::unordered_map<int, InjectionSpec> injection_for_xi(
     const std::vector<LayerLinearModel>& models, double sigma_yl,
-    const std::vector<double>& xi);
+    const std::vector<double>& xi, std::vector<int>* dropped = nullptr);
 
 // Accuracy at a candidate sigma under the chosen scheme.
 double accuracy_for_sigma(const AnalysisHarness& harness,
@@ -61,6 +81,7 @@ double accuracy_for_sigma(const AnalysisHarness& harness,
 
 SigmaSearchResult search_sigma_yl(const AnalysisHarness& harness,
                                   const std::vector<LayerLinearModel>& models,
-                                  const SigmaSearchConfig& cfg = {});
+                                  const SigmaSearchConfig& cfg = {},
+                                  DiagnosticSink* diag = nullptr);
 
 }  // namespace mupod

@@ -1,12 +1,32 @@
 #include "io/profile_io.hpp"
 
 #include <cassert>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
 namespace mupod {
+
+namespace {
+
+// Every parse failure names the line *and* shows its content: a corrupted
+// or truncated file is debugged from the message alone, without reopening
+// the file in an editor.
+[[noreturn]] void parse_fail(const std::string& what, int line_no, const std::string& line) {
+  throw std::runtime_error("profile: " + what + " at line " + std::to_string(line_no) + ": '" +
+                           line + "'");
+}
+
+void require_finite(double v, const char* field, int line_no, const std::string& line) {
+  if (!std::isfinite(v))
+    parse_fail(std::string("non-finite ") + field, line_no, line);
+}
+
+}  // namespace
 
 ProfileBundle make_profile_bundle(const Network& net, const std::vector<int>& analyzed,
                                   const PipelineResult& result) {
@@ -29,9 +49,10 @@ ProfileBundle make_profile_bundle(const Network& net, const std::vector<int>& an
 std::string serialize_profile(const ProfileBundle& bundle) {
   std::ostringstream os;
   os << std::setprecision(17);
-  os << "mupod-profile v1\n";
+  os << "mupod-profile v2\n";
   os << "network " << bundle.network << "\n";
   os << "sigma " << bundle.sigma_yl << ' ' << bundle.sigma_calibrated << "\n";
+  std::size_t n_points = 0;
   for (std::size_t k = 0; k < bundle.models.size(); ++k) {
     const LayerLinearModel& m = bundle.models[k];
     os << "layer " << k << ' ' << m.node << ' '
@@ -39,32 +60,46 @@ std::string serialize_profile(const ProfileBundle& bundle) {
        << (k < bundle.ranges.size() ? bundle.ranges[k] : 0.0) << ' ' << m.lambda << ' '
        << m.theta << ' ' << m.r2 << ' '
        << (k < bundle.input_elems.size() ? bundle.input_elems[k] : 0) << ' '
-       << (k < bundle.macs.size() ? bundle.macs[k] : 0) << "\n";
+       << (k < bundle.macs.size() ? bundle.macs[k] : 0) << ' '
+       << static_cast<int>(m.fit_status) << "\n";
     for (std::size_t i = 0; i < m.deltas.size(); ++i)
       os << "point " << k << ' ' << m.deltas[i] << ' ' << m.sigmas[i] << "\n";
+    n_points += m.deltas.size();
   }
+  // Explicit end marker with counts: a file cut off at any line boundary
+  // is detected as truncated instead of parsing as a smaller bundle.
+  os << "end " << bundle.models.size() << ' ' << n_points << "\n";
   return os.str();
 }
 
 ProfileBundle parse_profile(const std::string& text) {
   std::istringstream is(text);
   std::string line;
-  if (!std::getline(is, line) || line.rfind("mupod-profile v1", 0) != 0)
-    throw std::runtime_error("profile: bad header");
+  if (!std::getline(is, line))
+    throw std::runtime_error("profile: empty input (no header)");
+  int version = 0;
+  if (line.rfind("mupod-profile v1", 0) == 0) version = 1;
+  else if (line.rfind("mupod-profile v2", 0) == 0) version = 2;
+  else parse_fail("bad header (expected 'mupod-profile v1' or 'v2')", 1, line);
 
   ProfileBundle b;
   int line_no = 1;
+  std::size_t n_points = 0;
+  bool saw_end = false;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
+    if (saw_end) parse_fail("content after end marker", line_no, line);
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
     if (tag == "network") {
-      ls >> b.network;
+      if (!(ls >> b.network)) parse_fail("bad network line", line_no, line);
     } else if (tag == "sigma") {
       if (!(ls >> b.sigma_yl >> b.sigma_calibrated))
-        throw std::runtime_error("profile: bad sigma line " + std::to_string(line_no));
+        parse_fail("bad sigma line", line_no, line);
+      require_finite(b.sigma_yl, "sigma", line_no, line);
+      require_finite(b.sigma_calibrated, "calibrated sigma", line_no, line);
     } else if (tag == "layer") {
       std::size_t k = 0;
       LayerLinearModel m;
@@ -72,10 +107,21 @@ ProfileBundle parse_profile(const std::string& text) {
       double range = 0.0;
       std::int64_t inputs = 0, macs = 0;
       if (!(ls >> k >> m.node >> name >> range >> m.lambda >> m.theta >> m.r2))
-        throw std::runtime_error("profile: bad layer line " + std::to_string(line_no));
+        parse_fail("bad layer line", line_no, line);
       ls >> inputs >> macs;  // optional (older files omit them)
+      int fit_status = 0;
+      if (ls >> fit_status) {  // v2 field; absent in v1
+        if (fit_status < 0 || fit_status > static_cast<int>(FitStatus::kPinned))
+          parse_fail("fit status out of range", line_no, line);
+        m.fit_status = static_cast<FitStatus>(fit_status);
+      }
+      require_finite(range, "range", line_no, line);
+      require_finite(m.lambda, "lambda", line_no, line);
+      require_finite(m.theta, "theta", line_no, line);
+      require_finite(m.r2, "r2", line_no, line);
       if (k != b.models.size())
-        throw std::runtime_error("profile: layers out of order at line " + std::to_string(line_no));
+        parse_fail("layers out of order (expected layer " + std::to_string(b.models.size()) + ")",
+                   line_no, line);
       m.layer_index = static_cast<int>(k);
       b.models.push_back(m);
       b.ranges.push_back(range);
@@ -85,15 +131,34 @@ ProfileBundle parse_profile(const std::string& text) {
     } else if (tag == "point") {
       std::size_t k = 0;
       double delta = 0.0, sigma = 0.0;
-      if (!(ls >> k >> delta >> sigma) || k >= b.models.size())
-        throw std::runtime_error("profile: bad point line " + std::to_string(line_no));
+      if (!(ls >> k >> delta >> sigma)) parse_fail("bad point line", line_no, line);
+      if (k >= b.models.size())
+        parse_fail("point references unknown layer " + std::to_string(k), line_no, line);
+      require_finite(delta, "delta", line_no, line);
+      require_finite(sigma, "sigma", line_no, line);
       b.models[k].deltas.push_back(delta);
       b.models[k].sigmas.push_back(sigma);
+      ++n_points;
+    } else if (tag == "end") {
+      std::size_t n_layers_decl = 0, n_points_decl = 0;
+      if (!(ls >> n_layers_decl >> n_points_decl)) parse_fail("bad end marker", line_no, line);
+      if (n_layers_decl != b.models.size())
+        parse_fail("end marker declares " + std::to_string(n_layers_decl) + " layers but " +
+                       std::to_string(b.models.size()) + " were parsed",
+                   line_no, line);
+      if (n_points_decl != n_points)
+        parse_fail("end marker declares " + std::to_string(n_points_decl) + " points but " +
+                       std::to_string(n_points) + " were parsed",
+                   line_no, line);
+      saw_end = true;
     } else {
-      throw std::runtime_error("profile: unknown tag '" + tag + "' at line " +
-                               std::to_string(line_no));
+      parse_fail("unknown tag '" + tag + "'", line_no, line);
     }
   }
+  if (version >= 2 && !saw_end)
+    throw std::runtime_error(
+        "profile: truncated input — v2 end marker missing (file cut off after line " +
+        std::to_string(line_no) + ")");
   return b;
 }
 
@@ -101,12 +166,14 @@ bool save_profile(const std::string& path, const ProfileBundle& bundle) {
   std::ofstream f(path);
   if (!f) return false;
   f << serialize_profile(bundle);
+  f.flush();
   return static_cast<bool>(f);
 }
 
 ProfileBundle load_profile(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open profile: " + path);
+  if (!f)
+    throw std::runtime_error("cannot open profile '" + path + "': " + std::strerror(errno));
   std::ostringstream os;
   os << f.rdbuf();
   return parse_profile(os.str());

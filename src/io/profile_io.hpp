@@ -6,11 +6,15 @@
 // processes: profile once on the big machine, re-optimize anywhere.
 //
 // Format: line-oriented text, '#' comments.
-//   mupod-profile v1
+//   mupod-profile v2
 //   network <name>
 //   sigma <searched> <calibrated>
-//   layer <index> <node> <name> <range> <lambda> <theta> <r2> <inputs> <macs>
+//   layer <index> <node> <name> <range> <lambda> <theta> <r2> <inputs> <macs> <fit_status>
 //   point <layer_index> <delta> <sigma>
+//   end <n_layers> <n_points>
+// The trailing `end` marker (v2) makes truncation detectable: a file cut
+// off at any line boundary fails to parse instead of yielding a smaller
+// bundle. v1 files (no marker, no fit_status) are still accepted.
 #pragma once
 
 #include <string>
@@ -39,10 +43,14 @@ ProfileBundle make_profile_bundle(const Network& net, const std::vector<int>& an
 
 std::string serialize_profile(const ProfileBundle& bundle);
 
-// Throws std::runtime_error on malformed input.
+// Throws std::runtime_error on malformed or truncated input; the message
+// names the offending line number and quotes its content.
 ProfileBundle parse_profile(const std::string& text);
 
+// Returns false on I/O error (check errno for the cause).
 bool save_profile(const std::string& path, const ProfileBundle& bundle);
+// Throws std::runtime_error (with strerror context) when the file cannot
+// be opened, and parse_profile's errors on malformed content.
 ProfileBundle load_profile(const std::string& path);
 
 }  // namespace mupod

@@ -14,18 +14,37 @@ std::string render_report(const Network& net, const std::vector<int>& analyzed,
   os << "Network `" << net.name() << "`: " << net.num_nodes() << " nodes, " << analyzed.size()
      << " analyzed layers, " << net.total_macs() << " MACs/image, " << net.total_input_elems()
      << " input elements/image.\n\n";
-  os << "Error budget `sigma_YL = " << TextTable::fmt(result.sigma.sigma_yl, 4) << "` found in "
-     << result.sigma.evaluations << " accuracy evaluations (accuracy at budget: "
-     << TextTable::fmt(result.sigma.accuracy_at_sigma * 100, 2) << "%).\n\n";
+  if (result.sigma.bracket_ok()) {
+    os << "Error budget `sigma_YL = " << TextTable::fmt(result.sigma.sigma_yl, 4) << "` found in "
+       << result.sigma.evaluations << " accuracy evaluations (accuracy at budget: "
+       << TextTable::fmt(result.sigma.accuracy_at_sigma * 100, 2) << "%).\n\n";
+    if (result.sigma.status == SigmaSearchStatus::kUnbounded)
+      os << "**Warning:** the accuracy constraint was never violated inside the probe "
+            "range; the budget above is the largest probed value, not a converged "
+            "bracket.\n\n";
+  } else {
+    os << "**Sigma search failed**: no noise budget satisfies the accuracy constraint ("
+       << result.sigma.evaluations << " accuracy evaluations). All layers fall back to "
+       << "their max profiled precision.\n\n";
+  }
 
   if (opts.include_lambda_theta) {
     os << "## Per-layer error propagation (Eq. 5)\n\n";
-    TextTable t({"layer", "max|X|", "lambda", "theta", "R^2"});
+    const auto fit_name = [](FitStatus s) {
+      switch (s) {
+        case FitStatus::kOk: return "ok";
+        case FitStatus::kRobustRefit: return "robust refit";
+        case FitStatus::kPinned: return "pinned";
+      }
+      return "?";
+    };
+    TextTable t({"layer", "max|X|", "lambda", "theta", "R^2", "fit"});
     for (std::size_t k = 0; k < analyzed.size(); ++k) {
       t.add_row({net.node(analyzed[k]).name, TextTable::fmt(result.ranges[k], 2),
                  TextTable::fmt(result.models[k].lambda, 4),
                  TextTable::fmt(result.models[k].theta, 5),
-                 TextTable::fmt(result.models[k].r2, 4)});
+                 TextTable::fmt(result.models[k].r2, 4),
+                 fit_name(result.models[k].fit_status)});
     }
     os << t.render_markdown() << '\n';
   }
@@ -36,6 +55,11 @@ std::string render_report(const Network& net, const std::vector<int>& analyzed,
     if (obj.refinements > 0) os << " (after " << obj.refinements << " refinement(s))";
     os << "\n- validated accuracy: " << TextTable::fmt(obj.validated_accuracy * 100, 2) << "%\n";
     if (obj.weight_bits > 0) os << "- uniform weight bitwidth: " << obj.weight_bits << "\n";
+    if (obj.alloc.solver_downgrades > 0 || !obj.alloc.solver_converged) {
+      os << "- solver: " << xi_solver_name(obj.alloc.solver_used) << " ("
+         << obj.alloc.solver_downgrades << " downgrade(s)"
+         << (obj.alloc.solver_converged ? "" : ", NOT converged") << ")\n";
+    }
     os << '\n';
 
     std::vector<std::string> header = {"layer", "format I.F", "bits", "Delta"};
@@ -48,6 +72,20 @@ std::string render_report(const Network& net, const std::vector<int>& analyzed,
                                       TextTable::fmt(obj.alloc.deltas[k], 5)};
       if (opts.include_xi) row.push_back(TextTable::fmt(obj.alloc.xi[k], 4));
       t.add_row(row);
+    }
+    os << t.render_markdown() << '\n';
+  }
+
+  if (!result.diagnostics.empty()) {
+    os << "## Diagnostics\n\n";
+    const auto layer_name = [&](int node) -> std::string {
+      if (node < 0 || node >= net.num_nodes()) return "-";
+      return net.node(node).name;
+    };
+    TextTable t({"severity", "stage", "layer", "message", "remediation"});
+    for (const Diagnostic& d : result.diagnostics.entries()) {
+      t.add_row({severity_name(d.severity), stage_name(d.stage), layer_name(d.layer), d.message,
+                 d.remediation});
     }
     os << t.render_markdown() << '\n';
   }

@@ -52,8 +52,12 @@ std::vector<double> project_to_simplex(std::span<const double> v, double total, 
   // Shift so the problem becomes projection onto {x >= 0, sum = total'}.
   const double shifted_total = total - lower * static_cast<double>(n);
   assert(shifted_total > 0.0 && "lower bounds leave no mass to distribute");
+  // A non-finite coordinate (solver steps through a NaN objective region)
+  // would poison the sort threshold and make the whole output NaN; treat
+  // it as "no mass requested" so the projection stays feasible.
   std::vector<double> u(n);
-  for (std::size_t i = 0; i < n; ++i) u[i] = v[i] - lower;
+  for (std::size_t i = 0; i < n; ++i)
+    u[i] = std::isfinite(v[i]) ? v[i] - lower : 0.0;
 
   // Sort-based algorithm (Held et al. / Duchi et al.).
   std::vector<double> s = u;
@@ -84,7 +88,15 @@ SimplexResult minimize_on_simplex(int n, const SimplexProblem& prob,
                               ? uniform_start(n, opts.min_xi)
                               : project_to_simplex(initial, 1.0, opts.min_xi);
   double fx = prob.objective(x);
+  if (!std::isfinite(fx)) {
+    // The objective is broken at the (feasible) start: no descent
+    // criterion exists. Bail instead of claiming a converged stall.
+    res.xi = x;
+    res.objective = fx;
+    return res;  // converged = false
+  }
   std::vector<double> g(static_cast<std::size_t>(n));
+  bool saw_nonfinite = false;
 
   // Mirror descent (exponentiated gradient): the multiplicative update
   // x_i <- x_i * exp(-step * g_i) / Z stays in the simplex interior and is
@@ -121,7 +133,8 @@ SimplexResult minimize_on_simplex(int n, const SimplexProblem& prob,
       for (double& v : cand) v /= z;
       cand = project_to_simplex(cand, 1.0, opts.min_xi);
       const double fc = prob.objective(cand);
-      if (fc < fx - 1e-16) {
+      if (!std::isfinite(fc)) saw_nonfinite = true;
+      if (std::isfinite(fc) && fc < fx - 1e-16) {
         const double gain = fx - fc;
         const double move = norm_inf_diff(cand, x);
         x = std::move(cand);
@@ -140,7 +153,9 @@ SimplexResult minimize_on_simplex(int n, const SimplexProblem& prob,
       if (step < 1e-14) break;
     }
     if (!improved) {
-      res.converged = true;
+      // A stall against finite evaluations is convergence; a stall because
+      // the neighborhood evaluates to NaN/Inf is a broken objective.
+      res.converged = !saw_nonfinite;
       break;
     }
   }
@@ -158,7 +173,13 @@ SimplexResult sqp_minimize_on_simplex(int n, const SimplexProblem& prob,
                               ? uniform_start(n, opts.min_xi)
                               : project_to_simplex(initial, 1.0, opts.min_xi);
   double fx = prob.objective(x);
+  if (!std::isfinite(fx)) {
+    res.xi = x;
+    res.objective = fx;
+    return res;  // converged = false
+  }
   std::vector<double> g(static_cast<std::size_t>(n)), h(static_cast<std::size_t>(n));
+  bool saw_nonfinite = false;
 
   for (int it = 0; it < opts.max_iterations; ++it) {
     res.iterations = it + 1;
@@ -175,7 +196,7 @@ SimplexResult sqp_minimize_on_simplex(int n, const SimplexProblem& prob,
         eval_gradient(prob, xp, gp);
         xp[static_cast<std::size_t>(i)] = orig;
         double hi = (gp[static_cast<std::size_t>(i)] - g[static_cast<std::size_t>(i)]) / eps;
-        if (!(hi > 1e-8)) hi = 1.0;  // damp non-convex / flat directions
+        if (!(hi > 1e-8) || !std::isfinite(hi)) hi = 1.0;  // damp non-convex / flat / NaN directions
         h[static_cast<std::size_t>(i)] = hi;
       }
     }
@@ -207,7 +228,8 @@ SimplexResult sqp_minimize_on_simplex(int n, const SimplexProblem& prob,
             x[static_cast<std::size_t>(i)] + damping * d[static_cast<std::size_t>(i)];
       cand = project_to_simplex(cand, 1.0, opts.min_xi);
       const double fc = prob.objective(cand);
-      if (fc < fx - 1e-16) {
+      if (!std::isfinite(fc)) saw_nonfinite = true;
+      if (std::isfinite(fc) && fc < fx - 1e-16) {
         const double gain = fx - fc;
         x = std::move(cand);
         fx = fc;
@@ -224,7 +246,7 @@ SimplexResult sqp_minimize_on_simplex(int n, const SimplexProblem& prob,
       if (damping < 1e-12) break;
     }
     if (!improved) {
-      res.converged = true;
+      res.converged = !saw_nonfinite;
       break;
     }
   }

@@ -1,7 +1,9 @@
 #include "stats/regression.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 namespace mupod {
 
@@ -63,6 +65,49 @@ LinearFit fit_linear_no_intercept(std::span<const double> xs, std::span<const do
   if (sxx == 0.0) return f;
   f.slope = sxy / sxx;
   f.intercept = 0.0;
+  f.n = static_cast<int>(n);
+
+  double sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sy += ys[i];
+  const double my = sy / static_cast<double>(n);
+  double syy = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    syy += (ys[i] - my) * (ys[i] - my);
+    const double e = ys[i] - f.predict(xs[i]);
+    ss_res += e * e;
+  }
+  f.r2 = syy == 0.0 ? 1.0 : 1.0 - ss_res / syy;
+  return f;
+}
+
+LinearFit fit_theil_sen(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit f;
+  const std::size_t n = xs.size();
+  if (n < 2 || ys.size() != n) return f;
+
+  std::vector<double> slopes;
+  slopes.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[j] - xs[i];
+      if (dx == 0.0) continue;
+      slopes.push_back((ys[j] - ys[i]) / dx);
+    }
+  }
+  if (slopes.empty()) return f;  // all xs identical
+  const auto median_of = [](std::vector<double>& v) {
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+    if (v.size() % 2 == 1) return v[mid];
+    const double hi = v[mid];
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid - 1), v.end());
+    return 0.5 * (v[mid - 1] + hi);
+  };
+  f.slope = median_of(slopes);
+
+  std::vector<double> residuals(n);
+  for (std::size_t i = 0; i < n; ++i) residuals[i] = ys[i] - f.slope * xs[i];
+  f.intercept = median_of(residuals);
   f.n = static_cast<int>(n);
 
   double sy = 0.0;

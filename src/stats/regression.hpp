@@ -25,4 +25,12 @@ LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
 // Fit through the origin: y ~= slope*x (used by the theta-ablation bench).
 LinearFit fit_linear_no_intercept(std::span<const double> xs, std::span<const double> ys);
 
+// Theil–Sen robust fit: slope = median of pairwise slopes, intercept =
+// median of (y - slope*x). Tolerates a minority of wild outliers (e.g.
+// sweep points poisoned by saturated activations) that would wreck the
+// OLS fit; O(n^2) in the number of points, fine for profiling sweeps.
+// r2 is computed against the data like fit_linear's. Same degenerate-input
+// contract as fit_linear (returns a zero fit with n = 0).
+LinearFit fit_theil_sen(std::span<const double> xs, std::span<const double> ys);
+
 }  // namespace mupod

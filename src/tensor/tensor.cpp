@@ -48,6 +48,12 @@ Tensor& Tensor::operator*=(float s) {
   return *this;
 }
 
+bool Tensor::all_finite() const {
+  for (float v : data_)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
 float Tensor::max_abs() const {
   float m = 0.0f;
   for (float v : data_) m = std::max(m, std::fabs(v));

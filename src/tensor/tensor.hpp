@@ -47,6 +47,9 @@ class Tensor {
   Tensor& operator*=(float s);
 
   // Reductions.
+  // True when every element is finite (no NaN/Inf) — the poisoned-
+  // activation check of the pipeline's measurement path.
+  bool all_finite() const;
   float max_abs() const;
   float min() const;
   float max() const;

@@ -1,0 +1,165 @@
+// Fault-injection harness for the robustness tests: a delegating layer
+// wrapper that poisons its output (NaN / Inf / huge saturated values) on a
+// configurable call schedule, plus a builder for a small CNN with the
+// fault planted mid-network. The pipeline must survive these faults with
+// diagnostics and a conservative allocation — never a crash or a
+// confident-but-garbage result.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "data/synthetic.hpp"
+#include "nn/layers.hpp"
+#include "nn/network.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod::faulttest {
+
+enum class FaultKind {
+  kNaN,       // quiet NaNs
+  kInf,       // +infinity
+  kSaturate,  // finite but absurdly large (~1e6) — degrades fits, not isfinite
+};
+
+// Which forward() calls of the wrapped layer emit the fault. Calls are
+// counted per FaultyLayer instance, starting at 0.
+struct FaultSchedule {
+  FaultKind kind = FaultKind::kNaN;
+  int first_call = 0;                                 // first faulty call
+  int period = 1;                                     // every Nth call after first
+  int last_call = std::numeric_limits<int>::max();    // inclusive
+  double fraction = 0.25;                             // fraction of elements poisoned
+};
+
+// Wraps any Layer and corrupts its output on schedule. The mutable call
+// counter mirrors how a real intermittent hardware fault presents: the
+// same layer works on some forward passes and emits garbage on others.
+class FaultyLayer final : public Layer {
+ public:
+  FaultyLayer(std::unique_ptr<Layer> inner, FaultSchedule schedule)
+      : inner_(std::move(inner)), schedule_(schedule) {}
+
+  LayerKind kind() const override { return inner_->kind(); }
+  Shape output_shape(std::span<const Shape> in) const override {
+    return inner_->output_shape(in);
+  }
+  bool analyzable() const override { return inner_->analyzable(); }
+  LayerCost cost(std::span<const Shape> in) const override { return inner_->cost(in); }
+  const Tensor* weights() const override { return inner_->weights(); }
+  Tensor* mutable_weights() override { return inner_->mutable_weights(); }
+  const Tensor* bias() const override { return inner_->bias(); }
+  Tensor* mutable_bias() override { return inner_->mutable_bias(); }
+
+  void forward(std::span<const Tensor* const> in, Tensor& out) const override {
+    inner_->forward(in, out);
+    if (!armed_) return;
+    const int call = calls_++;
+    if (call < schedule_.first_call || call > schedule_.last_call) return;
+    if (schedule_.period > 1 && (call - schedule_.first_call) % schedule_.period != 0) return;
+    poison(out);
+  }
+
+  int calls() const { return calls_; }
+  void reset_calls() { calls_ = 0; }
+  // Disarmed, the wrapper is a transparent pass-through and calls are not
+  // counted — used so weight calibration sees the healthy network.
+  void arm(bool on) { armed_ = on; }
+
+ private:
+  void poison(Tensor& out) const {
+    auto data = out.span();
+    if (data.empty()) return;
+    const auto n = static_cast<std::size_t>(
+        std::clamp(schedule_.fraction, 0.0, 1.0) * static_cast<double>(data.size()));
+    const std::size_t stride = n > 0 ? std::max<std::size_t>(data.size() / n, 1) : data.size();
+    float v = 0.0f;
+    switch (schedule_.kind) {
+      case FaultKind::kNaN: v = std::numeric_limits<float>::quiet_NaN(); break;
+      case FaultKind::kInf: v = std::numeric_limits<float>::infinity(); break;
+      case FaultKind::kSaturate: v = 1e6f; break;
+    }
+    for (std::size_t i = 0; i < data.size(); i += stride) data[i] = v;
+  }
+
+  std::unique_ptr<Layer> inner_;
+  FaultSchedule schedule_;
+  mutable int calls_ = 0;
+  bool armed_ = true;
+};
+
+struct FaultyNet {
+  Network net;
+  std::vector<int> analyzed;     // conv1, conv2, fc — the allocated layers
+  int faulty_node = -1;          // node id of the FaultyLayer (the relu)
+  FaultyLayer* fault = nullptr;
+  int channels = 3, height = 16, width = 16, num_classes = 10;
+};
+
+// input 3x16x16 -> conv1 -> [FaultyLayer around ReLU] -> pool -> conv2
+// -> relu -> gap -> fc(10). He-initialized and calibrated like the zoo
+// nets so activations have sane scales when the fault is dormant.
+inline FaultyNet build_faulty_net(const FaultSchedule& schedule,
+                                  const SyntheticImageDataset& dataset) {
+  FaultyNet f;
+  f.net = Network("faulty-net");
+  const int in = f.net.add_input("data", f.channels, f.height, f.width);
+
+  Conv2DLayer::Config c1;
+  c1.in_channels = 3;
+  c1.out_channels = 8;
+  c1.kernel_h = c1.kernel_w = 3;
+  c1.pad = 1;
+  const int conv1 = f.net.add("conv1", std::make_unique<Conv2DLayer>(c1), std::vector<int>{in});
+
+  auto faulty = std::make_unique<FaultyLayer>(std::make_unique<ReLULayer>(), schedule);
+  f.fault = faulty.get();
+  f.faulty_node = f.net.add("relu1(faulty)", std::move(faulty), std::vector<int>{conv1});
+
+  PoolLayer::Config pc;
+  pc.mode = PoolLayer::Mode::kMax;
+  const int pool = f.net.add("pool1", std::make_unique<PoolLayer>(pc), std::vector<int>{f.faulty_node});
+
+  Conv2DLayer::Config c2;
+  c2.in_channels = 8;
+  c2.out_channels = 12;
+  c2.kernel_h = c2.kernel_w = 3;
+  c2.pad = 1;
+  const int conv2 = f.net.add("conv2", std::make_unique<Conv2DLayer>(c2), std::vector<int>{pool});
+  const int relu2 = f.net.add("relu2", std::make_unique<ReLULayer>(), std::vector<int>{conv2});
+
+  PoolLayer::Config gc;
+  gc.mode = PoolLayer::Mode::kAvg;
+  gc.global = true;
+  const int gap = f.net.add("gap", std::make_unique<PoolLayer>(gc), std::vector<int>{relu2});
+  const int fc =
+      f.net.add("fc", std::make_unique<InnerProductLayer>(12, f.num_classes), std::vector<int>{gap});
+  (void)fc;
+  f.net.finalize();
+  f.analyzed = f.net.analyzable_nodes();
+
+  init_weights_he(f.net, 4242);
+  // Calibrate with the fault disarmed so scales reflect the healthy net;
+  // arm it afterwards with the call counter at zero.
+  f.fault->arm(false);
+  calibrate_activations(f.net, dataset.make_batch(0, 16));
+  center_output_logits(f.net, dataset.make_batch(0, 16));
+  f.fault->reset_calls();
+  f.fault->arm(true);
+  return f;
+}
+
+inline SyntheticImageDataset make_faulty_dataset() {
+  DatasetConfig dc;
+  dc.num_classes = 10;
+  dc.channels = 3;
+  dc.height = 16;
+  dc.width = 16;
+  dc.seed = 7;
+  return SyntheticImageDataset(dc);
+}
+
+}  // namespace mupod::faulttest

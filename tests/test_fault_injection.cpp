@@ -1,0 +1,311 @@
+// Fault-injection suite: the pipeline must survive poisoned activations,
+// adversarial objectives, and corrupted profile files with diagnostics and
+// a valid conservative result — never a crash, never a silently wrong
+// allocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "fault_injection.hpp"
+#include "fixtures.hpp"
+#include "io/profile_io.hpp"
+
+namespace mupod {
+namespace {
+
+using faulttest::FaultKind;
+using faulttest::FaultSchedule;
+using faulttest::FaultyNet;
+using faulttest::build_faulty_net;
+using faulttest::make_faulty_dataset;
+
+PipelineConfig small_pipeline_config() {
+  PipelineConfig cfg;
+  cfg.harness.profile_images = 32;
+  cfg.harness.eval_images = 64;
+  cfg.harness.batch = 16;
+  cfg.profiler.points = 8;
+  cfg.profiler.reps_per_point = 1;
+  cfg.search_weights = false;
+  return cfg;
+}
+
+bool allocation_is_valid(const BitwidthAllocation& a, std::size_t layers) {
+  if (a.xi.size() != layers || a.bits.size() != layers || a.deltas.size() != layers) return false;
+  for (double x : a.xi)
+    if (!std::isfinite(x) || x < 0.0) return false;
+  for (int b : a.bits)
+    if (b < 1 || b > 64) return false;
+  for (double d : a.deltas)
+    if (!std::isfinite(d) || d <= 0.0) return false;
+  return true;
+}
+
+// --- the wrapper itself --------------------------------------------------
+
+TEST(FaultyLayer, PoisonsOnSchedule) {
+  const SyntheticImageDataset dataset = make_faulty_dataset();
+  FaultSchedule s;
+  s.kind = FaultKind::kNaN;
+  s.first_call = 1;  // first forward clean, second poisoned
+  s.period = 2;
+  FaultyNet f = build_faulty_net(s, dataset);
+
+  const Tensor batch = dataset.make_batch(0, 4);
+  // Inspect the faulty node's own activation: downstream max-pooling can
+  // swallow NaNs (std::max comparisons with NaN are false), so the logits
+  // are not a reliable witness.
+  const std::vector<Tensor> clean = f.net.forward_all(batch);
+  EXPECT_TRUE(clean[static_cast<std::size_t>(f.faulty_node)].all_finite());
+  const std::vector<Tensor> poisoned = f.net.forward_all(batch);
+  EXPECT_FALSE(poisoned[static_cast<std::size_t>(f.faulty_node)].all_finite());
+  EXPECT_EQ(f.fault->calls(), 2);
+}
+
+TEST(FaultyLayer, SaturateStaysFinite) {
+  const SyntheticImageDataset dataset = make_faulty_dataset();
+  FaultSchedule s;
+  s.kind = FaultKind::kSaturate;
+  s.first_call = 0;
+  FaultyNet f = build_faulty_net(s, dataset);
+  const Tensor out = f.net.forward(dataset.make_batch(0, 4));
+  EXPECT_TRUE(out.all_finite());
+  EXPECT_GT(out.max_abs(), 1e3);  // the saturation reached the logits
+}
+
+// --- harness quarantine --------------------------------------------------
+
+TEST(FaultInjection, HarnessQuarantinesPoisonedProfilingBatches) {
+  const SyntheticImageDataset dataset = make_faulty_dataset();
+  FaultSchedule s;
+  s.kind = FaultKind::kNaN;
+  s.first_call = 0;  // poison the very first construction forward
+  s.period = 3;      // then every 3rd call: replacements can succeed
+  FaultyNet f = build_faulty_net(s, dataset);
+
+  HarnessConfig hc;
+  hc.profile_images = 32;
+  hc.eval_images = 32;
+  hc.batch = 16;
+  DiagnosticSink diag;
+  AnalysisHarness harness(f.net, f.analyzed, dataset, hc, &diag);
+
+  EXPECT_GE(harness.quarantined_profile_batches() + harness.quarantined_eval_batches(), 1);
+  EXPECT_GT(harness.profile_batch_count(), 0);
+  EXPECT_GT(harness.eval_batch_count(), 0);
+  EXPECT_GE(diag.count(PipelineStage::kHarness, DiagSeverity::kWarning), 1);
+  // The surviving caches really are clean.
+  for (int k = 0; k < harness.num_layers(); ++k) {
+    EXPECT_TRUE(std::isfinite(harness.input_ranges()[static_cast<std::size_t>(k)]));
+  }
+}
+
+// --- end-to-end with intermittent NaN faults -----------------------------
+
+TEST(FaultInjection, PipelineSurvivesNaNFaultsWithAttribution) {
+  const SyntheticImageDataset dataset = make_faulty_dataset();
+  FaultSchedule s;
+  s.kind = FaultKind::kNaN;
+  s.first_call = 5;  // construction (4 batches) mostly clean
+  s.period = 4;      // intermittent during the profiling sweeps
+  FaultyNet f = build_faulty_net(s, dataset);
+
+  PipelineConfig cfg = small_pipeline_config();
+  const std::vector<ObjectiveSpec> objectives = {objective_mac_energy(f.net, f.analyzed)};
+  const PipelineResult res = run_pipeline(f.net, f.analyzed, dataset, objectives, cfg);
+
+  // The run completed and produced a structurally valid allocation.
+  ASSERT_EQ(res.objectives.size(), 1u);
+  EXPECT_TRUE(allocation_is_valid(res.objectives[0].alloc, f.analyzed.size()));
+
+  // The faults were seen and reported, attributed to a real stage.
+  EXPECT_FALSE(res.diagnostics.empty());
+  int attributed = 0;
+  for (const Diagnostic& d : res.diagnostics.entries()) {
+    EXPECT_TRUE(d.stage == PipelineStage::kHarness || d.stage == PipelineStage::kProfile ||
+                d.stage == PipelineStage::kSigmaSearch || d.stage == PipelineStage::kAllocate ||
+                d.stage == PipelineStage::kValidate);
+    if (d.layer >= 0) ++attributed;
+  }
+  // NaN sweep measurements only arise downstream of conv1 (the injection
+  // that re-executes the faulty relu), so at least one diagnostic must be
+  // attributed to a specific layer.
+  EXPECT_GE(attributed, 1);
+}
+
+TEST(FaultInjection, AllBatchesPoisonedFallsBackConservatively) {
+  const SyntheticImageDataset dataset = make_faulty_dataset();
+  FaultSchedule s;
+  s.kind = FaultKind::kNaN;
+  s.first_call = 0;
+  s.period = 1;  // every forward poisoned: no clean batch can ever be drawn
+  FaultyNet f = build_faulty_net(s, dataset);
+
+  PipelineConfig cfg = small_pipeline_config();
+  const std::vector<ObjectiveSpec> objectives = {objective_mac_energy(f.net, f.analyzed)};
+  const PipelineResult res = run_pipeline(f.net, f.analyzed, dataset, objectives, cfg);
+
+  // Nothing was measurable: the sigma search must fail its bracket rather
+  // than claim a budget, and every layer must be pinned.
+  EXPECT_EQ(res.sigma.status, SigmaSearchStatus::kBracketFailed);
+  EXPECT_FALSE(res.sigma.bracket_ok());
+  EXPECT_EQ(res.sigma_calibrated, 0.0);
+  EXPECT_EQ(res.sigma.accuracy_at_sigma, -1.0);
+  for (const LayerLinearModel& m : res.models) {
+    EXPECT_EQ(m.fit_status, FitStatus::kPinned);
+    EXPECT_FALSE(m.usable());
+  }
+  EXPECT_TRUE(res.diagnostics.has_errors());
+  EXPECT_GE(res.diagnostics.count(PipelineStage::kHarness, DiagSeverity::kError), 1);
+
+  // The conservative allocation still exists and is max-precision shaped.
+  ASSERT_EQ(res.objectives.size(), 1u);
+  EXPECT_TRUE(allocation_is_valid(res.objectives[0].alloc, f.analyzed.size()));
+}
+
+TEST(FaultInjection, SaturatedFaultsDegradeFitAndAreReported) {
+  const SyntheticImageDataset dataset = make_faulty_dataset();
+  FaultSchedule s;
+  s.kind = FaultKind::kSaturate;  // finite: passes the quarantine check
+  s.first_call = 5;
+  s.period = 2;  // alternating sweep measurements are wrecked
+  FaultyNet f = build_faulty_net(s, dataset);
+
+  PipelineConfig cfg = small_pipeline_config();
+  const std::vector<ObjectiveSpec> objectives = {objective_mac_energy(f.net, f.analyzed)};
+  const PipelineResult res = run_pipeline(f.net, f.analyzed, dataset, objectives, cfg);
+
+  ASSERT_EQ(res.objectives.size(), 1u);
+  EXPECT_TRUE(allocation_is_valid(res.objectives[0].alloc, f.analyzed.size()));
+
+  // conv1 is the analyzed layer whose sweep re-executes the faulty relu:
+  // its fit cannot have sailed through the quality gates silently.
+  const LayerLinearModel& conv1 = res.models.front();
+  EXPECT_NE(conv1.fit_status, FitStatus::kOk);
+  EXPECT_GE(res.diagnostics.count(PipelineStage::kProfile, DiagSeverity::kWarning), 1);
+}
+
+// --- solver escalation ---------------------------------------------------
+
+TEST(FaultInjection, AdversarialSolverBudgetEscalatesToClosedForm) {
+  // Three healthy synthetic layers.
+  std::vector<LayerLinearModel> models(3);
+  std::vector<double> ranges = {4.0, 2.0, 1.0};
+  for (int k = 0; k < 3; ++k) {
+    models[static_cast<std::size_t>(k)].node = k;
+    models[static_cast<std::size_t>(k)].layer_index = k;
+    models[static_cast<std::size_t>(k)].lambda = 1.0 + k;
+    models[static_cast<std::size_t>(k)].theta = 0.0;
+    models[static_cast<std::size_t>(k)].deltas = {1e-4, 1e-3, 1e-2};
+    models[static_cast<std::size_t>(k)].sigmas = {1e-4, 1e-3, 1e-2};
+  }
+  ObjectiveSpec spec;
+  spec.name = "test";
+  spec.rho = {100, 10, 1};
+
+  AllocatorConfig cfg;
+  cfg.solver = XiSolver::kSqp;
+  cfg.solver_options.max_iterations = 0;  // both iterative solvers must fail
+
+  DiagnosticSink diag;
+  const BitwidthAllocation a = allocate_bitwidths(models, 0.5, ranges, spec, cfg, &diag);
+
+  EXPECT_EQ(a.solver_used, XiSolver::kClosedForm);
+  EXPECT_EQ(a.solver_downgrades, 2);
+  EXPECT_TRUE(a.solver_converged);
+  EXPECT_TRUE(allocation_is_valid(a, models.size()));
+  EXPECT_EQ(diag.count(PipelineStage::kAllocate, DiagSeverity::kWarning), 2);
+  // Closed form: xi proportional to rho.
+  EXPECT_GT(a.xi[0], a.xi[1]);
+  EXPECT_GT(a.xi[1], a.xi[2]);
+}
+
+// --- corrupted profile files --------------------------------------------
+
+TEST(FaultInjection, TruncatedProfileFileThrowsDescriptiveError) {
+  ProfileBundle b;
+  b.network = "trunc-net";
+  b.sigma_yl = 0.5;
+  b.sigma_calibrated = 0.45;
+  for (int k = 0; k < 3; ++k) {
+    LayerLinearModel m;
+    m.node = k;
+    m.layer_index = k;
+    m.lambda = 1.5;
+    m.theta = 0.01;
+    m.r2 = 0.99;
+    m.deltas = {1e-3, 2e-3, 4e-3};
+    m.sigmas = {1e-3, 2e-3, 4e-3};
+    b.models.push_back(m);
+    b.ranges.push_back(2.0);
+    b.layer_names.push_back("layer" + std::to_string(k));
+    b.input_elems.push_back(100);
+    b.macs.push_back(1000);
+  }
+  const std::string text = serialize_profile(b);
+
+  // A full round trip works.
+  EXPECT_NO_THROW({
+    const ProfileBundle back = parse_profile(text);
+    EXPECT_EQ(back.models.size(), 3u);
+  });
+
+  // Any truncation at a line boundary is caught (the v2 end marker).
+  std::size_t pos = text.find('\n');
+  while (pos != std::string::npos && pos + 1 < text.size()) {
+    const std::string cut = text.substr(0, pos + 1);
+    EXPECT_THROW(parse_profile(cut), std::runtime_error) << "truncated at byte " << pos + 1;
+    pos = text.find('\n', pos + 1);
+  }
+
+  // The error message of a corrupted line names line number and content.
+  std::string corrupted = text;
+  const std::size_t layer_pos = corrupted.find("layer 1 ");
+  ASSERT_NE(layer_pos, std::string::npos);
+  corrupted.replace(layer_pos, 7, "lay$er!");
+  try {
+    parse_profile(corrupted);
+    FAIL() << "expected parse_profile to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("lay$er!"), std::string::npos) << msg;
+  }
+}
+
+// --- sigma bracket failure ----------------------------------------------
+
+TEST(FaultInjection, SigmaBracketFailureIsExplicitAndConservative) {
+  const auto& fix = testfix::tiny();
+  const std::vector<LayerLinearModel> models = profile_lambda_theta(*fix.harness);
+
+  SigmaSearchConfig cfg;
+  cfg.relative_accuracy_drop = -0.5;  // threshold 1.5x float accuracy: unsatisfiable
+  DiagnosticSink diag;
+  const SigmaSearchResult r = search_sigma_yl(*fix.harness, models, cfg, &diag);
+
+  EXPECT_EQ(r.status, SigmaSearchStatus::kBracketFailed);
+  EXPECT_FALSE(r.bracket_ok());
+  EXPECT_EQ(r.sigma_yl, 0.0);
+  EXPECT_EQ(r.accuracy_at_sigma, -1.0);  // NOT masked as perfect accuracy
+  EXPECT_GE(diag.count(PipelineStage::kSigmaSearch, DiagSeverity::kError), 1);
+
+  // Allocating against the failed budget takes the max-precision path.
+  ObjectiveSpec spec;
+  spec.name = "bw";
+  spec.rho.assign(models.size(), 1);
+  DiagnosticSink adiag;
+  const BitwidthAllocation a =
+      allocate_bitwidths(models, r.sigma_yl, fix.harness->input_ranges(), spec, {}, &adiag);
+  EXPECT_TRUE(allocation_is_valid(a, models.size()));
+  for (std::size_t k = 0; k < models.size(); ++k) {
+    // Max precision: the realized Delta sits at the profiled floor.
+    EXPECT_LE(a.deltas[k], models[k].deltas.front());
+  }
+}
+
+}  // namespace
+}  // namespace mupod

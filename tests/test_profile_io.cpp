@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <random>
 
 #include "core/allocator.hpp"
 #include "data/synthetic.hpp"
@@ -95,6 +98,116 @@ TEST(ProfileIo, RejectsMalformedInput) {
   EXPECT_THROW(parse_profile("mupod-profile v1\npoint 5 0.1 0.2\n"), std::runtime_error);
   EXPECT_THROW(parse_profile("mupod-profile v1\nlayer 3 0 x 1 1 0 1\n"), std::runtime_error);
   EXPECT_THROW(load_profile("/nonexistent/profile.txt"), std::runtime_error);
+}
+
+TEST(ProfileIo, SaveProfileReportsUnwritablePath) {
+  const ProfiledFixture& f = fixture();
+  EXPECT_FALSE(save_profile("/nonexistent-dir/profile.txt",
+                            make_profile_bundle(f.model.net, f.model.analyzed, f.result)));
+}
+
+TEST(ProfileIo, RejectsNonFiniteValues) {
+  EXPECT_THROW(parse_profile("mupod-profile v2\nsigma nan 0.5\nend 0 0\n"), std::runtime_error);
+  EXPECT_THROW(
+      parse_profile("mupod-profile v2\nlayer 0 2 conv1 inf 1.0 0.0 0.9\nend 1 0\n"),
+      std::runtime_error);
+}
+
+TEST(ProfileIo, AcceptsV1FilesWithoutEndMarker) {
+  const std::string v1 =
+      "mupod-profile v1\n"
+      "network old-net\n"
+      "sigma 0.5 0.45\n"
+      "layer 0 2 conv1 2.0 1.5 0.01 0.99 100 1000\n"
+      "point 0 0.001 0.001\n";
+  const ProfileBundle b = parse_profile(v1);
+  EXPECT_EQ(b.network, "old-net");
+  ASSERT_EQ(b.models.size(), 1u);
+  EXPECT_EQ(b.models[0].fit_status, FitStatus::kOk);
+  EXPECT_EQ(b.models[0].deltas.size(), 1u);
+}
+
+// Structural invariants any successfully parsed bundle must satisfy —
+// a parse that returns is a claim the data is usable.
+void expect_consistent(const ProfileBundle& b) {
+  EXPECT_EQ(b.models.size(), b.ranges.size());
+  EXPECT_EQ(b.models.size(), b.layer_names.size());
+  EXPECT_EQ(b.models.size(), b.input_elems.size());
+  EXPECT_EQ(b.models.size(), b.macs.size());
+  EXPECT_TRUE(std::isfinite(b.sigma_yl));
+  EXPECT_TRUE(std::isfinite(b.sigma_calibrated));
+  for (const LayerLinearModel& m : b.models) {
+    EXPECT_TRUE(std::isfinite(m.lambda));
+    EXPECT_TRUE(std::isfinite(m.theta));
+    EXPECT_TRUE(std::isfinite(m.r2));
+    EXPECT_EQ(m.deltas.size(), m.sigmas.size());
+    for (double d : m.deltas) EXPECT_TRUE(std::isfinite(d));
+    for (double s : m.sigmas) EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(ProfileIoProperty, TruncationAtEveryByteIsDetected) {
+  const ProfiledFixture& f = fixture();
+  const std::string text =
+      serialize_profile(make_profile_bundle(f.model.net, f.model.analyzed, f.result));
+  ASSERT_GT(text.size(), 100u);
+  // Any prefix that drops more than the final newline must throw: the v2
+  // end marker makes "parsed fine but smaller" impossible.
+  for (std::size_t len = 0; len + 1 < text.size(); ++len) {
+    EXPECT_THROW(parse_profile(text.substr(0, len)), std::runtime_error)
+        << "prefix of " << len << " bytes parsed as a valid profile";
+  }
+  // Dropping only the trailing '\n' keeps all content; either outcome must
+  // be a consistent bundle, never a crash.
+  try {
+    expect_consistent(parse_profile(text.substr(0, text.size() - 1)));
+  } catch (const std::runtime_error&) {
+  }
+}
+
+TEST(ProfileIoProperty, RandomByteCorruptionNeverCrashesOrHalfParses) {
+  const ProfiledFixture& f = fixture();
+  const std::string text =
+      serialize_profile(make_profile_bundle(f.model.net, f.model.analyzed, f.result));
+  std::mt19937 rng(20260806u);
+  std::uniform_int_distribution<std::size_t> pos_dist(0, text.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<int> count_dist(1, 8);
+
+  int parsed_ok = 0, rejected = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string corrupted = text;
+    const int flips = count_dist(rng);
+    for (int c = 0; c < flips; ++c)
+      corrupted[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    try {
+      const ProfileBundle b = parse_profile(corrupted);
+      expect_consistent(b);  // if it parses, it must be structurally sound
+      ++parsed_ok;
+    } catch (const std::runtime_error& e) {
+      EXPECT_GT(std::strlen(e.what()), 10u);  // descriptive, not empty
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed_ok + rejected, 200);
+  // Corrupting random bytes overwhelmingly breaks a line somewhere.
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ProfileIoProperty, ErrorsNameLineNumberAndContent) {
+  const std::string bad =
+      "mupod-profile v2\n"
+      "network n\n"
+      "sigma 0.5 WRECKED\n"
+      "end 0 0\n";
+  try {
+    parse_profile(bad);
+    FAIL() << "expected parse_profile to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sigma 0.5 WRECKED"), std::string::npos) << msg;
+  }
 }
 
 }  // namespace

@@ -117,5 +117,44 @@ TEST(SigmaSearch, Eq7ApproximationWithinCorrelationBracket) {
   EXPECT_LE(measured, correlated * 1.25);
 }
 
+TEST(SigmaSearch, DroppedLayersAreRecorded) {
+  std::vector<LayerLinearModel> ms = models();
+  ms[0].lambda = 0.0;     // no usable model
+  ms[1].theta = -1e9;     // Delta driven negative
+  const std::vector<double> xi(ms.size(), 1.0 / ms.size());
+  std::vector<int> dropped;
+  const auto inject = injection_for_xi(ms, 0.5, xi, &dropped);
+  EXPECT_EQ(inject.size(), ms.size() - 2);
+  ASSERT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(dropped[0], ms[0].node);
+  EXPECT_EQ(dropped[1], ms[1].node);
+}
+
+TEST(SigmaSearch, BracketFailureIsExplicitNotMasked) {
+  SigmaSearchConfig cfg;
+  cfg.relative_accuracy_drop = -0.5;  // threshold 1.5x float: unsatisfiable
+  DiagnosticSink diag;
+  const SigmaSearchResult res = search_sigma_yl(*tiny().harness, models(), cfg, &diag);
+  EXPECT_EQ(res.status, SigmaSearchStatus::kBracketFailed);
+  EXPECT_FALSE(res.bracket_ok());
+  EXPECT_EQ(res.sigma_yl, 0.0);
+  // The old behavior reported accuracy 1.0 here — a bracket failure
+  // masked as a perfect result. It must stay an explicit non-measurement.
+  EXPECT_EQ(res.accuracy_at_sigma, -1.0);
+  EXPECT_GE(diag.count(PipelineStage::kSigmaSearch, DiagSeverity::kError), 1);
+}
+
+TEST(SigmaSearch, AllDegenerateModelsFailBracketUnderScheme1) {
+  std::vector<LayerLinearModel> ms = models();
+  for (LayerLinearModel& m : ms) m.lambda = 0.0;
+  SigmaSearchConfig cfg;
+  cfg.scheme = AccuracyScheme::kEqualInjection;
+  DiagnosticSink diag;
+  const SigmaSearchResult res = search_sigma_yl(*tiny().harness, ms, cfg, &diag);
+  EXPECT_EQ(res.status, SigmaSearchStatus::kBracketFailed);
+  EXPECT_EQ(res.evaluations, 0);  // no wasted forwards on a meaningless probe
+  EXPECT_TRUE(diag.has_errors());
+}
+
 }  // namespace
 }  // namespace mupod

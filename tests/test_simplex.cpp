@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace mupod {
@@ -133,6 +134,70 @@ TEST(SimplexSolvers, SingleCoordinate) {
   prob.objective = [](std::span<const double> x) { return x[0] * x[0]; };
   const SimplexResult r = minimize_on_simplex(1, prob);
   EXPECT_NEAR(r.xi[0], 1.0, 1e-12);  // only feasible point
+}
+
+// --- broken / adversarial objectives ---------------------------------------
+// A solver must never claim convergence on an objective it could not
+// actually evaluate — that is what lets the allocator escalate.
+
+TEST(SimplexSolvers, NanObjectiveEverywhereNotConverged) {
+  SimplexProblem prob;
+  prob.objective = [](std::span<const double>) { return std::nan(""); };
+  const SimplexResult pg = minimize_on_simplex(3, prob);
+  EXPECT_FALSE(pg.converged);
+  const SimplexResult sqp = sqp_minimize_on_simplex(3, prob);
+  EXPECT_FALSE(sqp.converged);
+  // The returned point is still feasible (useful as a fallback iterate).
+  for (double x : pg.xi) EXPECT_TRUE(std::isfinite(x));
+  for (double x : sqp.xi) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(SimplexSolvers, NanWallBlockingDescentNotConverged) {
+  // Finite only at the exact uniform start; the (analytic) gradient pushes
+  // outward, so every candidate step — however small the backtracking makes
+  // it — lands in the NaN region. The stall is a broken objective, not
+  // optimality. (A finite neighborhood would not do: backtracking shrinks
+  // steps below any fixed radius and finds real improvements inside it.)
+  SimplexProblem prob;
+  prob.objective = [](std::span<const double> x) {
+    for (double v : x)
+      if (v != 1.0 / 3.0) return std::nan("");
+    return -x[0];
+  };
+  prob.gradient = [](std::span<const double>, std::span<double> g) {
+    g[0] = -1.0;
+    for (std::size_t i = 1; i < g.size(); ++i) g[i] = 0.0;
+  };
+  const SimplexResult pg = minimize_on_simplex(3, prob);
+  EXPECT_FALSE(pg.converged);
+  const SimplexResult sqp = sqp_minimize_on_simplex(3, prob);
+  EXPECT_FALSE(sqp.converged);
+}
+
+TEST(SimplexSolvers, IterationBudgetExhaustedReportsNotConverged) {
+  // A well-posed problem with an iteration budget far too small: the
+  // result must admit it did not converge rather than pretending.
+  const std::vector<double> target = {0.9, 0.05, 0.05};
+  SimplexProblem prob = quadratic_problem(target);
+  SimplexSolverOptions opts;
+  opts.max_iterations = 1;
+  opts.tolerance = 1e-16;
+  const SimplexResult pg = minimize_on_simplex(3, prob, opts);
+  EXPECT_FALSE(pg.converged);
+  EXPECT_TRUE(std::isfinite(pg.objective));
+}
+
+TEST(SimplexProjection, SanitizesNonFiniteInput) {
+  const std::vector<double> v = {std::nan(""), 1.0,
+                                 std::numeric_limits<double>::infinity()};
+  const auto p = project_to_simplex(v, 1.0, 0.01);
+  double sum = 0.0;
+  for (double x : p) {
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GE(x, 0.01 - 1e-12);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
 }  // namespace

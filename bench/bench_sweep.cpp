@@ -1,0 +1,232 @@
+// bench_sweep: quantifies what the plan service buys over the naive use of
+// the pipeline. The workload is the paper's own framing — the full
+// multi-objective tradeoff grid for one network (3 objectives x 4 accuracy
+// targets) — served three ways:
+//
+//   cold        N*M independent run_pipeline calls (each re-profiles,
+//               re-searches sigma, re-allocates)
+//   warm        one PlanService sweep (1 profile + M sigma searches +
+//               N*M allocation tails)
+//   tails only  the fan-out re-timed serial vs concurrent after clearing
+//               only the plan memo (profiles/sigma stay cached)
+//
+// It also verifies the service's core guarantee: every warm plan is
+// byte-identical to its cold counterpart (same bits, formats, sigma,
+// validated accuracy) — the caches change the cost, never the answer.
+//
+// Usage: bench_sweep [--net NAME] [--json FILE]
+// --json writes a machine-readable summary (scripts/run_benchmarks.sh
+// parks it at BENCH_sweep.json).
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/json_writer.hpp"
+#include "io/table.hpp"
+#include "serve/sweep.hpp"
+#include "tensor/parallel.hpp"
+
+namespace {
+
+using namespace mupod;
+using mupod::bench::Stopwatch;
+
+struct ColdCell {
+  double target = 0.0;
+  std::string objective;
+  ObjectiveResult result;
+};
+
+// Field-by-field equality of a cold pipeline answer and a warm service
+// answer. Exact comparison on purpose: both paths run the same
+// run_objective_stage on the same inputs, so the doubles must match to
+// the last bit, not within a tolerance.
+bool plans_identical(const ColdCell& cold, const PlanResult& warm) {
+  const BitwidthAllocation& a = cold.result.alloc;
+  const BitwidthAllocation& b = warm.alloc;
+  if (a.bits != b.bits || a.xi != b.xi || a.deltas != b.deltas) return false;
+  if (a.formats.size() != b.formats.size()) return false;
+  for (std::size_t i = 0; i < a.formats.size(); ++i)
+    if (a.formats[i].integer_bits != b.formats[i].integer_bits ||
+        a.formats[i].fraction_bits != b.formats[i].fraction_bits)
+      return false;
+  return cold.result.sigma_used == warm.sigma_used &&
+         cold.result.validated_accuracy == warm.validated_accuracy &&
+         cold.result.refinements == warm.refinements;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net_name = "tiny";
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--net" && i + 1 < argc) net_name = argv[++i];
+    else if (arg == "--json" && i + 1 < argc) json_out = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: bench_sweep [--net NAME] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  bench::print_header("plan service: cached sweep vs independent pipeline runs",
+                      "Sec. V (pipeline structure); serving-layer extension");
+
+  bench::ExperimentConfig ecfg;
+  bench::Experiment e = bench::make_experiment(net_name, ecfg);
+  Network& net = e.model.net;
+  const std::vector<int>& analyzed = e.model.analyzed;
+
+  const std::vector<double> targets = {0.005, 0.01, 0.02, 0.05};
+  std::vector<ObjectiveSpec> objectives;
+  objectives.push_back(objective_input_bits(net, analyzed));
+  objectives.push_back(objective_mac_energy(net, analyzed));
+  ObjectiveSpec equal;
+  equal.name = "equal";
+  equal.rho.assign(analyzed.size(), 1);
+  objectives.push_back(equal);
+
+  PlanServiceConfig scfg;
+  scfg.pipeline.harness.profile_images = ecfg.profile_images;
+  scfg.pipeline.harness.eval_images = ecfg.eval_images;
+  scfg.pipeline.harness.batch = ecfg.batch;
+  scfg.pipeline.harness.metric = ecfg.metric;
+  scfg.pipeline.search_weights = false;
+
+  const int workers = parallel_worker_count();
+  const std::size_t n_cells = targets.size() * objectives.size();
+  std::printf("network %s: %zu analyzed layers; grid %zu targets x %zu objectives = %zu plans; "
+              "%d pool worker(s)\n\n",
+              net_name.c_str(), analyzed.size(), targets.size(), objectives.size(), n_cells,
+              workers);
+
+  // --- cold: N*M independent full pipeline runs ---------------------------
+  std::vector<ColdCell> cold_cells;
+  std::int64_t cold_forwards = 0;
+  Stopwatch cold_sw;
+  for (double target : targets) {
+    for (const ObjectiveSpec& obj : objectives) {
+      PipelineConfig cfg = scfg.pipeline;
+      cfg.sigma.relative_accuracy_drop = target;
+      const PipelineResult r = run_pipeline(net, analyzed, *e.dataset, {obj}, cfg);
+      cold_forwards += r.forward_count;
+      cold_cells.push_back({target, obj.name, r.objectives.at(0)});
+    }
+  }
+  const double cold_ms = cold_sw.seconds() * 1e3;
+  std::printf("cold: %zu x run_pipeline            %8.0f ms  (%lld forwards)\n", n_cells, cold_ms,
+              static_cast<long long>(cold_forwards));
+
+  // --- warm: one PlanService sweep ----------------------------------------
+  PlanService service(scfg);
+  const PlanKey key = service.register_network(net, analyzed, *e.dataset);
+  SweepSpec spec;
+  spec.accuracy_targets = targets;
+  spec.objectives = objectives;
+  Stopwatch warm_sw;
+  SweepResult sweep = run_sweep(service, key, spec);
+  const double warm_ms = warm_sw.seconds() * 1e3;
+  const std::int64_t warm_forwards = service.forward_count(key);
+  std::printf("warm: PlanService sweep            %8.0f ms  (%lld forwards; profile %.0f, "
+              "sigma %.0f, tails %.0f)\n",
+              warm_ms, static_cast<long long>(warm_forwards), sweep.profile_warm_ms,
+              sweep.sigma_warm_ms, sweep.tails_ms);
+
+  const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+  std::printf("speedup                             %7.2fx  (>= 3x required)\n\n", speedup);
+
+  // --- byte-identity: every warm plan equals its cold counterpart ---------
+  int mismatches = 0;
+  for (const SweepCell& cell : sweep.cells) {
+    const PlanResult& warm = cell.result;
+    bool found = false;
+    for (const ColdCell& cold : cold_cells) {
+      if (cold.target != warm.query.accuracy_target || cold.objective != warm.query.objective.name)
+        continue;
+      found = true;
+      if (!plans_identical(cold, warm)) {
+        ++mismatches;
+        std::printf("MISMATCH at drop=%.3f objective=%s\n", cold.target, cold.objective.c_str());
+      }
+      break;
+    }
+    if (!found) ++mismatches;
+  }
+  std::printf("plan identity: %s (%zu cells, %d mismatch(es))\n\n",
+              mismatches == 0 ? "byte-identical" : "MISMATCH", n_cells, mismatches);
+
+  // --- replay: serve the identical grid again (pure memo hits) ------------
+  Stopwatch replay_sw;
+  SweepResult replay = run_sweep(service, key, spec);
+  const double replay_ms = replay_sw.seconds() * 1e3;
+  (void)replay;
+
+  // --- tails only: serial vs concurrent fan-out ---------------------------
+  service.clear_plan_memo();
+  SweepSpec serial_spec = spec;
+  serial_spec.concurrent = false;
+  Stopwatch serial_sw;
+  SweepResult serial_sweep = run_sweep(service, key, serial_spec);
+  const double serial_tails_ms = serial_sweep.tails_ms;
+  (void)serial_sw;
+
+  service.clear_plan_memo();
+  SweepResult conc_sweep = run_sweep(service, key, spec);
+  const double concurrent_tails_ms = conc_sweep.tails_ms;
+
+  std::printf("replay (all memo hits)             %8.2f ms\n", replay_ms);
+  std::printf("tails, serial                      %8.0f ms\n", serial_tails_ms);
+  std::printf("tails, concurrent (%d worker(s))    %8.0f ms\n", workers, concurrent_tails_ms);
+
+  const CacheStats stats = service.stats();
+  std::printf("\ncache: profile %lld miss / %lld hit; sigma %lld miss / %lld hit; "
+              "plan %lld miss / %lld hit\n",
+              static_cast<long long>(stats.profile_misses),
+              static_cast<long long>(stats.profile_hits),
+              static_cast<long long>(stats.sigma_misses), static_cast<long long>(stats.sigma_hits),
+              static_cast<long long>(stats.plan_misses), static_cast<long long>(stats.plan_hits));
+
+  if (!json_out.empty()) {
+    JsonWriter j;
+    j.begin_object();
+    j.kv("bench", "sweep");
+    j.kv("network", net_name);
+    j.kv("targets", static_cast<int>(targets.size()));
+    j.kv("objectives", static_cast<int>(objectives.size()));
+    j.kv("cells", static_cast<int>(n_cells));
+    j.kv("workers", workers);
+    j.kv("cold_ms", cold_ms);
+    j.kv("warm_ms", warm_ms);
+    j.kv("speedup", speedup);
+    j.kv("replay_ms", replay_ms);
+    j.kv("serial_tails_ms", serial_tails_ms);
+    j.kv("concurrent_tails_ms", concurrent_tails_ms);
+    j.kv("cold_forwards", cold_forwards);
+    j.kv("warm_forwards", warm_forwards);
+    j.kv("plans_identical", mismatches == 0);
+    j.key("cache").begin_object();
+    j.kv("profile_misses", stats.profile_misses).kv("profile_hits", stats.profile_hits);
+    j.kv("sigma_misses", stats.sigma_misses).kv("sigma_hits", stats.sigma_hits);
+    j.kv("plan_misses", stats.plan_misses).kv("plan_hits", stats.plan_hits);
+    j.end_object();
+    j.end_object();
+    if (!write_json_file(json_out, j.str())) {
+      std::fprintf(stderr, "error: cannot write '%s': %s\n", json_out.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+
+  if (mismatches != 0) return 1;
+  if (speedup < 3.0) {
+    std::printf("WARNING: speedup below the 3x bar\n");
+    return 1;
+  }
+  return 0;
+}

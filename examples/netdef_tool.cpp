@@ -5,8 +5,11 @@
 // Usage:
 //   netdef_tool <net.netdef> [--drop 0.01] [--objective input|mac|both]
 //               [--weights file.bin] [--save-weights file.bin]
-//               [--classes 100] [--eval 512] [--csv] [--report out.md]
-//               [--save-profile p.txt]
+//               [--classes 100] [--eval 512] [--csv | --json]
+//               [--report out.md] [--save-profile p.txt]
+//
+// --json emits the per-layer models and allocations machine-readable on
+// stdout (same writer and field conventions as sweep_tool --json).
 //
 // With no arguments it runs a built-in demo network.
 #include <cerrno>
@@ -17,6 +20,7 @@
 
 #include "core/pipeline.hpp"
 #include "data/synthetic.hpp"
+#include "io/json_writer.hpp"
 #include "io/model_io.hpp"
 #include "io/netdef.hpp"
 #include "io/profile_io.hpp"
@@ -48,8 +52,8 @@ void usage() {
   std::printf(
       "usage: netdef_tool [net.netdef] [--drop D] [--objective input|mac|both]\n"
       "                   [--weights in.bin] [--save-weights out.bin]\n"
-      "                   [--classes N] [--eval N] [--csv] [--report out.md]\n"
-      "                   [--save-profile p.txt]\n");
+      "                   [--classes N] [--eval N] [--csv | --json]\n"
+      "                   [--report out.md] [--save-profile p.txt]\n");
 }
 
 }  // namespace
@@ -63,7 +67,7 @@ int main(int argc, char** argv) {
   std::string weights_in, weights_out, report_out, profile_out;
   int classes = 100;
   int eval_images = 512;
-  bool csv = false;
+  bool csv = false, json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,6 +85,7 @@ int main(int argc, char** argv) {
     else if (arg == "--classes") classes = std::atoi(next());
     else if (arg == "--eval") eval_images = std::atoi(next());
     else if (arg == "--csv") csv = true;
+    else if (arg == "--json") json = true;
     else if (arg == "--report") report_out = next();
     else if (arg == "--save-profile") profile_out = next();
     else if (arg == "--help" || arg == "-h") { usage(); return 0; }
@@ -155,21 +160,59 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "sigma_YL = %.4f (accuracy target: %.1f%% relative)\n\n", r.sigma.sigma_yl,
                (1.0 - drop) * 100);
 
-  std::vector<std::string> header = {"layer", "max|X|", "lambda", "theta"};
-  for (const auto& obj : r.objectives) header.push_back("bits:" + obj.spec.name);
-  TextTable t(header);
-  for (std::size_t k = 0; k < analyzed.size(); ++k) {
-    std::vector<std::string> row = {net.node(analyzed[k]).name, TextTable::fmt(r.ranges[k], 2),
-                                    TextTable::fmt(r.models[k].lambda, 3),
-                                    TextTable::fmt(r.models[k].theta, 4)};
-    for (const auto& obj : r.objectives)
-      row.push_back(obj.alloc.formats[k].to_string() + " (" + std::to_string(obj.alloc.bits[k]) + ")");
-    t.add_row(row);
-  }
-  std::printf("%s\n", csv ? t.render_csv().c_str() : t.render_text().c_str());
-  for (const auto& obj : r.objectives) {
-    std::printf("objective %-12s validated accuracy: %.2f%%\n", obj.spec.name.c_str(),
-                obj.validated_accuracy * 100);
+  if (json) {
+    JsonWriter j;
+    j.begin_object();
+    j.kv("network", net.name());
+    j.kv("net_hash", network_content_hash(net));
+    j.kv("accuracy_target", drop);
+    j.kv("sigma_yl", r.sigma.sigma_yl);
+    j.key("layers").begin_array();
+    for (std::size_t k = 0; k < analyzed.size(); ++k) {
+      j.begin_object();
+      j.kv("name", net.node(analyzed[k]).name);
+      j.kv("range", r.ranges[k]);
+      j.kv("lambda", r.models[k].lambda);
+      j.kv("theta", r.models[k].theta);
+      j.end_object();
+    }
+    j.end_array();
+    j.key("objectives").begin_array();
+    for (const auto& obj : r.objectives) {
+      j.begin_object();
+      j.kv("name", obj.spec.name);
+      j.kv("validated_accuracy", obj.validated_accuracy);
+      j.kv("refinements", obj.refinements);
+      j.key("bits").begin_array();
+      for (int b : obj.alloc.bits) j.value(b);
+      j.end_array();
+      j.key("formats").begin_array();
+      for (const auto& f : obj.alloc.formats) j.value(f.to_string());
+      j.end_array();
+      j.end_object();
+    }
+    j.end_array();
+    j.kv("diagnostics", static_cast<int>(r.diagnostics.size()));
+    j.end_object();
+    std::printf("%s\n", j.str().c_str());
+  } else {
+    std::vector<std::string> header = {"layer", "max|X|", "lambda", "theta"};
+    for (const auto& obj : r.objectives) header.push_back("bits:" + obj.spec.name);
+    TextTable t(header);
+    for (std::size_t k = 0; k < analyzed.size(); ++k) {
+      std::vector<std::string> row = {net.node(analyzed[k]).name, TextTable::fmt(r.ranges[k], 2),
+                                      TextTable::fmt(r.models[k].lambda, 3),
+                                      TextTable::fmt(r.models[k].theta, 4)};
+      for (const auto& obj : r.objectives)
+        row.push_back(obj.alloc.formats[k].to_string() + " (" + std::to_string(obj.alloc.bits[k]) +
+                      ")");
+      t.add_row(row);
+    }
+    std::printf("%s\n", csv ? t.render_csv().c_str() : t.render_text().c_str());
+    for (const auto& obj : r.objectives) {
+      std::printf("objective %-12s validated accuracy: %.2f%%\n", obj.spec.name.c_str(),
+                  obj.validated_accuracy * 100);
+    }
   }
   if (!r.diagnostics.empty()) {
     std::fprintf(stderr, "%d diagnostic(s) (%d error(s), %d warning(s)):\n",

@@ -1,0 +1,27 @@
+#!/bin/bash
+# Machine-readable benchmark runner: executes the serving-layer benchmark
+# and leaves BENCH_*.json files in bench_logs/ for dashboards or CI
+# thresholds to consume. (run_all_benches.sh remains the human-readable
+# paper-reproduction sweep.)
+#
+# BENCH_sweep.json records, for a 3-objective x 4-target grid:
+#   cold_ms / warm_ms / speedup   12 pipeline runs vs one PlanService sweep
+#   serial_tails_ms / concurrent_tails_ms
+#   cache {profile,sigma,plan} x {misses,hits}
+#   plans_identical               warm answers byte-equal the cold path
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p bench_logs
+
+if [ ! -x build/bench/bench_sweep ]; then
+  echo "build/bench/bench_sweep not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+echo "=== bench_sweep $(date +%H:%M:%S) (MUPOD_THREADS=${MUPOD_THREADS:-unset}) ==="
+./build/bench/bench_sweep --json bench_logs/BENCH_sweep.json | tee bench_logs/bench_sweep.txt
+
+echo
+echo "wrote bench_logs/BENCH_sweep.json:"
+cat bench_logs/BENCH_sweep.json

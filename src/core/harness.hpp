@@ -9,6 +9,7 @@
 // see DESIGN.md on the ImageNet substitution).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -125,8 +126,9 @@ class AnalysisHarness {
                                int rep = 0) const;
 
   // Number of full-net-equivalent forward passes issued so far (cost
-  // accounting for the timing experiment).
-  std::int64_t forward_count() const { return forward_count_; }
+  // accounting for the timing experiment). Atomic: the measurement methods
+  // are const and may be called from several PlanService tails at once.
+  std::int64_t forward_count() const { return forward_count_.load(std::memory_order_relaxed); }
 
  private:
   struct Batch {
@@ -148,7 +150,7 @@ class AnalysisHarness {
   bool eval_acts_cached_ = false;
   int quarantined_profile_ = 0;
   int quarantined_eval_ = 0;
-  mutable std::int64_t forward_count_ = 0;
+  mutable std::atomic<std::int64_t> forward_count_{0};
 };
 
 }  // namespace mupod

@@ -29,49 +29,43 @@ ObjectiveSpec objective_mac_energy(const Network& net, const std::vector<int>& a
   return spec;
 }
 
-PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
-                            const SyntheticImageDataset& dataset,
-                            const std::vector<ObjectiveSpec>& objectives,
-                            const PipelineConfig& cfg) {
-  PipelineResult res;
-  DiagnosticSink* diag = &res.diagnostics;
+ProfileStageResult run_profile_stage(const AnalysisHarness& harness, const ProfilerConfig& cfg,
+                                     DiagnosticSink* diag) {
+  ProfileStageResult prof;
+  prof.ranges = harness.input_ranges();
+  prof.models = profile_lambda_theta(harness, cfg, diag);
+  for (const LayerLinearModel& m : prof.models)
+    if (m.usable()) ++prof.usable_models;
+  return prof;
+}
 
-  auto t0 = Clock::now();
-  AnalysisHarness harness(net, analyzed, dataset, cfg.harness, diag);
-  res.timings.harness_ms = ms_since(t0);
-  res.ranges = harness.input_ranges();
-
-  t0 = Clock::now();
-  res.models = profile_lambda_theta(harness, cfg.profiler, diag);
-  res.timings.profile_ms = ms_since(t0);
-
-  std::size_t usable_models = 0;
-  for (const LayerLinearModel& m : res.models)
-    if (m.usable()) ++usable_models;
-
-  t0 = Clock::now();
-  if (usable_models == 0) {
+SigmaStageResult run_sigma_stage(const AnalysisHarness& harness,
+                                 const ProfileStageResult& profile,
+                                 const SigmaSearchConfig& cfg, bool calibrate,
+                                 DiagnosticSink* diag) {
+  SigmaStageResult res;
+  if (profile.usable_models == 0) {
     // Every layer is pinned: there is no error budget any layer could
     // spend, so the search would only burn forwards. res.sigma stays at
     // its kBracketFailed default and the allocator takes the conservative
-    // max-precision path below.
+    // max-precision path downstream.
     diag_report(diag, DiagSeverity::kError, PipelineStage::kSigmaSearch, -1,
                 "sigma search skipped: no layer has a usable error model",
                 "all layers stay at max profiled precision");
   } else {
-    res.sigma = search_sigma_yl(harness, res.models, cfg.sigma, diag);
+    res.sigma = search_sigma_yl(harness, profile.models, cfg, diag);
   }
-  res.timings.sigma_ms = ms_since(t0);
 
   // Correlation calibration: rescale the budget so the *realized* output
   // error under an equal-xi injection matches the searched sigma. A failed
   // bracket has no budget to calibrate — sigma_calibrated stays 0 and the
   // allocator falls back to max precision per layer.
   res.sigma_calibrated = res.sigma.bracket_ok() ? res.sigma.sigma_yl : 0.0;
-  if (cfg.calibrate_sigma && res.sigma.bracket_ok()) {
-    const std::vector<double> equal_xi(analyzed.size(), 1.0 / static_cast<double>(analyzed.size()));
+  if (calibrate && res.sigma.bracket_ok()) {
+    const std::size_t n = profile.models.size();
+    const std::vector<double> equal_xi(n, 1.0 / static_cast<double>(n));
     std::vector<int> dropped;
-    const auto inject = injection_for_xi(res.models, res.sigma.sigma_yl, equal_xi, &dropped);
+    const auto inject = injection_for_xi(profile.models, res.sigma.sigma_yl, equal_xi, &dropped);
     if (!dropped.empty()) {
       diag_report(diag, DiagSeverity::kWarning, PipelineStage::kSigmaSearch, dropped.front(),
                   "calibration injection skipped " + std::to_string(dropped.size()) +
@@ -90,70 +84,106 @@ PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
                   "using the uncalibrated budget");
     }
   }
+  return res;
+}
 
+ObjectiveResult run_objective_stage(const AnalysisHarness& harness,
+                                    const ProfileStageResult& profile,
+                                    const SigmaStageResult& sigma, const ObjectiveSpec& spec,
+                                    const PipelineConfig& cfg, DiagnosticSink* diag,
+                                    PipelineTimings* timings, Network* net_for_weights) {
+  assert(spec.rho.size() == profile.models.size());
   const double threshold =
       (1.0 - cfg.sigma.relative_accuracy_drop) * harness.float_accuracy();
 
-  for (const ObjectiveSpec& spec : objectives) {
-    assert(spec.rho.size() == analyzed.size());
-    ObjectiveResult obj;
-    obj.spec = spec;
-    obj.sigma_used = res.sigma_calibrated;
+  ObjectiveResult obj;
+  obj.spec = spec;
+  obj.sigma_used = sigma.sigma_calibrated;
 
+  auto t0 = Clock::now();
+  obj.alloc = allocate_bitwidths(profile.models, obj.sigma_used, profile.ranges, spec,
+                                 cfg.allocator, diag);
+  if (timings != nullptr) timings->allocate_ms += ms_since(t0);
+
+  if (cfg.validate) {
     t0 = Clock::now();
-    obj.alloc = allocate_bitwidths(res.models, obj.sigma_used, res.ranges, spec, cfg.allocator,
-                                   diag);
-    res.timings.allocate_ms += ms_since(t0);
-
-    if (cfg.validate) {
-      t0 = Clock::now();
-      const auto measure = [&](const BitwidthAllocation& alloc) {
-        const auto inject = quantization_for_formats(res.models, alloc.formats);
-        const double acc = harness.accuracy_with_injection(inject);
-        if (!std::isfinite(acc)) {
-          diag_report(diag, DiagSeverity::kError, PipelineStage::kValidate, -1,
-                      "validation accuracy is non-finite for objective '" + spec.name + "'",
-                      "treated as 0 accuracy; the refinement loop will shrink the budget");
-          return 0.0;
-        }
-        return acc;
-      };
+    const auto measure = [&](const BitwidthAllocation& alloc) {
+      const auto inject = quantization_for_formats(profile.models, alloc.formats);
+      const double acc = harness.accuracy_with_injection(inject);
+      if (!std::isfinite(acc)) {
+        diag_report(diag, DiagSeverity::kError, PipelineStage::kValidate, -1,
+                    "validation accuracy is non-finite for objective '" + spec.name + "'",
+                    "treated as 0 accuracy; the refinement loop will shrink the budget");
+        return 0.0;
+      }
+      return acc;
+    };
+    obj.validated_accuracy = measure(obj.alloc);
+    // The sigma schemes estimate accuracy; real quantization may land
+    // slightly below the budget. Shrink the budget until validation
+    // passes (paper: "no accuracy criterion was violated").
+    while (cfg.refine_on_violation && obj.validated_accuracy < threshold &&
+           obj.refinements < cfg.max_refinements) {
+      ++obj.refinements;
+      obj.sigma_used *= cfg.refinement_shrink;
+      obj.alloc = allocate_bitwidths(profile.models, obj.sigma_used, profile.ranges, spec,
+                                     cfg.allocator, diag);
       obj.validated_accuracy = measure(obj.alloc);
-      // The sigma schemes estimate accuracy; real quantization may land
-      // slightly below the budget. Shrink the budget until validation
-      // passes (paper: "no accuracy criterion was violated").
-      while (cfg.refine_on_violation && obj.validated_accuracy < threshold &&
-             obj.refinements < cfg.max_refinements) {
-        ++obj.refinements;
-        obj.sigma_used *= cfg.refinement_shrink;
-        obj.alloc = allocate_bitwidths(res.models, obj.sigma_used, res.ranges, spec,
-                                       cfg.allocator, diag);
-        obj.validated_accuracy = measure(obj.alloc);
-      }
-      if (cfg.refine_on_violation && obj.validated_accuracy < threshold) {
-        diag_report(diag, DiagSeverity::kWarning, PipelineStage::kValidate, -1,
-                    "objective '" + spec.name + "' still violates the accuracy budget after " +
-                        std::to_string(obj.refinements) + " refinements (accuracy " +
-                        std::to_string(obj.validated_accuracy) + " < threshold " +
-                        std::to_string(threshold) + ")",
-                    "shrink refinement_shrink / raise max_refinements, or relax the drop");
-      }
-      res.timings.validate_ms += ms_since(t0);
     }
-
-    if (cfg.search_weights) {
-      t0 = Clock::now();
-      WeightSearchConfig wcfg = cfg.weights;
-      wcfg.relative_accuracy_drop = cfg.sigma.relative_accuracy_drop;
-      const auto inject = quantization_for_formats(res.models, obj.alloc.formats);
-      const WeightSearchResult w = search_weight_bitwidth(net, harness, inject, wcfg);
-      obj.weight_bits = w.bits;
-      obj.weight_search_accuracy = w.accuracy;
-      res.timings.weights_ms += ms_since(t0);
+    if (cfg.refine_on_violation && obj.validated_accuracy < threshold) {
+      diag_report(diag, DiagSeverity::kWarning, PipelineStage::kValidate, -1,
+                  "objective '" + spec.name + "' still violates the accuracy budget after " +
+                      std::to_string(obj.refinements) + " refinements (accuracy " +
+                      std::to_string(obj.validated_accuracy) + " < threshold " +
+                      std::to_string(threshold) + ")",
+                  "shrink refinement_shrink / raise max_refinements, or relax the drop");
     }
-
-    res.objectives.push_back(std::move(obj));
+    if (timings != nullptr) timings->validate_ms += ms_since(t0);
   }
+
+  if (cfg.search_weights) {
+    assert(net_for_weights != nullptr && "weight search needs the mutable network");
+    t0 = Clock::now();
+    WeightSearchConfig wcfg = cfg.weights;
+    wcfg.relative_accuracy_drop = cfg.sigma.relative_accuracy_drop;
+    const auto inject = quantization_for_formats(profile.models, obj.alloc.formats);
+    const WeightSearchResult w = search_weight_bitwidth(*net_for_weights, harness, inject, wcfg);
+    obj.weight_bits = w.bits;
+    obj.weight_search_accuracy = w.accuracy;
+    if (timings != nullptr) timings->weights_ms += ms_since(t0);
+  }
+
+  return obj;
+}
+
+PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
+                            const SyntheticImageDataset& dataset,
+                            const std::vector<ObjectiveSpec>& objectives,
+                            const PipelineConfig& cfg) {
+  PipelineResult res;
+  DiagnosticSink* diag = &res.diagnostics;
+
+  auto t0 = Clock::now();
+  AnalysisHarness harness(net, analyzed, dataset, cfg.harness, diag);
+  res.timings.harness_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  ProfileStageResult prof = run_profile_stage(harness, cfg.profiler, diag);
+  res.timings.profile_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  const SigmaStageResult sig = run_sigma_stage(harness, prof, cfg.sigma, cfg.calibrate_sigma, diag);
+  res.timings.sigma_ms = ms_since(t0);
+  res.sigma = sig.sigma;
+  res.sigma_calibrated = sig.sigma_calibrated;
+
+  for (const ObjectiveSpec& spec : objectives) {
+    res.objectives.push_back(
+        run_objective_stage(harness, prof, sig, spec, cfg, diag, &res.timings, &net));
+  }
+
+  res.models = std::move(prof.models);
+  res.ranges = std::move(prof.ranges);
   res.float_accuracy = harness.float_accuracy();
   res.forward_count = harness.forward_count();
   return res;

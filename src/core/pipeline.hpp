@@ -92,6 +92,51 @@ struct PipelineResult {
 ObjectiveSpec objective_input_bits(const Network& net, const std::vector<int>& analyzed);
 ObjectiveSpec objective_mac_energy(const Network& net, const std::vector<int>& analyzed);
 
+// --- reusable stages -------------------------------------------------------
+// run_pipeline is a composition of three stages, exposed individually so
+// the plan service (src/serve) can cache each at its own level: the profile
+// once per network, the sigma search once per accuracy constraint, and the
+// allocate+validate tail once per query. run_pipeline composes exactly
+// these functions, so a staged (cached) answer is bit-identical to a full
+// pipeline run under the same configuration.
+
+// Stage 1 (Sec. V-A): per-layer linear models + input ranges. This is the
+// expensive part — hundreds of partial forward passes.
+struct ProfileStageResult {
+  std::vector<LayerLinearModel> models;
+  std::vector<double> ranges;  // max |X_K| per analyzed layer
+  std::size_t usable_models = 0;
+};
+ProfileStageResult run_profile_stage(const AnalysisHarness& harness, const ProfilerConfig& cfg,
+                                     DiagnosticSink* diag = nullptr);
+
+// Stage 2 (Sec. V-C + correlation calibration): the error budget for one
+// accuracy constraint. Reusable across every objective at that constraint.
+struct SigmaStageResult {
+  SigmaSearchResult sigma;
+  // Budget after the correlation calibration (== sigma.sigma_yl when
+  // `calibrate` is off or the correction was out of bounds; 0 on a failed
+  // bracket).
+  double sigma_calibrated = 0.0;
+};
+SigmaStageResult run_sigma_stage(const AnalysisHarness& harness,
+                                 const ProfileStageResult& profile,
+                                 const SigmaSearchConfig& cfg, bool calibrate,
+                                 DiagnosticSink* diag = nullptr);
+
+// Stage 3 (Sec. V-D allocation + validation/refinement, optional Sec. V-E
+// weight search): the cheap per-query tail. `net_for_weights` is required
+// (non-null, non-const for snapshot/restore) only when cfg.search_weights
+// is set. With the weight search off this is safe to call concurrently
+// from several threads over one harness/profile. `timings` (optional)
+// accumulates allocate/validate/weights milliseconds.
+ObjectiveResult run_objective_stage(const AnalysisHarness& harness,
+                                    const ProfileStageResult& profile,
+                                    const SigmaStageResult& sigma, const ObjectiveSpec& spec,
+                                    const PipelineConfig& cfg, DiagnosticSink* diag = nullptr,
+                                    PipelineTimings* timings = nullptr,
+                                    Network* net_for_weights = nullptr);
+
 // Runs the full pipeline. `net` is non-const only for the optional weight
 // search (weights are restored afterwards).
 PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,

@@ -1,0 +1,143 @@
+#include "io/json_writer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace mupod {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (stack_.empty()) return;  // top-level value
+  if (stack_.back() == Ctx::kObject) {
+    assert(key_pending_ && "object members need key() before value()");
+    key_pending_ = false;
+    return;
+  }
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back(Ctx::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Ctx::kObject && !key_pending_);
+  out_ += '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back(Ctx::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Ctx::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  assert(!stack_.empty() && stack_.back() == Ctx::kObject && !key_pending_);
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  pre_value();
+  char buf[32];
+  // %.17g round-trips doubles; trim to a cleaner %g when exact.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = 0.0;
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%g", v);
+  std::sscanf(shorter, "%lf", &back);
+  out_ += (back == v) ? shorter : buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  out_ += "null";
+  return *this;
+}
+
+bool write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << json << '\n';
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+}  // namespace mupod

@@ -1,0 +1,64 @@
+// Minimal streaming JSON emitter shared by the CLI tools (`--json` modes)
+// and the benchmark harnesses (BENCH_*.json). Emits valid UTF-8 JSON with
+// correct string escaping and comma placement; non-finite numbers become
+// null (JSON has no NaN/Inf).
+//
+// Usage is push-style and order-enforced by assertions in debug builds:
+//   JsonWriter j;
+//   j.begin_object().key("name").value("nin").key("cells").begin_array();
+//   ... j.end_array().end_object();
+//   std::string out = j.str();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mupod {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Must be called (inside an object) immediately before the member value.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  // Finished document. Valid once every begin_* has been closed.
+  const std::string& str() const { return out_; }
+  bool complete() const { return stack_.empty() && !out_.empty(); }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Ctx { kObject, kArray };
+  void pre_value();
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> first_;  // first element at each nesting level
+  bool key_pending_ = false;
+};
+
+// Writes `json` to `path` with a trailing newline; false on I/O error.
+bool write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace mupod

@@ -1,0 +1,152 @@
+#include "io/plan_io.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mupod {
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& what, int line_no, const std::string& line) {
+  throw std::runtime_error("plans: " + what + " at line " + std::to_string(line_no) + ": '" +
+                           line + "'");
+}
+
+void require_finite(double v, const char* field, int line_no, const std::string& line) {
+  if (!std::isfinite(v))
+    parse_fail(std::string("non-finite ") + field, line_no, line);
+}
+
+}  // namespace
+
+std::vector<int> PlanRecord::total_bits() const {
+  std::vector<int> bits;
+  bits.reserve(formats.size());
+  for (const FixedPointFormat& f : formats) bits.push_back(f.total_bits());
+  return bits;
+}
+
+std::string serialize_plan_store(const PlanStore& store) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "mupod-plans v1\n";
+  std::size_t n_formats = 0;
+  for (const PlanRecord& p : store.plans) {
+    os << "plan " << std::hex << p.net_hash << ' ' << p.config_digest << std::dec << ' '
+       << (p.network.empty() ? "?" : p.network) << ' ' << p.accuracy_target << ' '
+       << (p.objective.empty() ? "?" : p.objective) << ' '
+       << (p.solver.empty() ? "?" : p.solver) << ' ' << p.sigma_searched << ' '
+       << p.sigma_used << ' ' << p.validated_accuracy << ' ' << p.accuracy_loss << ' '
+       << p.objective_cost << ' ' << p.refinements << ' ' << p.formats.size() << "\n";
+    for (const FixedPointFormat& f : p.formats)
+      os << "fmt " << f.integer_bits << ' ' << f.fraction_bits << "\n";
+    n_formats += p.formats.size();
+  }
+  // Same trailer discipline as profile_io v2: a file cut off at any line
+  // boundary fails to parse instead of yielding a smaller store.
+  os << "end " << store.plans.size() << ' ' << n_formats << "\n";
+  return os.str();
+}
+
+PlanStore parse_plan_store(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("plans: empty input (no header)");
+  if (line.rfind("mupod-plans v1", 0) != 0)
+    parse_fail("bad header (expected 'mupod-plans v1')", 1, line);
+
+  PlanStore store;
+  int line_no = 1;
+  std::size_t n_formats = 0;
+  std::size_t pending_formats = 0;  // fmt lines still owed by the last plan
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (saw_end) parse_fail("content after end marker", line_no, line);
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "plan") {
+      if (pending_formats != 0)
+        parse_fail("previous plan is missing " + std::to_string(pending_formats) +
+                       " fmt line(s)",
+                   line_no, line);
+      PlanRecord p;
+      std::size_t n_layers = 0;
+      if (!(ls >> std::hex >> p.net_hash >> p.config_digest >> std::dec >> p.network >>
+            p.accuracy_target >> p.objective >> p.solver >> p.sigma_searched >> p.sigma_used >>
+            p.validated_accuracy >> p.accuracy_loss >> p.objective_cost >> p.refinements >>
+            n_layers))
+        parse_fail("bad plan line", line_no, line);
+      require_finite(p.accuracy_target, "accuracy_target", line_no, line);
+      require_finite(p.sigma_searched, "sigma_searched", line_no, line);
+      require_finite(p.sigma_used, "sigma_used", line_no, line);
+      require_finite(p.validated_accuracy, "validated_accuracy", line_no, line);
+      require_finite(p.accuracy_loss, "accuracy_loss", line_no, line);
+      require_finite(p.objective_cost, "objective_cost", line_no, line);
+      if (n_layers > 1'000'000) parse_fail("implausible layer count", line_no, line);
+      p.formats.reserve(n_layers);
+      pending_formats = n_layers;
+      store.plans.push_back(std::move(p));
+    } else if (tag == "fmt") {
+      if (store.plans.empty() || pending_formats == 0)
+        parse_fail("fmt line without an owning plan", line_no, line);
+      FixedPointFormat f;
+      if (!(ls >> f.integer_bits >> f.fraction_bits)) parse_fail("bad fmt line", line_no, line);
+      if (f.integer_bits < 0 || f.integer_bits > 64 || f.fraction_bits < -64 ||
+          f.fraction_bits > 64)
+        parse_fail("fmt bits out of range", line_no, line);
+      store.plans.back().formats.push_back(f);
+      --pending_formats;
+      ++n_formats;
+    } else if (tag == "end") {
+      if (pending_formats != 0)
+        parse_fail("last plan is missing " + std::to_string(pending_formats) + " fmt line(s)",
+                   line_no, line);
+      std::size_t n_plans_decl = 0, n_formats_decl = 0;
+      if (!(ls >> n_plans_decl >> n_formats_decl)) parse_fail("bad end marker", line_no, line);
+      if (n_plans_decl != store.plans.size())
+        parse_fail("end marker declares " + std::to_string(n_plans_decl) + " plans but " +
+                       std::to_string(store.plans.size()) + " were parsed",
+                   line_no, line);
+      if (n_formats_decl != n_formats)
+        parse_fail("end marker declares " + std::to_string(n_formats_decl) + " formats but " +
+                       std::to_string(n_formats) + " were parsed",
+                   line_no, line);
+      saw_end = true;
+    } else {
+      parse_fail("unknown tag '" + tag + "'", line_no, line);
+    }
+  }
+  if (!saw_end)
+    throw std::runtime_error(
+        "plans: truncated input — end marker missing (file cut off after line " +
+        std::to_string(line_no) + ")");
+  return store;
+}
+
+bool save_plan_store(const std::string& path, const PlanStore& store) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << serialize_plan_store(store);
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+PlanStore load_plan_store(const std::string& path) {
+  std::ifstream f(path);
+  if (!f)
+    throw std::runtime_error("cannot open plan store '" + path + "': " + std::strerror(errno));
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse_plan_store(os.str());
+}
+
+}  // namespace mupod

@@ -1,0 +1,65 @@
+// Serialization of answered precision plans (the PlanService's plan store).
+//
+// A plan is the *output* side of the pipeline: the per-layer fixed point
+// formats chosen for one (accuracy target, objective, solver) query, plus
+// the provenance needed to audit it (sigma budget, validated accuracy,
+// hardware cost) and the cache key it was computed under (network content
+// hash + service config digest). Persisting the store lets a sweep's
+// results be consumed by scripts — and re-served later — without rerunning
+// anything; the embedded hashes make stale reuse detectable.
+//
+// Format: line-oriented text, '#' comments, same truncation discipline as
+// profile_io v2+ (trailing `end` marker with element counts):
+//   mupod-plans v1
+//   plan <net_hash> <cfg_digest> <network> <accuracy_target> <objective>
+//        <solver> <sigma_searched> <sigma_used> <validated_accuracy>
+//        <accuracy_loss> <objective_cost> <refinements> <n_layers>
+//   fmt <integer_bits> <fraction_bits>     (x n_layers, in layer order)
+//   end <n_plans> <n_formats>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/fixed_point.hpp"
+
+namespace mupod {
+
+struct PlanRecord {
+  // Cache identity: network_content_hash() and the service config digest
+  // the plan was computed under. 0 = unknown.
+  std::uint64_t net_hash = 0;
+  std::uint64_t config_digest = 0;
+  std::string network;
+  double accuracy_target = 0.0;  // max tolerated relative top-1 drop
+  std::string objective;         // ObjectiveSpec name
+  std::string solver;            // xi_solver_name() of the query
+  double sigma_searched = 0.0;   // Sec. V-C budget before calibration
+  double sigma_used = 0.0;       // budget behind the final allocation
+  double validated_accuracy = -1.0;
+  double accuracy_loss = 0.0;    // relative to the float network
+  double objective_cost = 0.0;   // sum(rho_K * B_K) of the allocation
+  int refinements = 0;
+  std::vector<FixedPointFormat> formats;  // per analyzed layer
+
+  std::vector<int> total_bits() const;
+};
+
+struct PlanStore {
+  std::vector<PlanRecord> plans;
+};
+
+std::string serialize_plan_store(const PlanStore& store);
+
+// Throws std::runtime_error on malformed or truncated input; the message
+// names the offending line number and quotes its content.
+PlanStore parse_plan_store(const std::string& text);
+
+// Returns false on I/O error (check errno for the cause).
+bool save_plan_store(const std::string& path, const PlanStore& store);
+// Throws std::runtime_error (with strerror context) when the file cannot
+// be opened, and parse_plan_store's errors on malformed content.
+PlanStore load_plan_store(const std::string& path);
+
+}  // namespace mupod

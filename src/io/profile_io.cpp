@@ -33,6 +33,7 @@ ProfileBundle make_profile_bundle(const Network& net, const std::vector<int>& an
   assert(analyzed.size() == result.models.size());
   ProfileBundle b;
   b.network = net.name();
+  b.net_hash = network_content_hash(net);
   b.sigma_yl = result.sigma.sigma_yl;
   b.sigma_calibrated = result.sigma_calibrated;
   b.models = result.models;
@@ -49,8 +50,10 @@ ProfileBundle make_profile_bundle(const Network& net, const std::vector<int>& an
 std::string serialize_profile(const ProfileBundle& bundle) {
   std::ostringstream os;
   os << std::setprecision(17);
-  os << "mupod-profile v2\n";
+  os << "mupod-profile v3\n";
   os << "network " << bundle.network << "\n";
+  if (bundle.net_hash != 0)
+    os << "nethash " << std::hex << bundle.net_hash << std::dec << "\n";
   os << "sigma " << bundle.sigma_yl << ' ' << bundle.sigma_calibrated << "\n";
   std::size_t n_points = 0;
   for (std::size_t k = 0; k < bundle.models.size(); ++k) {
@@ -80,7 +83,8 @@ ProfileBundle parse_profile(const std::string& text) {
   int version = 0;
   if (line.rfind("mupod-profile v1", 0) == 0) version = 1;
   else if (line.rfind("mupod-profile v2", 0) == 0) version = 2;
-  else parse_fail("bad header (expected 'mupod-profile v1' or 'v2')", 1, line);
+  else if (line.rfind("mupod-profile v3", 0) == 0) version = 3;
+  else parse_fail("bad header (expected 'mupod-profile v1'..'v3')", 1, line);
 
   ProfileBundle b;
   int line_no = 1;
@@ -95,6 +99,9 @@ ProfileBundle parse_profile(const std::string& text) {
     ls >> tag;
     if (tag == "network") {
       if (!(ls >> b.network)) parse_fail("bad network line", line_no, line);
+    } else if (tag == "nethash") {
+      if (!(ls >> std::hex >> b.net_hash)) parse_fail("bad nethash line", line_no, line);
+      if (b.net_hash == 0) parse_fail("zero nethash", line_no, line);
     } else if (tag == "sigma") {
       if (!(ls >> b.sigma_yl >> b.sigma_calibrated))
         parse_fail("bad sigma line", line_no, line);
@@ -177,6 +184,35 @@ ProfileBundle load_profile(const std::string& path) {
   std::ostringstream os;
   os << f.rdbuf();
   return parse_profile(os.str());
+}
+
+void check_profile_network(const ProfileBundle& bundle, const Network& net) {
+  const auto hex = [](std::uint64_t v) {
+    std::ostringstream os;
+    os << std::hex << v;
+    return os.str();
+  };
+  if (bundle.net_hash != 0) {
+    const std::uint64_t actual = network_content_hash(net);
+    if (bundle.net_hash != actual)
+      throw std::runtime_error(
+          "profile was measured on a different network: profile nethash " +
+          hex(bundle.net_hash) + " (network '" + bundle.network + "') vs target nethash " +
+          hex(actual) + " (network '" + net.name() + "'); its lambda/theta models do not "
+          "describe this network — re-profile instead of reusing the file");
+    return;
+  }
+  // Pre-v3 file: the name is the only identity we have. A mismatch there
+  // is certainly wrong; a match is accepted on trust.
+  if (bundle.network != net.name())
+    throw std::runtime_error("profile is for network '" + bundle.network +
+                             "' but the target network is '" + net.name() + "'");
+}
+
+ProfileBundle load_profile_for(const std::string& path, const Network& net) {
+  ProfileBundle b = load_profile(path);
+  check_profile_network(b, net);
+  return b;
 }
 
 }  // namespace mupod

@@ -6,15 +6,19 @@
 // processes: profile once on the big machine, re-optimize anywhere.
 //
 // Format: line-oriented text, '#' comments.
-//   mupod-profile v2
+//   mupod-profile v3
 //   network <name>
+//   nethash <hex64>                       (v3; content hash of the network)
 //   sigma <searched> <calibrated>
 //   layer <index> <node> <name> <range> <lambda> <theta> <r2> <inputs> <macs> <fit_status>
 //   point <layer_index> <delta> <sigma>
 //   end <n_layers> <n_points>
-// The trailing `end` marker (v2) makes truncation detectable: a file cut
+// The trailing `end` marker (v2+) makes truncation detectable: a file cut
 // off at any line boundary fails to parse instead of yielding a smaller
-// bundle. v1 files (no marker, no fit_status) are still accepted.
+// bundle. The `nethash` header (v3) records network_content_hash() of the
+// profiled network so a stale profile is rejected loudly (see
+// check_profile_network) instead of silently producing wrong plans.
+// v1/v2 files are still accepted (no hash -> no check possible).
 #pragma once
 
 #include <string>
@@ -26,6 +30,9 @@ namespace mupod {
 
 struct ProfileBundle {
   std::string network;
+  // network_content_hash() of the profiled network; 0 when unknown (a
+  // pre-v3 file). Checked by check_profile_network.
+  std::uint64_t net_hash = 0;
   double sigma_yl = 0.0;
   double sigma_calibrated = 0.0;
   std::vector<LayerLinearModel> models;
@@ -47,10 +54,20 @@ std::string serialize_profile(const ProfileBundle& bundle);
 // names the offending line number and quotes its content.
 ProfileBundle parse_profile(const std::string& text);
 
+// Throws std::runtime_error when the bundle carries a network hash (v3)
+// that does not match network_content_hash(net) — i.e. the profile was
+// measured on a different network (different topology, weights, or both)
+// and its lambda/theta models would silently produce wrong plans. Bundles
+// without a hash (v1/v2 files) only have their network *name* checked.
+void check_profile_network(const ProfileBundle& bundle, const Network& net);
+
 // Returns false on I/O error (check errno for the cause).
 bool save_profile(const std::string& path, const ProfileBundle& bundle);
 // Throws std::runtime_error (with strerror context) when the file cannot
 // be opened, and parse_profile's errors on malformed content.
 ProfileBundle load_profile(const std::string& path);
+// load_profile + check_profile_network in one step: the safe way to load a
+// profile that will be applied to `net`.
+ProfileBundle load_profile_for(const std::string& path, const Network& net);
 
 }  // namespace mupod

@@ -90,15 +90,17 @@ std::string render_report(const Network& net, const std::vector<int>& analyzed,
     os << t.render_markdown() << '\n';
   }
 
-  os << "## Timings\n\n";
-  TextTable t({"stage", "ms"});
-  t.add_row({"harness", TextTable::fmt(result.timings.harness_ms, 1)});
-  t.add_row({"profile", TextTable::fmt(result.timings.profile_ms, 1)});
-  t.add_row({"sigma search", TextTable::fmt(result.timings.sigma_ms, 1)});
-  t.add_row({"allocate", TextTable::fmt(result.timings.allocate_ms, 1)});
-  t.add_row({"validate", TextTable::fmt(result.timings.validate_ms, 1)});
-  t.add_row({"weight search", TextTable::fmt(result.timings.weights_ms, 1)});
-  os << t.render_markdown();
+  if (opts.include_timings) {
+    os << "## Timings\n\n";
+    TextTable t({"stage", "ms"});
+    t.add_row({"harness", TextTable::fmt(result.timings.harness_ms, 1)});
+    t.add_row({"profile", TextTable::fmt(result.timings.profile_ms, 1)});
+    t.add_row({"sigma search", TextTable::fmt(result.timings.sigma_ms, 1)});
+    t.add_row({"allocate", TextTable::fmt(result.timings.allocate_ms, 1)});
+    t.add_row({"validate", TextTable::fmt(result.timings.validate_ms, 1)});
+    t.add_row({"weight search", TextTable::fmt(result.timings.weights_ms, 1)});
+    os << t.render_markdown();
+  }
   return os.str();
 }
 

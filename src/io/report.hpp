@@ -14,6 +14,10 @@ struct ReportOptions {
   std::string title = "precision report";
   bool include_lambda_theta = true;
   bool include_xi = true;
+  // Wall-clock stage timings are the only run-dependent content in a
+  // report; turn them off to get a byte-reproducible document (identical
+  // runs then render identical markdown — see test_determinism.cpp).
+  bool include_timings = true;
 };
 
 // Renders a self-contained Markdown document.

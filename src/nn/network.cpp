@@ -286,4 +286,77 @@ std::int64_t Network::total_macs() const {
   return s;
 }
 
+namespace {
+
+// Incremental FNV-1a (64-bit). Not cryptographic — the hash guards against
+// *accidental* profile/network mixups (stale file, wrong model name), not
+// adversaries.
+struct Fnv1a {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(int v) { i64(v); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void shape(const Shape& s) {
+    i32(s.rank());
+    for (int i = 0; i < s.rank(); ++i) i32(s.dim(i));
+  }
+  void tensor(const Tensor* t) {
+    if (t == nullptr) {
+      i64(-1);
+      return;
+    }
+    i64(t->numel());
+    // Raw float bytes: bit-exact, so ±0.0 and NaN payloads distinguish too.
+    bytes(t->data(), static_cast<std::size_t>(t->numel()) * sizeof(float));
+  }
+};
+
+void hash_topology(Fnv1a& f, const Network& net) {
+  f.str(net.name());
+  f.i32(net.num_nodes());
+  f.i32(net.input_node());
+  for (int id = 0; id < net.num_nodes(); ++id) {
+    const Network::Node& n = net.node(id);
+    f.str(n.name);
+    f.i32(static_cast<int>(n.layer->kind()));
+    f.i64(static_cast<std::int64_t>(n.inputs.size()));
+    for (int in : n.inputs) f.i32(in);
+    f.shape(n.unit_shape);
+    f.i64(n.cost.input_elems);
+    f.i64(n.cost.macs);
+  }
+}
+
+}  // namespace
+
+std::uint64_t network_topology_hash(const Network& net) {
+  assert(net.finalized());
+  Fnv1a f;
+  hash_topology(f, net);
+  return f.h;
+}
+
+std::uint64_t network_content_hash(const Network& net) {
+  assert(net.finalized());
+  Fnv1a f;
+  hash_topology(f, net);
+  for (int id = 0; id < net.num_nodes(); ++id) {
+    f.tensor(net.layer(id).weights());
+    f.tensor(net.layer(id).bias());
+  }
+  return f.h;
+}
+
 }  // namespace mupod

@@ -146,4 +146,17 @@ class Network {
 // Applies `spec` to tensor `t` in place using noise stream (seed, node_id).
 void apply_injection(Tensor& t, const InjectionSpec& spec, std::uint64_t seed, int node_id);
 
+// --- content addressing ---------------------------------------------------
+// FNV-1a structural hash over the finalized DAG: network name, node names,
+// layer kinds, wiring, unit shapes and cost metadata. Equal for two
+// networks built the same way regardless of their weight values.
+std::uint64_t network_topology_hash(const Network& net);
+
+// Topology hash extended with every layer's weight/bias bytes: changes
+// whenever anything that affects the network's numerical behaviour does.
+// This is the key under which profiles are cached (PlanService) and
+// persisted (profile format v3), so a profile computed for one network
+// can never be silently applied to another.
+std::uint64_t network_content_hash(const Network& net);
+
 }  // namespace mupod

@@ -1,0 +1,177 @@
+// PlanService: the serving layer that amortizes the paper's expensive
+// profiling pass across many precision-planning queries.
+//
+// The pipeline (src/core/pipeline.*) factors into three stages with very
+// different costs and very different reuse scopes:
+//
+//   stage          cost (forwards)     reusable across
+//   -------------  ------------------  --------------------------------
+//   profile        layers x points     EVERY query on the same network
+//   sigma search   ~log(1/tol) evals   every objective at one constraint
+//   allocate+val.  1 + refinements     nothing (this IS the query)
+//
+// PlanService caches the first two at exactly those scopes, keyed
+// content-addressed: a profile entry is identified by (network content
+// hash, service config digest), so two identically-built networks share
+// one entry and a *changed* network (different weights, topology, harness
+// or profiler settings) can never be served stale measurements. Sigma
+// searches are memoized per accuracy target inside each entry, and fully
+// answered plans are memoized per (target, objective, solver) query.
+// Answering N objectives x M constraints therefore costs 1 profile +
+// M searches + N*M allocation tails instead of N*M full pipelines.
+//
+// Concurrency: all public methods are thread-safe. The profile and each
+// sigma search run once per key — a once-per-key future discipline: the
+// first caller computes (the computation is internally parallel on the
+// global thread pool), concurrent callers for the same key block until
+// the result is ready and then share it. The allocation tails are
+// read-only over the cached state and may run genuinely concurrently;
+// SweepEngine (sweep.hpp) exploits exactly that split.
+//
+// Answers are bit-identical to a cold run_pipeline with the same
+// configuration: plan() executes the same run_objective_stage the
+// pipeline does, on the same cached inputs (see test_plan_service.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "hw/accelerator_sim.hpp"
+#include "io/plan_io.hpp"
+
+namespace mupod {
+
+struct PlanServiceConfig {
+  // Stage configuration shared by every query. Per-query knobs
+  // (sigma.relative_accuracy_drop, allocator.solver) are overridden from
+  // the PlanQuery; search_weights is forced off (the Sec. V-E weight
+  // search mutates the network, which would break concurrent tails).
+  PipelineConfig pipeline;
+  // Hardware models used to attach objective costs to each plan.
+  MacEnergyModel energy = MacEnergyModel::stripes_like();
+  AcceleratorConfig accelerator = AcceleratorConfig::stripes_like();
+  int weight_bits = 16;  // uniform weight width for the cost models
+};
+
+// Content-addressed cache key: (network content hash, config digest).
+struct PlanKey {
+  std::uint64_t net_hash = 0;
+  std::uint64_t config_digest = 0;
+  bool operator==(const PlanKey& o) const = default;
+  bool operator<(const PlanKey& o) const {
+    return net_hash != o.net_hash ? net_hash < o.net_hash : config_digest < o.config_digest;
+  }
+  std::string to_string() const;
+};
+
+struct PlanQuery {
+  // Maximum tolerated relative top-1 accuracy drop (the paper's 1% / 5%).
+  double accuracy_target = 0.01;
+  ObjectiveSpec objective;
+  XiSolver solver = XiSolver::kSqp;
+};
+
+struct PlanResult {
+  PlanQuery query;
+  PlanKey key;
+  std::string network;
+  BitwidthAllocation alloc;
+  double sigma_searched = 0.0;  // Sec. V-C budget (pre-calibration)
+  double sigma_used = 0.0;      // budget behind the final allocation
+  int refinements = 0;
+  double float_accuracy = 1.0;
+  double validated_accuracy = -1.0;
+  // Realized relative accuracy loss vs the float network (>= 0; falls back
+  // to the sigma-search estimate when validation is disabled).
+  double accuracy_loss = 0.0;
+  // Hardware cost of the allocation:
+  std::int64_t objective_cost = 0;  // sum(rho_K * B_K) under the query's rho
+  double effective_bits = 0.0;      // sum(rho_K * B_K) / sum(rho_K)
+  double energy = 0.0;              // MacEnergyModel, per image
+  double sim_cycles = 0.0;          // accelerator_sim, per image
+  double sim_speedup = 0.0;         // vs the 16-bit baseline
+  // Diagnostics from this query's allocation tail only (profile/sigma
+  // diagnostics live once per cache entry; see profile_diagnostics()).
+  DiagnosticSink diagnostics;
+  // Cache provenance of this answer.
+  bool profile_cached = false;
+  bool sigma_cached = false;
+  bool plan_cached = false;
+};
+
+struct CacheStats {
+  std::int64_t profile_misses = 0;  // profiles actually computed
+  std::int64_t profile_hits = 0;    // served (or waited on) from cache
+  std::int64_t sigma_misses = 0;
+  std::int64_t sigma_hits = 0;
+  std::int64_t plan_misses = 0;     // allocation tails actually run
+  std::int64_t plan_hits = 0;       // answers replayed from the plan memo
+  std::int64_t plans_served() const { return plan_misses + plan_hits; }
+};
+
+// Digest of everything that invalidates cached measurements: harness,
+// profiler, sigma-search and tail configuration plus the dataset identity.
+std::uint64_t plan_config_digest(const PlanServiceConfig& cfg, const DatasetConfig& dataset);
+
+class PlanService {
+ public:
+  explicit PlanService(PlanServiceConfig cfg = {});
+  ~PlanService();
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  const PlanServiceConfig& config() const { return cfg_; }
+
+  // Registers a network for serving; `net` and `dataset` are borrowed and
+  // must outlive the service. Returns the content-addressed key. A second
+  // registration with an identical (content hash, config digest) shares
+  // the existing entry — its profile is never measured twice.
+  PlanKey register_network(const Network& net, std::vector<int> analyzed,
+                           const SyntheticImageDataset& dataset);
+
+  // Stage warm-up, usable independently of plan(). Both follow the
+  // once-per-key future discipline described above and return true when
+  // the result was already cached (or computed by a concurrent caller).
+  bool ensure_profile(const PlanKey& key);
+  bool ensure_sigma(const PlanKey& key, double accuracy_target);
+
+  // Answers one query: profile and sigma stages from cache (computing them
+  // on first need), then the cheap allocate+validate tail. Thread-safe.
+  PlanResult plan(const PlanKey& key, const PlanQuery& query);
+
+  // Cached per-entry state, for reporting. Valid after ensure_profile.
+  const DiagnosticSink& profile_diagnostics(const PlanKey& key) const;
+  std::int64_t forward_count(const PlanKey& key) const;
+  const std::string& network_name(const PlanKey& key) const;
+
+  CacheStats stats() const;
+
+  // Every memoized plan as a persistable store (io/plan_io.hpp).
+  PlanStore export_plans() const;
+
+  // Drops only the per-query plan memo, keeping profiles and sigma
+  // searches — used to re-time allocation tails (bench_sweep).
+  void clear_plan_memo();
+
+ private:
+  struct SigmaMemo;
+  struct Entry;
+
+  Entry& entry(const PlanKey& key);
+  const Entry& entry(const PlanKey& key) const;
+  bool ensure_profile_locked(Entry& e, std::unique_lock<std::mutex>& lk);
+  bool ensure_sigma_locked(Entry& e, std::unique_lock<std::mutex>& lk, double accuracy_target);
+
+  PlanServiceConfig cfg_;
+  mutable std::mutex mu_;  // guards entries_ map shape and stats_
+  std::map<PlanKey, std::unique_ptr<Entry>> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace mupod

@@ -1,0 +1,90 @@
+#include "serve/sweep.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+
+#include "tensor/parallel.hpp"
+
+namespace mupod {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+bool dominates(const SweepCell& a, const SweepCell& b) {
+  const bool no_worse = a.result.accuracy_loss <= b.result.accuracy_loss &&
+                        a.result.objective_cost <= b.result.objective_cost;
+  const bool strictly_better = a.result.accuracy_loss < b.result.accuracy_loss ||
+                               a.result.objective_cost < b.result.objective_cost;
+  return no_worse && strictly_better;
+}
+}  // namespace
+
+void mark_pareto_front(std::vector<SweepCell>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < cells.size() && !dominated; ++j) {
+      if (i == j) continue;
+      // Tradeoffs only compare within one objective group; costs of
+      // different rho vectors are not commensurable.
+      if (cells[j].result.query.objective.name != cells[i].result.query.objective.name) continue;
+      if (dominates(cells[j], cells[i])) dominated = true;
+    }
+    cells[i].pareto = !dominated;
+  }
+}
+
+SweepResult run_sweep(PlanService& service, const PlanKey& key, const SweepSpec& spec) {
+  SweepResult res;
+  res.workers = parallel_worker_count();
+  const auto t_start = Clock::now();
+
+  // Warm the shared stages OUTSIDE the pool: they are internally parallel,
+  // and the once-per-key future in the service makes each a single
+  // computation no matter how many sweeps run at once.
+  auto t0 = Clock::now();
+  service.ensure_profile(key);
+  res.profile_warm_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  for (double target : spec.accuracy_targets) service.ensure_sigma(key, target);
+  res.sigma_warm_ms = ms_since(t0);
+
+  // Fan the cheap tails. Each is serial inside (nested parallel_for calls
+  // degrade to inline loops), so pool workers map 1:1 to grid cells.
+  const std::size_t n_cells = spec.accuracy_targets.size() * spec.objectives.size();
+  res.cells.resize(n_cells);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto run_cell = [&](std::int64_t c) {
+    const std::size_t ti = static_cast<std::size_t>(c) / spec.objectives.size();
+    const std::size_t oi = static_cast<std::size_t>(c) % spec.objectives.size();
+    PlanQuery q;
+    q.accuracy_target = spec.accuracy_targets[ti];
+    q.objective = spec.objectives[oi];
+    q.solver = spec.solver;
+    try {
+      res.cells[static_cast<std::size_t>(c)].result = service.plan(key, q);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(err_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  t0 = Clock::now();
+  if (spec.concurrent) {
+    parallel_for(0, static_cast<std::int64_t>(n_cells), run_cell);
+  } else {
+    for (std::int64_t c = 0; c < static_cast<std::int64_t>(n_cells); ++c) run_cell(c);
+  }
+  res.tails_ms = ms_since(t0);
+  if (first_error) std::rethrow_exception(first_error);
+
+  mark_pareto_front(res.cells);
+  res.wall_ms = ms_since(t_start);
+  return res;
+}
+
+}  // namespace mupod

@@ -1,0 +1,61 @@
+// SweepEngine: concurrent Pareto sweeps over accuracy x objective grids.
+//
+// A sweep is the workload the paper's "multi-objective" framing implies
+// but a single pipeline invocation cannot serve: the full tradeoff
+// surface accuracy-constraint x hardware-objective for one network. The
+// engine drives a PlanService so the grid costs 1 profile + M sigma
+// searches + N*M allocation tails, and schedules those tails concurrently
+// on the global parallel_for pool.
+//
+// Scheduling discipline: the profile and the per-target sigma searches
+// are warmed *before* the fan-out, serially — they are internally
+// parallel over the pool already, and running them inside a pool worker
+// would degrade them to single-threaded (no nested parallelism). The
+// tails are internally serial, so fanning them across the pool is pure
+// win; each tail's nested measurement loops simply run inline.
+#pragma once
+
+#include <vector>
+
+#include "serve/plan_service.hpp"
+
+namespace mupod {
+
+struct SweepSpec {
+  // Grid axes: every accuracy target is combined with every objective.
+  std::vector<double> accuracy_targets;
+  std::vector<ObjectiveSpec> objectives;
+  XiSolver solver = XiSolver::kSqp;
+  // Fan the allocation tails across the thread pool; false runs them
+  // serially (bench_sweep compares the two).
+  bool concurrent = true;
+};
+
+struct SweepCell {
+  PlanResult result;
+  // True when the cell is on the Pareto front of its objective group:
+  // no other cell with the same objective has (accuracy_loss <=, cost <=)
+  // with at least one strict. Dominated cells are the ones a deployment
+  // never picks — the sweep's headline output.
+  bool pareto = false;
+};
+
+struct SweepResult {
+  // Row-major over accuracy_targets x objectives.
+  std::vector<SweepCell> cells;
+  double profile_warm_ms = 0.0;  // ensure_profile (0-ish when cached)
+  double sigma_warm_ms = 0.0;    // all ensure_sigma calls
+  double tails_ms = 0.0;         // the fanned allocation tails
+  double wall_ms = 0.0;
+  int workers = 1;               // effective pool width during the sweep
+};
+
+// Marks the Pareto front per objective-name group over
+// (accuracy_loss, objective_cost), both minimized. Exposed for tests.
+void mark_pareto_front(std::vector<SweepCell>& cells);
+
+// Runs the grid through the service. Throws what PlanService::plan throws
+// (first failure wins; remaining cells still complete).
+SweepResult run_sweep(PlanService& service, const PlanKey& key, const SweepSpec& spec);
+
+}  // namespace mupod

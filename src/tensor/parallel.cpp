@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -112,14 +113,32 @@ class ThreadPool {
 
 std::atomic<int> g_override_workers{0};
 
+int default_worker_count() {
+  // MUPOD_THREADS pins the pool size for reproducible sweep/bench timings
+  // (read once, at pool startup — resizing a live pool is not supported).
+  const int env = parse_worker_override(std::getenv("MUPOD_THREADS"));
+  if (env > 0) return env;
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
 ThreadPool& pool() {
-  static ThreadPool p(g_override_workers.load() > 0
-                          ? g_override_workers.load()
-                          : static_cast<int>(std::thread::hardware_concurrency()));
+  static ThreadPool p(g_override_workers.load() > 0 ? g_override_workers.load()
+                                                    : default_worker_count());
   return p;
 }
 
 }  // namespace
+
+int parse_worker_override(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value) return 0;
+  while (*end == ' ' || *end == '\t') ++end;   // tolerate trailing whitespace
+  if (*end != '\0') return 0;                  // trailing garbage -> ignore
+  if (n <= 0 || n > 4096) return 0;
+  return static_cast<int>(n);
+}
 
 int parallel_worker_count() { return pool().workers(); }
 

@@ -9,12 +9,21 @@
 
 namespace mupod {
 
-// Global worker count (defaults to hardware_concurrency, min 1).
+// Global worker count. Resolution order, decided once when the pool first
+// runs: set_parallel_worker_count() override > MUPOD_THREADS environment
+// variable > hardware_concurrency (min 1). Tools and benches print this so
+// their timings are reproducible.
 int parallel_worker_count();
 
 // Override worker count (0 restores the default). Not thread-safe with
 // respect to concurrently running parallel_for calls; call at startup.
 void set_parallel_worker_count(int n);
+
+// Parses a MUPOD_THREADS-style value: returns the worker count (>= 1), or
+// 0 when the value is null/empty/non-numeric/non-positive (meaning "no
+// override"). Exposed for tests; parallel_worker_count applies it to the
+// actual environment at pool startup.
+int parse_worker_override(const char* value);
 
 // Runs fn(i) for i in [begin, end), partitioned across the pool in
 // contiguous chunks. Falls back to a serial loop for small ranges or when

@@ -1,0 +1,144 @@
+// Determinism guarantees (satellite of the plan-service PR): the whole
+// pipeline is seeded and single-source-of-truth, so identical runs must be
+// *identical* — bit-equal allocations and byte-equal reports — and the plan
+// service's warm path must reproduce the cold path exactly. Anything less
+// makes content-addressed caching unsound.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "io/report.hpp"
+#include "serve/plan_service.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+struct PipelineRun {
+  ZooModel model;
+  std::unique_ptr<SyntheticImageDataset> dataset;
+  PipelineResult result;
+};
+
+PipelineConfig fast_config() {
+  PipelineConfig cfg;
+  cfg.harness.profile_images = 16;
+  cfg.harness.eval_images = 128;
+  cfg.profiler.points = 6;
+  cfg.sigma.relative_accuracy_drop = 0.05;
+  return cfg;
+}
+
+PipelineRun fresh_run() {
+  PipelineRun r;
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.seed = 404;
+  zo.data_seed = 8;
+  zo.calibration_images = 8;
+  r.model = build_tiny_cnn(zo);
+  DatasetConfig dc;
+  dc.num_classes = 10;
+  dc.height = 16;
+  dc.width = 16;
+  dc.seed = 8;
+  r.dataset = std::make_unique<SyntheticImageDataset>(dc);
+  r.result = run_pipeline(r.model.net, r.model.analyzed, *r.dataset,
+                          {objective_input_bits(r.model.net, r.model.analyzed),
+                           objective_mac_energy(r.model.net, r.model.analyzed)},
+                          fast_config());
+  return r;
+}
+
+TEST(Determinism, IdenticalRunsProduceBitIdenticalAllocations) {
+  const PipelineRun a = fresh_run();
+  const PipelineRun b = fresh_run();
+
+  EXPECT_EQ(a.result.sigma.sigma_yl, b.result.sigma.sigma_yl);
+  EXPECT_EQ(a.result.sigma_calibrated, b.result.sigma_calibrated);
+  EXPECT_EQ(a.result.forward_count, b.result.forward_count);
+  ASSERT_EQ(a.result.models.size(), b.result.models.size());
+  for (std::size_t k = 0; k < a.result.models.size(); ++k) {
+    EXPECT_EQ(a.result.models[k].lambda, b.result.models[k].lambda);
+    EXPECT_EQ(a.result.models[k].theta, b.result.models[k].theta);
+    EXPECT_EQ(a.result.ranges[k], b.result.ranges[k]);
+  }
+  ASSERT_EQ(a.result.objectives.size(), b.result.objectives.size());
+  for (std::size_t i = 0; i < a.result.objectives.size(); ++i) {
+    const ObjectiveResult& oa = a.result.objectives[i];
+    const ObjectiveResult& ob = b.result.objectives[i];
+    EXPECT_EQ(oa.alloc.bits, ob.alloc.bits);
+    EXPECT_EQ(oa.alloc.xi, ob.alloc.xi);
+    EXPECT_EQ(oa.alloc.deltas, ob.alloc.deltas);
+    EXPECT_EQ(oa.alloc.formats, ob.alloc.formats);
+    EXPECT_EQ(oa.sigma_used, ob.sigma_used);
+    EXPECT_EQ(oa.validated_accuracy, ob.validated_accuracy);
+    EXPECT_EQ(oa.refinements, ob.refinements);
+  }
+}
+
+TEST(Determinism, IdenticalRunsRenderIdenticalReports) {
+  const PipelineRun a = fresh_run();
+  const PipelineRun b = fresh_run();
+  // Wall-clock timings are the one legitimately run-dependent section;
+  // everything else must be byte-equal.
+  ReportOptions opts;
+  opts.include_timings = false;
+  const std::string ra = render_report(a.model.net, a.model.analyzed, a.result, opts);
+  const std::string rb = render_report(b.model.net, b.model.analyzed, b.result, opts);
+  EXPECT_EQ(ra, rb);  // byte-equal markdown, not merely similar
+}
+
+TEST(Determinism, IdenticalNetworksHashIdentically) {
+  const PipelineRun a = fresh_run();
+  const PipelineRun b = fresh_run();
+  EXPECT_EQ(network_topology_hash(a.model.net), network_topology_hash(b.model.net));
+  EXPECT_EQ(network_content_hash(a.model.net), network_content_hash(b.model.net));
+}
+
+TEST(Determinism, WarmServiceAnswerEqualsColdPipelineAnswer) {
+  // The service's central promise: caching changes the cost of an answer,
+  // never its value. Ask the service the same question twice (cold tail,
+  // then memo replay) and compare both against a fresh pipeline run.
+  const PipelineRun cold = fresh_run();
+
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.seed = 404;
+  zo.data_seed = 8;
+  zo.calibration_images = 8;
+  ZooModel model = build_tiny_cnn(zo);
+  DatasetConfig dc;
+  dc.num_classes = 10;
+  dc.height = 16;
+  dc.width = 16;
+  dc.seed = 8;
+  SyntheticImageDataset dataset(dc);
+
+  PlanServiceConfig scfg;
+  scfg.pipeline = fast_config();
+  PlanService service(scfg);
+  const PlanKey key = service.register_network(model.net, model.analyzed, dataset);
+  PlanQuery q;
+  q.accuracy_target = 0.05;
+  q.objective = objective_input_bits(model.net, model.analyzed);
+  const PlanResult warm = service.plan(key, q);
+  const PlanResult replay = service.plan(key, q);
+
+  const ObjectiveResult& ref = cold.result.objectives[0];
+  for (const PlanResult* r : {&warm, &replay}) {
+    EXPECT_EQ(ref.alloc.bits, r->alloc.bits);
+    EXPECT_EQ(ref.alloc.xi, r->alloc.xi);
+    EXPECT_EQ(ref.alloc.formats, r->alloc.formats);
+    EXPECT_EQ(ref.sigma_used, r->sigma_used);
+    EXPECT_EQ(ref.validated_accuracy, r->validated_accuracy);
+    EXPECT_EQ(cold.result.sigma.sigma_yl, r->sigma_searched);
+  }
+  EXPECT_FALSE(warm.plan_cached);
+  EXPECT_TRUE(replay.plan_cached);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -57,6 +57,22 @@ TEST(Parallel, WorkerCountPositive) {
   EXPECT_GE(parallel_worker_count(), 1);
 }
 
+TEST(Parallel, ParseWorkerOverride) {
+  // The MUPOD_THREADS parser. The pool reads the environment only at
+  // startup, so the unit under test here is the parsing, not the pool.
+  EXPECT_EQ(parse_worker_override(nullptr), 0);
+  EXPECT_EQ(parse_worker_override(""), 0);
+  EXPECT_EQ(parse_worker_override("4"), 4);
+  EXPECT_EQ(parse_worker_override("1"), 1);
+  EXPECT_EQ(parse_worker_override("  8  "), 8);
+  // Invalid or non-positive values mean "no override", never a crash.
+  EXPECT_EQ(parse_worker_override("0"), 0);
+  EXPECT_EQ(parse_worker_override("-3"), 0);
+  EXPECT_EQ(parse_worker_override("lots"), 0);
+  EXPECT_EQ(parse_worker_override("4x"), 0);
+  EXPECT_EQ(parse_worker_override("999999999999"), 0);  // absurd -> ignored
+}
+
 TEST(Parallel, RepeatedInvocationsStable) {
   for (int rep = 0; rep < 50; ++rep) {
     std::atomic<int> count{0};

@@ -1,0 +1,199 @@
+#include "io/plan_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+namespace mupod {
+namespace {
+
+PlanStore sample_store() {
+  PlanStore store;
+  PlanRecord a;
+  a.net_hash = 0x1234abcd5678ef01ull;
+  a.config_digest = 0xfeedface0badc0deull;
+  a.network = "tiny";
+  a.accuracy_target = 0.01;
+  a.objective = "input_bits";
+  a.solver = "sqp";
+  a.sigma_searched = 0.25;
+  a.sigma_used = 0.1625;
+  a.validated_accuracy = 0.9921875;
+  a.accuracy_loss = 0.0078125;
+  a.objective_cost = 7936;
+  a.refinements = 1;
+  a.formats = {{3, 4}, {2, 5}, {4, 2}, {1, 9}};
+
+  PlanRecord b;
+  b.net_hash = a.net_hash;
+  b.config_digest = a.config_digest;
+  b.network = "tiny";
+  b.accuracy_target = 0.05;
+  b.objective = "mac_energy";
+  b.solver = "closed_form";
+  b.sigma_searched = 0.7;
+  b.sigma_used = 0.7;
+  b.validated_accuracy = 0.953125;
+  b.accuracy_loss = 0.046875;
+  b.objective_cost = 831680;
+  b.refinements = 0;
+  b.formats = {{3, 1}, {2, 2}, {4, -1}, {1, 5}};
+
+  store.plans = {a, b};
+  return store;
+}
+
+TEST(PlanIo, RoundTripPreservesEverything) {
+  const PlanStore a = sample_store();
+  const PlanStore b = parse_plan_store(serialize_plan_store(a));
+  ASSERT_EQ(b.plans.size(), a.plans.size());
+  for (std::size_t i = 0; i < a.plans.size(); ++i) {
+    const PlanRecord& pa = a.plans[i];
+    const PlanRecord& pb = b.plans[i];
+    EXPECT_EQ(pb.net_hash, pa.net_hash);
+    EXPECT_EQ(pb.config_digest, pa.config_digest);
+    EXPECT_EQ(pb.network, pa.network);
+    EXPECT_DOUBLE_EQ(pb.accuracy_target, pa.accuracy_target);
+    EXPECT_EQ(pb.objective, pa.objective);
+    EXPECT_EQ(pb.solver, pa.solver);
+    EXPECT_DOUBLE_EQ(pb.sigma_searched, pa.sigma_searched);
+    EXPECT_DOUBLE_EQ(pb.sigma_used, pa.sigma_used);
+    EXPECT_DOUBLE_EQ(pb.validated_accuracy, pa.validated_accuracy);
+    EXPECT_DOUBLE_EQ(pb.accuracy_loss, pa.accuracy_loss);
+    EXPECT_DOUBLE_EQ(pb.objective_cost, pa.objective_cost);
+    EXPECT_EQ(pb.refinements, pa.refinements);
+    ASSERT_EQ(pb.formats.size(), pa.formats.size());
+    for (std::size_t k = 0; k < pa.formats.size(); ++k) {
+      EXPECT_EQ(pb.formats[k].integer_bits, pa.formats[k].integer_bits);
+      EXPECT_EQ(pb.formats[k].fraction_bits, pa.formats[k].fraction_bits);
+    }
+  }
+}
+
+TEST(PlanIo, TotalBitsSumsFormats) {
+  const PlanStore store = sample_store();
+  const PlanRecord& p = store.plans[0];
+  const std::vector<int> bits = p.total_bits();
+  ASSERT_EQ(bits.size(), p.formats.size());
+  for (std::size_t k = 0; k < bits.size(); ++k)
+    EXPECT_EQ(bits[k], p.formats[k].total_bits());
+}
+
+TEST(PlanIo, EmptyStoreRoundTrips) {
+  const PlanStore b = parse_plan_store(serialize_plan_store(PlanStore{}));
+  EXPECT_TRUE(b.plans.empty());
+}
+
+TEST(PlanIo, FileRoundTrip) {
+  const std::string path = std::string(::testing::TempDir()) + "/plans.txt";
+  ASSERT_TRUE(save_plan_store(path, sample_store()));
+  const PlanStore loaded = load_plan_store(path);
+  EXPECT_EQ(loaded.plans.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(PlanIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_plan_store(""), std::runtime_error);
+  EXPECT_THROW(parse_plan_store("not a plan store\n"), std::runtime_error);
+  EXPECT_THROW(parse_plan_store("mupod-plans v1\nbogus tag\nend 0 0\n"), std::runtime_error);
+  // fmt without an owning plan.
+  EXPECT_THROW(parse_plan_store("mupod-plans v1\nfmt 3 4\nend 0 1\n"), std::runtime_error);
+  // Non-finite values.
+  EXPECT_THROW(
+      parse_plan_store("mupod-plans v1\n"
+                       "plan 1 2 n nan input sqp 0.1 0.1 0.9 0.1 10 0 0\n"
+                       "end 1 0\n"),
+      std::runtime_error);
+  // Format bits out of any plausible range.
+  EXPECT_THROW(
+      parse_plan_store("mupod-plans v1\n"
+                       "plan 1 2 n 0.01 input sqp 0.1 0.1 0.9 0.1 10 0 1\n"
+                       "fmt 9999 0\n"
+                       "end 1 1\n"),
+      std::runtime_error);
+  // Implausible layer count (guards against allocating from a hostile file).
+  EXPECT_THROW(
+      parse_plan_store("mupod-plans v1\n"
+                       "plan 1 2 n 0.01 input sqp 0.1 0.1 0.9 0.1 10 0 99999999\n"
+                       "end 1 0\n"),
+      std::runtime_error);
+  EXPECT_THROW(load_plan_store("/nonexistent/plans.txt"), std::runtime_error);
+}
+
+TEST(PlanIo, RejectsCountMismatches) {
+  // A plan declaring more fmt lines than it provides.
+  EXPECT_THROW(
+      parse_plan_store("mupod-plans v1\n"
+                       "plan 1 2 n 0.01 input sqp 0.1 0.1 0.9 0.1 10 0 2\n"
+                       "fmt 3 4\n"
+                       "end 1 1\n"),
+      std::runtime_error);
+  // An end marker whose totals disagree with the parsed content.
+  EXPECT_THROW(
+      parse_plan_store("mupod-plans v1\n"
+                       "plan 1 2 n 0.01 input sqp 0.1 0.1 0.9 0.1 10 0 1\n"
+                       "fmt 3 4\n"
+                       "end 2 1\n"),
+      std::runtime_error);
+}
+
+TEST(PlanIoProperty, TruncationAtEveryByteIsDetected) {
+  const std::string text = serialize_plan_store(sample_store());
+  ASSERT_GT(text.size(), 50u);
+  // Same property as profile_io v2: any prefix losing more than the final
+  // newline must throw — the end marker makes silent shrinkage impossible.
+  for (std::size_t len = 0; len + 1 < text.size(); ++len) {
+    EXPECT_THROW(parse_plan_store(text.substr(0, len)), std::runtime_error)
+        << "prefix of " << len << " bytes parsed as a valid plan store";
+  }
+}
+
+TEST(PlanIoProperty, RandomByteCorruptionNeverCrashesOrHalfParses) {
+  const std::string text = serialize_plan_store(sample_store());
+  std::mt19937 rng(20260806u);
+  std::uniform_int_distribution<std::size_t> pos_dist(0, text.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<int> count_dist(1, 8);
+
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string corrupted = text;
+    const int flips = count_dist(rng);
+    for (int c = 0; c < flips; ++c)
+      corrupted[pos_dist(rng)] = static_cast<char>(byte_dist(rng));
+    try {
+      const PlanStore s = parse_plan_store(corrupted);
+      // If it parses, every plan must be structurally sound.
+      for (const PlanRecord& p : s.plans) {
+        EXPECT_TRUE(std::isfinite(p.accuracy_target));
+        EXPECT_TRUE(std::isfinite(p.sigma_used));
+        for (const FixedPointFormat& f : p.formats) {
+          EXPECT_LE(f.integer_bits, 64);
+          EXPECT_GE(f.fraction_bits, -64);
+        }
+      }
+    } catch (const std::runtime_error& e) {
+      EXPECT_GT(std::strlen(e.what()), 10u);
+    }
+  }
+}
+
+TEST(PlanIoProperty, ErrorsNameLineNumberAndContent) {
+  const std::string bad =
+      "mupod-plans v1\n"
+      "plan GARBAGE\n"
+      "end 0 0\n";
+  try {
+    parse_plan_store(bad);
+    FAIL() << "expected parse_plan_store to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("plan GARBAGE"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace mupod

@@ -194,6 +194,87 @@ TEST(ProfileIoProperty, RandomByteCorruptionNeverCrashesOrHalfParses) {
   EXPECT_GT(rejected, 0);
 }
 
+TEST(ProfileIoV3, NetHashRoundTrips) {
+  const ProfiledFixture& f = fixture();
+  const ProfileBundle a = make_profile_bundle(f.model.net, f.model.analyzed, f.result);
+  EXPECT_EQ(a.net_hash, network_content_hash(f.model.net));
+  ASSERT_NE(a.net_hash, 0u);
+  const std::string text = serialize_profile(a);
+  EXPECT_NE(text.find("mupod-profile v3"), std::string::npos);
+  EXPECT_NE(text.find("nethash "), std::string::npos);
+  const ProfileBundle b = parse_profile(text);
+  EXPECT_EQ(b.net_hash, a.net_hash);
+}
+
+TEST(ProfileIoV3, CheckAcceptsMatchingNetwork) {
+  const ProfiledFixture& f = fixture();
+  const ProfileBundle b =
+      parse_profile(serialize_profile(make_profile_bundle(f.model.net, f.model.analyzed, f.result)));
+  EXPECT_NO_THROW(check_profile_network(b, f.model.net));
+}
+
+TEST(ProfileIoV3, CheckRejectsDifferentNetwork) {
+  const ProfiledFixture& f = fixture();
+  ProfileBundle b = make_profile_bundle(f.model.net, f.model.analyzed, f.result);
+
+  // Same topology, different weights: a retrained network must invalidate
+  // the profile (the lambda/theta fits are weight-dependent).
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.seed = 405;  // different weight seed than the fixture's 404
+  zo.data_seed = 8;
+  zo.calibration_images = 8;
+  ZooModel other = build_tiny_cnn(zo);
+  EXPECT_NE(network_content_hash(other.net), b.net_hash);
+  try {
+    check_profile_network(b, other.net);
+    FAIL() << "expected check_profile_network to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    // The message must carry both hashes so the mismatch is auditable.
+    EXPECT_NE(msg.find("hash"), std::string::npos) << msg;
+  }
+}
+
+TEST(ProfileIoV3, PreV3FilesCheckNameOnly) {
+  const ProfiledFixture& f = fixture();
+  ProfileBundle b = make_profile_bundle(f.model.net, f.model.analyzed, f.result);
+  b.net_hash = 0;  // as parsed from a v1/v2 file
+  EXPECT_NO_THROW(check_profile_network(b, f.model.net));
+  b.network = "some-other-net";
+  EXPECT_THROW(check_profile_network(b, f.model.net), std::runtime_error);
+}
+
+TEST(ProfileIoV3, V2FilesWithoutHashStillParse) {
+  const std::string v2 =
+      "mupod-profile v2\n"
+      "network old-net\n"
+      "sigma 0.5 0.45\n"
+      "layer 0 2 conv1 2.0 1.5 0.01 0.99 100 1000 ok\n"
+      "point 0 0.001 0.001\n"
+      "end 1 1\n";
+  const ProfileBundle b = parse_profile(v2);
+  EXPECT_EQ(b.network, "old-net");
+  EXPECT_EQ(b.net_hash, 0u);
+}
+
+TEST(ProfileIoV3, RejectsMalformedNetHashLine) {
+  EXPECT_THROW(parse_profile("mupod-profile v3\nnethash ZORK\nend 0 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_profile("mupod-profile v3\nnethash 0\nend 0 0\n"), std::runtime_error);
+}
+
+TEST(ProfileIoV3, LoadProfileForRejectsMismatchedFile) {
+  const ProfiledFixture& f = fixture();
+  ProfileBundle b = make_profile_bundle(f.model.net, f.model.analyzed, f.result);
+  b.net_hash ^= 0xdeadbeefull;  // simulate a profile of a different network
+  const std::string path = std::string(::testing::TempDir()) + "/stale_profile.txt";
+  ASSERT_TRUE(save_profile(path, b));
+  EXPECT_THROW(load_profile_for(path, f.model.net), std::runtime_error);
+  // Plain load_profile still works: the check is the caller's choice.
+  EXPECT_NO_THROW(load_profile(path));
+  std::remove(path.c_str());
+}
+
 TEST(ProfileIoProperty, ErrorsNameLineNumberAndContent) {
   const std::string bad =
       "mupod-profile v2\n"

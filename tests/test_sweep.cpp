@@ -1,0 +1,186 @@
+#include "serve/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/synthetic.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+SweepCell cell(const std::string& objective, double loss, std::int64_t cost) {
+  SweepCell c;
+  c.result.query.objective.name = objective;
+  c.result.accuracy_loss = loss;
+  c.result.objective_cost = cost;
+  return c;
+}
+
+TEST(ParetoFront, SingleCellIsAlwaysOnFront) {
+  std::vector<SweepCell> cells = {cell("input", 0.01, 100)};
+  mark_pareto_front(cells);
+  EXPECT_TRUE(cells[0].pareto);
+}
+
+TEST(ParetoFront, DominatedCellIsMarked) {
+  // b loses on both axes -> dominated; a and c trade off -> both on front.
+  std::vector<SweepCell> cells = {
+      cell("input", 0.01, 100),  // a
+      cell("input", 0.02, 150),  // b: worse loss AND worse cost than a
+      cell("input", 0.03, 50),   // c: worse loss but better cost
+  };
+  mark_pareto_front(cells);
+  EXPECT_TRUE(cells[0].pareto);
+  EXPECT_FALSE(cells[1].pareto);
+  EXPECT_TRUE(cells[2].pareto);
+}
+
+TEST(ParetoFront, EqualCellsDoNotDominateEachOther) {
+  std::vector<SweepCell> cells = {cell("input", 0.01, 100), cell("input", 0.01, 100)};
+  mark_pareto_front(cells);
+  EXPECT_TRUE(cells[0].pareto);
+  EXPECT_TRUE(cells[1].pareto);
+}
+
+TEST(ParetoFront, TieOnOneAxisDominatesWhenOtherIsStrictlyBetter) {
+  std::vector<SweepCell> cells = {cell("input", 0.01, 100), cell("input", 0.01, 120)};
+  mark_pareto_front(cells);
+  EXPECT_TRUE(cells[0].pareto);
+  EXPECT_FALSE(cells[1].pareto);
+}
+
+TEST(ParetoFront, ObjectiveGroupsAreIndependent) {
+  // The mac cell would be crushed by the input cell on raw numbers, but
+  // costs under different rho vectors are not comparable.
+  std::vector<SweepCell> cells = {cell("input", 0.01, 100), cell("mac", 0.5, 100000)};
+  mark_pareto_front(cells);
+  EXPECT_TRUE(cells[0].pareto);
+  EXPECT_TRUE(cells[1].pareto);
+}
+
+// --- end-to-end sweeps through a real service ------------------------------
+
+struct SweepFixture {
+  ZooModel model;
+  std::unique_ptr<SyntheticImageDataset> dataset;
+};
+
+const SweepFixture& fixture() {
+  static SweepFixture* f = [] {
+    auto* fx = new SweepFixture();
+    ZooOptions zo;
+    zo.num_classes = 10;
+    zo.seed = 404;
+    zo.data_seed = 8;
+    zo.calibration_images = 8;
+    fx->model = build_tiny_cnn(zo);
+    DatasetConfig dc;
+    dc.num_classes = 10;
+    dc.height = 16;
+    dc.width = 16;
+    dc.seed = 8;
+    fx->dataset = std::make_unique<SyntheticImageDataset>(dc);
+    return fx;
+  }();
+  return *f;
+}
+
+PlanServiceConfig fast_service_config() {
+  PlanServiceConfig scfg;
+  scfg.pipeline.harness.profile_images = 16;
+  scfg.pipeline.harness.eval_images = 128;
+  scfg.pipeline.profiler.points = 6;
+  return scfg;
+}
+
+SweepSpec grid_spec(const SweepFixture& f) {
+  SweepSpec spec;
+  spec.accuracy_targets = {0.01, 0.05};
+  spec.objectives = {objective_input_bits(f.model.net, f.model.analyzed),
+                     objective_mac_energy(f.model.net, f.model.analyzed)};
+  return spec;
+}
+
+TEST(Sweep, GridShapeAndStats) {
+  const SweepFixture& f = fixture();
+  PlanService service(fast_service_config());
+  const PlanKey key = service.register_network(f.model.net, f.model.analyzed, *f.dataset);
+  const SweepResult r = run_sweep(service, key, grid_spec(f));
+
+  ASSERT_EQ(r.cells.size(), 4u);
+  EXPECT_GE(r.workers, 1);
+  // Row-major over targets x objectives.
+  EXPECT_EQ(r.cells[0].result.query.accuracy_target, 0.01);
+  EXPECT_EQ(r.cells[0].result.query.objective.name, "input_bits");
+  EXPECT_EQ(r.cells[1].result.query.objective.name, "mac_energy");
+  EXPECT_EQ(r.cells[3].result.query.accuracy_target, 0.05);
+
+  // The amortization contract: the grid costs 1 profile + M sigma searches
+  // + N*M tails, never more.
+  const CacheStats s = service.stats();
+  EXPECT_EQ(s.profile_misses, 1);
+  EXPECT_EQ(s.sigma_misses, 2);
+  EXPECT_EQ(s.plan_misses, 4);
+  EXPECT_EQ(s.plan_hits, 0);
+}
+
+TEST(Sweep, EveryObjectiveGroupHasAFrontCell) {
+  const SweepFixture& f = fixture();
+  PlanService service(fast_service_config());
+  const PlanKey key = service.register_network(f.model.net, f.model.analyzed, *f.dataset);
+  const SweepResult r = run_sweep(service, key, grid_spec(f));
+
+  int input_front = 0, mac_front = 0;
+  for (const SweepCell& c : r.cells) {
+    if (!c.pareto) continue;
+    if (c.result.query.objective.name == "input_bits") ++input_front;
+    if (c.result.query.objective.name == "mac_energy") ++mac_front;
+  }
+  EXPECT_GE(input_front, 1);
+  EXPECT_GE(mac_front, 1);
+}
+
+TEST(Sweep, SerialAndConcurrentProduceIdenticalPlans) {
+  const SweepFixture& f = fixture();
+
+  PlanService serial_service(fast_service_config());
+  const PlanKey sk = serial_service.register_network(f.model.net, f.model.analyzed, *f.dataset);
+  SweepSpec serial_spec = grid_spec(f);
+  serial_spec.concurrent = false;
+  const SweepResult serial = run_sweep(serial_service, sk, serial_spec);
+
+  PlanService conc_service(fast_service_config());
+  const PlanKey ck = conc_service.register_network(f.model.net, f.model.analyzed, *f.dataset);
+  const SweepResult conc = run_sweep(conc_service, ck, grid_spec(f));
+
+  ASSERT_EQ(serial.cells.size(), conc.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const PlanResult& a = serial.cells[i].result;
+    const PlanResult& b = conc.cells[i].result;
+    EXPECT_EQ(a.alloc.bits, b.alloc.bits) << "cell " << i;
+    EXPECT_EQ(a.alloc.formats, b.alloc.formats) << "cell " << i;
+    EXPECT_EQ(a.sigma_used, b.sigma_used) << "cell " << i;
+    EXPECT_EQ(a.objective_cost, b.objective_cost) << "cell " << i;
+    EXPECT_EQ(serial.cells[i].pareto, conc.cells[i].pareto) << "cell " << i;
+  }
+}
+
+TEST(Sweep, LooserTargetsNeverCostMore) {
+  // Within one objective, relaxing the accuracy constraint can only shrink
+  // (or hold) the bit budget — the monotonicity the Pareto table rests on.
+  const SweepFixture& f = fixture();
+  PlanService service(fast_service_config());
+  const PlanKey key = service.register_network(f.model.net, f.model.analyzed, *f.dataset);
+  SweepSpec spec = grid_spec(f);
+  spec.accuracy_targets = {0.01, 0.02, 0.05};
+  spec.objectives = {objective_input_bits(f.model.net, f.model.analyzed)};
+  const SweepResult r = run_sweep(service, key, spec);
+  ASSERT_EQ(r.cells.size(), 3u);
+  EXPECT_GE(r.cells[0].result.objective_cost, r.cells[1].result.objective_cost);
+  EXPECT_GE(r.cells[1].result.objective_cost, r.cells[2].result.objective_cost);
+}
+
+}  // namespace
+}  // namespace mupod

@@ -1,0 +1,138 @@
+// bench_observability: bounds the cost of the metrics/tracing subsystem.
+//
+// The obs instrumentation rides the hot measurement path (every
+// Network::forward checks the metrics flag; the profile stage is the
+// heaviest consumer), so its overhead must be demonstrably negligible or
+// nobody will leave it on. This bench times run_profile_stage with
+// instrumentation fully disabled and fully enabled (metrics + tracing),
+// interleaved, and FAILS (exit 1) when the enabled path is more than 3%
+// slower.
+//
+// Method: min-of-N per mode, alternating modes each round. The min is
+// robust against scheduler noise on small machines — any one quiet run
+// bounds the true cost from above, and both modes get the same number of
+// chances at a quiet machine.
+//
+// Usage: bench_observability [--net NAME] [--reps N] [--json FILE]
+// --json writes a machine-readable summary (scripts/run_benchmarks.sh
+// parks it at BENCH_observability.json).
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+using namespace mupod;
+using mupod::bench::Stopwatch;
+
+constexpr double kMaxOverheadPct = 3.0;
+
+double profile_stage_ms(const AnalysisHarness& harness, const ProfilerConfig& cfg) {
+  Stopwatch sw;
+  const ProfileStageResult prof = run_profile_stage(harness, cfg, nullptr);
+  const double ms = sw.seconds() * 1e3;
+  // Keep the result alive past the clock so the stage cannot be elided.
+  if (prof.models.empty()) std::fprintf(stderr, "warning: profile produced no models\n");
+  return ms;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net_name = "tiny";
+  std::string json_out;
+  // Min-of-9 per mode: a single profile run is ~100ms, so the extra reps
+  // are cheap insurance against scheduler spikes on small/shared machines.
+  int reps = 9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--net" && i + 1 < argc) net_name = argv[++i];
+    else if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+    else if (arg == "--json" && i + 1 < argc) json_out = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: bench_observability [--net NAME] [--reps N] [--json FILE]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  bench::print_header("observability overhead: profile stage, instrumentation off vs on",
+                      "obs subsystem; bound: < 3% on the hottest stage");
+
+  bench::ExperimentConfig ecfg;
+  bench::Experiment e = bench::make_experiment(net_name, ecfg);
+
+  ProfilerConfig pcfg;
+  // One untimed warm-up run per mode: page in the caches and force the
+  // lazy metric registrations so the timed "on" runs measure steady state.
+  set_metrics_enabled(false);
+  set_tracing_enabled(false);
+  (void)profile_stage_ms(*e.harness, pcfg);
+  set_metrics_enabled(true);
+  set_tracing_enabled(true);
+  (void)profile_stage_ms(*e.harness, pcfg);
+
+  std::vector<double> off_ms, on_ms;
+  for (int r = 0; r < reps; ++r) {
+    set_metrics_enabled(false);
+    set_tracing_enabled(false);
+    off_ms.push_back(profile_stage_ms(*e.harness, pcfg));
+    set_metrics_enabled(true);
+    set_tracing_enabled(true);
+    on_ms.push_back(profile_stage_ms(*e.harness, pcfg));
+  }
+  set_metrics_enabled(false);
+  set_tracing_enabled(false);
+  // What the enabled runs recorded: the profile stage's forward passes are
+  // the cost being protected, so the JSON carries the stage split too.
+  const MetricsSnapshot snap = metrics().snapshot();
+
+  const double off_min = *std::min_element(off_ms.begin(), off_ms.end());
+  const double on_min = *std::min_element(on_ms.begin(), on_ms.end());
+  const double overhead_pct = off_min > 0.0 ? (on_min / off_min - 1.0) * 100.0 : 0.0;
+  const bool pass = overhead_pct < kMaxOverheadPct;
+
+  std::printf("network %s, %d rep(s) per mode (min-of-N):\n", net_name.c_str(), reps);
+  std::printf("  instrumentation off   %8.1f ms\n", off_min);
+  std::printf("  instrumentation on    %8.1f ms\n", on_min);
+  std::printf("  overhead              %+7.2f %%  (bound %.1f %%)  -> %s\n", overhead_pct,
+              kMaxOverheadPct, pass ? "PASS" : "FAIL");
+  std::printf("  profile forwards      %8lld  (per instrumented run: %lld)\n",
+              static_cast<long long>(snap.counter("stage.profile.forwards")),
+              static_cast<long long>(snap.counter("stage.profile.forwards") / (reps + 1)));
+
+  if (!json_out.empty()) {
+    JsonWriter j;
+    j.begin_object();
+    j.kv("bench", "observability");
+    j.kv("network", net_name);
+    j.kv("reps", reps);
+    j.kv("profile_off_ms_min", off_min);
+    j.kv("profile_on_ms_min", on_min);
+    j.kv("overhead_pct", overhead_pct);
+    j.kv("bound_pct", kMaxOverheadPct);
+    j.kv("pass", pass);
+    j.key("forwards_per_stage").begin_object();
+    j.kv("harness", snap.counter("stage.harness.forwards"));
+    j.kv("profile", snap.counter("stage.profile.forwards"));
+    j.kv("sigma", snap.counter("stage.sigma.forwards"));
+    j.kv("objective", snap.counter("stage.objective.forwards"));
+    j.kv("other", snap.counter("stage.other.forwards"));
+    j.end_object();
+    j.end_object();
+    errno = 0;
+    if (!write_json_file(json_out, j.str())) {
+      std::fprintf(stderr, "error: cannot write '%s': %s\n", json_out.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return pass ? 0 : 1;
+}

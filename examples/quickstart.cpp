@@ -2,7 +2,7 @@
 // fixed point format to every layer's input under a 1% relative accuracy
 // constraint — the end-to-end flow of the paper in ~80 lines.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [--metrics] [--trace FILE]
 //
 // Steps:
 //   1. train a 3-layer CNN on the synthetic dataset (src/train);
@@ -11,14 +11,35 @@
 //      (paper Eq. 5), binary-search the tolerable output error sigma_YL,
 //      and solve the multi-objective bitwidth allocation (Eq. 8);
 //   4. validate with real fixed point quantization.
+//
+// --metrics prints the observability counters (forwards per stage, solver
+// iterations) after the run; --trace FILE writes a Chrome-trace JSON of
+// the pipeline's stage spans (open in chrome://tracing or Perfetto).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/pipeline.hpp"
 #include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "train/trainer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mupod;
+
+  std::string trace_out;
+  bool with_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      with_metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::printf("usage: quickstart [--metrics] [--trace FILE]\n");
+      return 2;
+    }
+  }
 
   // --- 1. train a small CNN -------------------------------------------------
   DatasetConfig dc;
@@ -50,6 +71,11 @@ int main() {
   const std::vector<int> analyzed = net.analyzable_nodes();  // convs + fc
 
   // --- 3. run the precision-optimization pipeline ---------------------------
+  // Instrumentation covers the pipeline only: training above issues its
+  // own forwards, which would drown the stage counters.
+  if (with_metrics) set_metrics_enabled(true);
+  if (!trace_out.empty()) set_tracing_enabled(true);
+
   PipelineConfig cfg;
   cfg.harness.profile_images = 32;
   cfg.harness.eval_images = 512;
@@ -77,5 +103,16 @@ int main() {
   }
   std::printf("done — different objectives yield different per-layer bitwidths, both\n"
               "within the same accuracy budget (the paper's key capability).\n");
+
+  if (with_metrics)
+    std::printf("\nmetrics:\n%s", metrics().snapshot().render_text().c_str());
+  if (!trace_out.empty()) {
+    if (!write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace event(s) to %s (open in chrome://tracing)\n", tracer().size(),
+                trace_out.c_str());
+  }
   return 0;
 }

@@ -7,13 +7,15 @@
 //   sweep_tool [--net tiny|alexnet|nin|...] [--drops 0.005,0.01,0.02,0.05]
 //              [--objectives input,mac,equal] [--solver sqp|pg|closed]
 //              [--serial] [--csv | --json] [--save-plans plans.txt]
-//              [--classes N] [--eval N]
+//              [--classes N] [--eval N] [--metrics] [--trace FILE]
 //
 // Cells marked 'yes' in the pareto column are on the accuracy-cost front
 // of their objective group; dominated cells are the configurations no
 // deployment should pick. Per-cell diagnostics go to stderr; --json emits
 // the whole sweep machine-readable on stdout (same writer as
-// netdef_tool --json).
+// netdef_tool --json). --metrics enables the obs registry and prints the
+// snapshot to stderr (or embeds it under "metrics" with --json);
+// --trace FILE writes a Chrome-trace JSON (chrome://tracing / Perfetto).
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +24,8 @@
 
 #include "io/json_writer.hpp"
 #include "io/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/sweep.hpp"
 #include "tensor/parallel.hpp"
 #include "zoo/zoo.hpp"
@@ -32,7 +36,8 @@ void usage() {
   std::printf(
       "usage: sweep_tool [--net NAME] [--drops D1,D2,...] [--objectives input,mac,equal]\n"
       "                  [--solver sqp|pg|closed] [--serial] [--csv | --json]\n"
-      "                  [--save-plans FILE] [--classes N] [--eval N]\n");
+      "                  [--save-plans FILE] [--classes N] [--eval N]\n"
+      "                  [--metrics] [--trace FILE]\n");
 }
 
 std::vector<double> parse_doubles(const std::string& s) {
@@ -69,9 +74,10 @@ int main(int argc, char** argv) {
   std::string objectives_arg = "input,mac";
   std::string solver_arg = "sqp";
   std::string plans_out;
+  std::string trace_out;
   int classes = 10;
   int eval_images = 256;
-  bool serial = false, csv = false, json = false;
+  bool serial = false, csv = false, json = false, with_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +98,8 @@ int main(int argc, char** argv) {
     else if (arg == "--save-plans") plans_out = next();
     else if (arg == "--classes") classes = std::atoi(next());
     else if (arg == "--eval") eval_images = std::atoi(next());
+    else if (arg == "--metrics") with_metrics = true;
+    else if (arg == "--trace") trace_out = next();
     else if (arg == "--help" || arg == "-h") { usage(); return 0; }
     else { usage(); return 2; }
   }
@@ -145,6 +153,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Enable instrumentation AFTER the zoo model is built so the counters
+  // describe the sweep, not the head-training forwards.
+  if (with_metrics) mupod::set_metrics_enabled(true);
+  if (!trace_out.empty()) mupod::set_tracing_enabled(true);
+
   PlanServiceConfig scfg;
   scfg.pipeline.harness.eval_images = eval_images;
   PlanService service(scfg);
@@ -197,6 +210,8 @@ int main(int argc, char** argv) {
     j.kv("profile_misses", stats.profile_misses).kv("profile_hits", stats.profile_hits);
     j.kv("sigma_misses", stats.sigma_misses).kv("sigma_hits", stats.sigma_hits);
     j.kv("plan_misses", stats.plan_misses).kv("plan_hits", stats.plan_hits);
+    j.kv("profile_waits", stats.profile_waits).kv("sigma_waits", stats.sigma_waits);
+    j.kv("plan_evictions", stats.plan_evictions);
     j.end_object();
     j.key("cells").begin_array();
     for (const SweepCell& cell : sweep.cells) {
@@ -206,6 +221,11 @@ int main(int argc, char** argv) {
       j.kv("objective", r.query.objective.name);
       j.kv("solver", xi_solver_name(r.query.solver));
       j.kv("pareto", cell.pareto);
+      // Cache disposition of this cell's answer: "memoized" replayed from
+      // the plan memo, "warm" recomputed its tail on cached profile+sigma,
+      // "cold" forced at least one stage computation.
+      j.kv("cache", r.plan_cached ? "memoized"
+                                  : (r.profile_cached && r.sigma_cached ? "warm" : "cold"));
       j.kv("accuracy_loss", r.accuracy_loss);
       j.kv("validated_accuracy", r.validated_accuracy);
       j.kv("objective_cost", r.objective_cost);
@@ -225,6 +245,10 @@ int main(int argc, char** argv) {
       j.end_object();
     }
     j.end_array();
+    if (with_metrics) {
+      j.key("metrics");
+      metrics().snapshot().write_json(j);
+    }
     j.end_object();
     std::printf("%s\n", j.str().c_str());
   } else {
@@ -248,6 +272,17 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.plan_hits),
         static_cast<long long>(service.forward_count(key)), sweep.wall_ms,
         sweep.profile_warm_ms, sweep.sigma_warm_ms, sweep.tails_ms, sweep.workers);
+  }
+
+  if (with_metrics && !json)
+    std::fprintf(stderr, "metrics:\n%s", metrics().snapshot().render_text().c_str());
+  if (!trace_out.empty()) {
+    if (!write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace event(s) to %s (open in chrome://tracing)\n",
+                 tracer().size(), trace_out.c_str());
   }
 
   if (!plans_out.empty()) {

@@ -9,19 +9,31 @@
 #   serial_tails_ms / concurrent_tails_ms
 #   cache {profile,sigma,plan} x {misses,hits}
 #   plans_identical               warm answers byte-equal the cold path
+#
+# BENCH_observability.json records the instrumentation cost on the profile
+# stage (off vs on, min-of-N) and fails the run when it exceeds 3%.
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p bench_logs
 
-if [ ! -x build/bench/bench_sweep ]; then
-  echo "build/bench/bench_sweep not found — build first:" >&2
-  echo "  cmake -B build -S . && cmake --build build -j" >&2
-  exit 1
-fi
+for b in bench_sweep bench_observability; do
+  if [ ! -x "build/bench/$b" ]; then
+    echo "build/bench/$b not found — build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
 
 echo "=== bench_sweep $(date +%H:%M:%S) (MUPOD_THREADS=${MUPOD_THREADS:-unset}) ==="
 ./build/bench/bench_sweep --json bench_logs/BENCH_sweep.json | tee bench_logs/bench_sweep.txt
 
 echo
-echo "wrote bench_logs/BENCH_sweep.json:"
-cat bench_logs/BENCH_sweep.json
+echo "=== bench_observability $(date +%H:%M:%S) ==="
+./build/bench/bench_observability --json bench_logs/BENCH_observability.json \
+  | tee bench_logs/bench_observability.txt
+
+echo
+for f in bench_logs/BENCH_sweep.json bench_logs/BENCH_observability.json; do
+  echo "wrote $f:"
+  cat "$f"
+done

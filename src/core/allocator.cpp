@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace mupod {
 
@@ -182,6 +185,16 @@ BitwidthAllocation allocate_bitwidths(const std::vector<LayerLinearModel>& model
       out.solver_iterations = r.iterations;
       out.solver_used = attempt;
       out.solver_converged = solution_valid(r);
+      if (metrics_enabled()) {
+        const std::string base = std::string("solver.") + xi_solver_name(attempt);
+        metrics().counter(base + ".solves").add(1);
+        metrics().counter(base + ".iterations_total").add(r.iterations);
+        metrics()
+            .histogram("solver.iterations", {8, 16, 32, 64, 128, 256, 512, 1024})
+            .record(r.iterations);
+        if (out.solver_downgrades > 0)
+          metrics().counter("solver.downgrades").add(out.solver_downgrades);
+      }
       break;
     }
     const XiSolver next = attempt == XiSolver::kSqp ? XiSolver::kProjectedGradient

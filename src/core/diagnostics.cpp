@@ -22,6 +22,7 @@ const char* stage_name(PipelineStage s) {
     case PipelineStage::kValidate: return "validate";
     case PipelineStage::kWeightSearch: return "weight-search";
     case PipelineStage::kIo: return "io";
+    case PipelineStage::kServe: return "serve";
   }
   return "?";
 }
@@ -43,10 +44,11 @@ void DiagnosticSink::report(DiagSeverity severity, PipelineStage stage, int laye
   d.layer = layer;
   d.message = std::move(message);
   d.remediation = std::move(remediation);
-  entries_.push_back(std::move(d));
+  report(std::move(d));
 }
 
 int DiagnosticSink::count(DiagSeverity severity) const {
+  std::lock_guard<std::mutex> lk(mu_);
   int n = 0;
   for (const Diagnostic& d : entries_)
     if (d.severity == severity) ++n;
@@ -54,6 +56,7 @@ int DiagnosticSink::count(DiagSeverity severity) const {
 }
 
 int DiagnosticSink::count(PipelineStage stage) const {
+  std::lock_guard<std::mutex> lk(mu_);
   int n = 0;
   for (const Diagnostic& d : entries_)
     if (d.stage == stage) ++n;
@@ -61,6 +64,7 @@ int DiagnosticSink::count(PipelineStage stage) const {
 }
 
 int DiagnosticSink::count(PipelineStage stage, DiagSeverity at_least) const {
+  std::lock_guard<std::mutex> lk(mu_);
   int n = 0;
   for (const Diagnostic& d : entries_)
     if (d.stage == stage && static_cast<int>(d.severity) >= static_cast<int>(at_least)) ++n;

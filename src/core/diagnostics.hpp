@@ -9,6 +9,7 @@
 // the PipelineResult and is rendered by src/io/report.cpp.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@ enum class PipelineStage {
   kValidate,     // real-quantization validation / refinement loop
   kWeightSearch, // Sec. V-E weight bitwidth search
   kIo,           // profile/report (de)serialization
+  kServe,        // PlanService cache lifecycle: rejected profile loads,
+                 // plan-memo evictions, entry registration
 };
 
 const char* severity_name(DiagSeverity s);
@@ -47,16 +50,70 @@ std::string format_diagnostic(const Diagnostic& d);
 
 // Append-only collector threaded through the pipeline stages. Value
 // semantics so it can live inside PipelineResult.
+//
+// Thread safety: report() and the counting accessors are internally
+// synchronized, so concurrent sweep tails (or a PlanService entry's
+// waiters) may share one sink. entries() returns a reference and is the
+// one quiescence-requiring accessor: call it only after the writers have
+// joined (the renderers all run post-join). snapshot() is the safe
+// concurrent alternative. Copy/move synchronize on the source.
 class DiagnosticSink {
  public:
-  void report(Diagnostic d) { entries_.push_back(std::move(d)); }
+  DiagnosticSink() = default;
+  DiagnosticSink(const DiagnosticSink& other) : entries_(other.snapshot()) {}
+  DiagnosticSink(DiagnosticSink&& other) noexcept {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    entries_ = std::move(other.entries_);
+  }
+  DiagnosticSink& operator=(const DiagnosticSink& other) {
+    if (this != &other) {
+      std::vector<Diagnostic> copy = other.snapshot();
+      std::lock_guard<std::mutex> lk(mu_);
+      entries_ = std::move(copy);
+    }
+    return *this;
+  }
+  DiagnosticSink& operator=(DiagnosticSink&& other) noexcept {
+    if (this != &other) {
+      std::vector<Diagnostic> moved = [&] {
+        std::lock_guard<std::mutex> lk(other.mu_);
+        return std::move(other.entries_);
+      }();
+      std::lock_guard<std::mutex> lk(mu_);
+      entries_ = std::move(moved);
+    }
+    return *this;
+  }
+
+  void report(Diagnostic d) {
+    std::lock_guard<std::mutex> lk(mu_);
+    entries_.push_back(std::move(d));
+  }
   void report(DiagSeverity severity, PipelineStage stage, int layer, std::string message,
               std::string remediation = std::string());
 
+  // Reference to the underlying entries; requires writer quiescence (see
+  // class comment). All in-tree callers read after the producing stages
+  // have joined.
   const std::vector<Diagnostic>& entries() const { return entries_; }
-  bool empty() const { return entries_.empty(); }
-  std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  // Concurrent-safe copy.
+  std::vector<Diagnostic> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.empty();
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    entries_.clear();
+  }
 
   int count(DiagSeverity severity) const;
   int count(PipelineStage stage) const;
@@ -66,6 +123,7 @@ class DiagnosticSink {
   bool has_warnings() const { return count(DiagSeverity::kWarning) > 0; }
 
  private:
+  mutable std::mutex mu_;
   std::vector<Diagnostic> entries_;
 };
 

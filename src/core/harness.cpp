@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/stage_scope.hpp"
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 
 namespace mupod {
@@ -29,6 +31,11 @@ AnalysisHarness::AnalysisHarness(const Network& net, std::vector<int> analyzed,
                                  const SyntheticImageDataset& dataset, const HarnessConfig& cfg,
                                  DiagnosticSink* diag)
     : net_(&net), analyzed_(std::move(analyzed)), cfg_(cfg) {
+  // Building the activation caches issues forward passes of its own;
+  // attribute them to the harness stage regardless of which caller
+  // (run_pipeline, PlanService::ensure_profile, a test) constructs us.
+  ForwardStageScope fscope(ForwardStage::kHarness);
+  ScopedSpan span("stage.harness");
   assert(net.finalized());
   assert(!analyzed_.empty());
 
@@ -132,6 +139,9 @@ AnalysisHarness::AnalysisHarness(const Network& net, std::vector<int> analyzed,
                   "accuracy measurements disabled; sigma search will report bracket failure");
     }
   }
+  span.arg("profile_batches", profile_batch_count());
+  span.arg("eval_batches", eval_batch_count());
+  span.arg("forwards", forward_count());
 }
 
 std::uint64_t AnalysisHarness::rep_seed(int rep) const {

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/stage_scope.hpp"
+#include "obs/trace.hpp"
+
 namespace mupod {
 
 namespace {
@@ -31,11 +34,15 @@ ObjectiveSpec objective_mac_energy(const Network& net, const std::vector<int>& a
 
 ProfileStageResult run_profile_stage(const AnalysisHarness& harness, const ProfilerConfig& cfg,
                                      DiagnosticSink* diag) {
+  ForwardStageScope fscope(ForwardStage::kProfile);
+  ScopedSpan span("stage.profile");
   ProfileStageResult prof;
   prof.ranges = harness.input_ranges();
   prof.models = profile_lambda_theta(harness, cfg, diag);
   for (const LayerLinearModel& m : prof.models)
     if (m.usable()) ++prof.usable_models;
+  span.arg("layers", static_cast<std::int64_t>(prof.models.size()));
+  span.arg("usable_models", prof.usable_models);
   return prof;
 }
 
@@ -43,6 +50,8 @@ SigmaStageResult run_sigma_stage(const AnalysisHarness& harness,
                                  const ProfileStageResult& profile,
                                  const SigmaSearchConfig& cfg, bool calibrate,
                                  DiagnosticSink* diag) {
+  ForwardStageScope fscope(ForwardStage::kSigma);
+  ScopedSpan span("stage.sigma");
   SigmaStageResult res;
   if (profile.usable_models == 0) {
     // Every layer is pinned: there is no error budget any layer could
@@ -84,6 +93,8 @@ SigmaStageResult run_sigma_stage(const AnalysisHarness& harness,
                   "using the uncalibrated budget");
     }
   }
+  span.arg("evaluations", res.sigma.evaluations);
+  span.arg("bracket_ok", res.sigma.bracket_ok() ? 1 : 0);
   return res;
 }
 
@@ -92,6 +103,8 @@ ObjectiveResult run_objective_stage(const AnalysisHarness& harness,
                                     const SigmaStageResult& sigma, const ObjectiveSpec& spec,
                                     const PipelineConfig& cfg, DiagnosticSink* diag,
                                     PipelineTimings* timings, Network* net_for_weights) {
+  ForwardStageScope fscope(ForwardStage::kObjective);
+  ScopedSpan span("stage.objective");
   assert(spec.rho.size() == profile.models.size());
   const double threshold =
       (1.0 - cfg.sigma.relative_accuracy_drop) * harness.float_accuracy();
@@ -153,6 +166,8 @@ ObjectiveResult run_objective_stage(const AnalysisHarness& harness,
     if (timings != nullptr) timings->weights_ms += ms_since(t0);
   }
 
+  span.arg("refinements", obj.refinements);
+  span.arg("solver_iterations", obj.alloc.solver_iterations);
   return obj;
 }
 
@@ -162,6 +177,7 @@ PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
                             const PipelineConfig& cfg) {
   PipelineResult res;
   DiagnosticSink* diag = &res.diagnostics;
+  ScopedSpan pipeline_span("pipeline.run");
 
   auto t0 = Clock::now();
   AnalysisHarness harness(net, analyzed, dataset, cfg.harness, diag);
@@ -186,6 +202,8 @@ PipelineResult run_pipeline(Network& net, const std::vector<int>& analyzed,
   res.ranges = std::move(prof.ranges);
   res.float_accuracy = harness.float_accuracy();
   res.forward_count = harness.forward_count();
+  pipeline_span.arg("forwards", res.forward_count);
+  pipeline_span.arg("objectives", static_cast<std::int64_t>(res.objectives.size()));
   return res;
 }
 

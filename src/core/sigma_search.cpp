@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace mupod {
 
 std::unordered_map<int, InjectionSpec> injection_for_xi(
@@ -87,6 +89,22 @@ SigmaSearchResult search_sigma_yl(const AnalysisHarness& harness,
   const BinarySearchResult bs = binary_search_max_satisfying(satisfied, cfg.search);
   res.sigma_yl = bs.value;
   res.evaluations = bs.evaluations;
+
+  if (metrics_enabled()) {
+    metrics().counter("sigma.search.searches").add(1);
+    metrics().counter("sigma.search.evaluations_total").add(bs.evaluations);
+    metrics()
+        .histogram("sigma.search.evaluations", {4, 8, 12, 16, 24, 32, 48, 64})
+        .record(bs.evaluations);
+    // Residual bracket as a fraction of the upper bound — scale-free, like
+    // the relative-tolerance stop (the satisfying sigma's magnitude varies
+    // by orders of magnitude across networks).
+    if (bs.hi > 0.0)
+      metrics()
+          .histogram("sigma.search.bracket_rel_width",
+                     {0.0025, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32})
+          .record((bs.hi - bs.lo) / bs.hi);
+  }
 
   if (!(bs.value > 0.0)) {
     // Bracket failure: even sigma -> 0 violates the constraint. This is a

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "io/table.hpp"
+#include "obs/metrics.hpp"
 
 namespace mupod {
 
@@ -100,6 +101,32 @@ std::string render_report(const Network& net, const std::vector<int>& analyzed,
     t.add_row({"validate", TextTable::fmt(result.timings.validate_ms, 1)});
     t.add_row({"weight search", TextTable::fmt(result.timings.weights_ms, 1)});
     os << t.render_markdown();
+  }
+
+  if (opts.include_metrics) {
+    const MetricsSnapshot snap = metrics().snapshot();
+    os << (opts.include_timings ? "\n" : "") << "## Metrics\n\n";
+    if (snap.counters.empty() && snap.gauges.empty() && snap.histograms.empty()) {
+      os << "No metrics recorded (enable with set_metrics_enabled(true) before the run).\n";
+    } else {
+      if (!snap.counters.empty() || !snap.gauges.empty()) {
+        TextTable t({"metric", "value"});
+        for (const auto& c : snap.counters) t.add_row({c.name, std::to_string(c.value)});
+        for (const auto& g : snap.gauges) t.add_row({g.name, std::to_string(g.value)});
+        os << t.render_markdown() << '\n';
+      }
+      if (!snap.histograms.empty()) {
+        TextTable t({"histogram", "count", "mean", "buckets"});
+        for (const auto& h : snap.histograms) {
+          std::ostringstream buckets;
+          for (std::size_t i = 0; i < h.counts.size(); ++i)
+            buckets << (i > 0 ? " " : "") << h.counts[i];
+          t.add_row({h.name, std::to_string(h.count), TextTable::fmt(h.mean(), 3),
+                     buckets.str()});
+        }
+        os << t.render_markdown();
+      }
+    }
   }
   return os.str();
 }

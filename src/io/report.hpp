@@ -18,6 +18,11 @@ struct ReportOptions {
   // report; turn them off to get a byte-reproducible document (identical
   // runs then render identical markdown — see test_determinism.cpp).
   bool include_timings = true;
+  // Appends a "Metrics" section rendered from the global MetricsRegistry
+  // snapshot (src/obs/metrics.hpp). Off by default: metric values (busy
+  // times, counters shared across the process) are run-dependent, and the
+  // byte-determinism contract above must hold for the default options.
+  bool include_metrics = false;
 };
 
 // Renders a self-contained Markdown document.

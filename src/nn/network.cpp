@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "nn/layers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage_scope.hpp"
 #include "stats/rng.hpp"
 
 namespace mupod {
@@ -165,6 +167,11 @@ void Network::run_range(int first, const std::vector<bool>* recompute,
 }
 
 Tensor Network::forward(const Tensor& input, const ForwardOptions& opts) const {
+  if (metrics_enabled()) {
+    static Counter& calls = metrics().counter("net.forward.calls");
+    calls.add(1);
+    note_forwards(input.shape().n());
+  }
   std::vector<Tensor> local(static_cast<std::size_t>(num_nodes()));
   std::vector<const Tensor*> outs(static_cast<std::size_t>(num_nodes()), nullptr);
   run_range(0, nullptr, nullptr, local, outs, input, opts);
@@ -172,6 +179,11 @@ Tensor Network::forward(const Tensor& input, const ForwardOptions& opts) const {
 }
 
 std::vector<Tensor> Network::forward_all(const Tensor& input, const ForwardOptions& opts) const {
+  if (metrics_enabled()) {
+    static Counter& calls = metrics().counter("net.forward_all.calls");
+    calls.add(1);
+    note_forwards(input.shape().n());
+  }
   std::vector<Tensor> local(static_cast<std::size_t>(num_nodes()));
   std::vector<const Tensor*> outs(static_cast<std::size_t>(num_nodes()), nullptr);
   run_range(0, nullptr, nullptr, local, outs, input, opts);
@@ -186,6 +198,14 @@ Tensor Network::forward_from(int from, const std::vector<Tensor>& cache,
   assert(finalized_);
   assert(from >= 0 && from < num_nodes());
   assert(cache.size() == static_cast<std::size_t>(num_nodes()));
+  if (metrics_enabled()) {
+    static Counter& calls = metrics().counter("net.forward_from.calls");
+    calls.add(1);
+    // Charged as a full-batch forward even though only the downstream
+    // sub-DAG re-executes: forward_count accounting is denominated in
+    // full-net-equivalent passes (see AnalysisHarness::forward_count).
+    note_forwards(cache[static_cast<std::size_t>(input_node_)].shape().n());
+  }
 
   // Mark the transitive consumers of `from` (including itself).
   std::vector<bool> recompute(static_cast<std::size_t>(num_nodes()), false);

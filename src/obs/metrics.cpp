@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "io/json_writer.hpp"
+
+namespace mupod {
+
+namespace {
+std::atomic<int> g_next_thread_slot{0};
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace
+
+int obs_thread_slot() {
+  thread_local const int slot = g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+// --- HistogramMetric -------------------------------------------------------
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i)
+    buckets_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+}
+
+void HistogramMetric::record(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket]->fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + x, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::int64_t> HistogramMetric::counts() const {
+  std::vector<std::int64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b->load(std::memory_order_relaxed));
+  return out;
+}
+
+double HistogramMetric::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void HistogramMetric::reset() {
+  for (auto& b : buckets_) b->store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- MetricsSnapshot -------------------------------------------------------
+
+std::int64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const CounterValue& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& j) const {
+  j.begin_object();
+  j.key("counters").begin_object();
+  for (const CounterValue& c : counters) j.kv(c.name, c.value);
+  j.end_object();
+  j.key("gauges").begin_object();
+  for (const GaugeValue& g : gauges) j.kv(g.name, g.value);
+  j.end_object();
+  j.key("histograms").begin_object();
+  for (const HistogramValue& h : histograms) {
+    j.key(h.name).begin_object();
+    j.kv("count", h.count);
+    j.kv("sum", h.sum);
+    j.kv("mean", h.mean());
+    j.key("bounds").begin_array();
+    for (double b : h.bounds) j.value(b);
+    j.end_array();
+    j.key("counts").begin_array();
+    for (std::int64_t c : h.counts) j.value(c);
+    j.end_array();
+    j.end_object();
+  }
+  j.end_object();
+  j.end_object();
+}
+
+std::string MetricsSnapshot::render_text() const {
+  std::ostringstream os;
+  for (const CounterValue& c : counters) os << c.name << " " << c.value << "\n";
+  for (const GaugeValue& g : gauges) os << g.name << " " << g.value << "\n";
+  for (const HistogramValue& h : histograms) {
+    os << h.name << " count=" << h.count << " mean=" << h.mean() << " buckets=[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      os << (i > 0 ? " " : "") << h.counts[i];
+    os << "]\n";
+  }
+  return os.str();
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) s.counters.push_back({name, c->value()});
+  for (const auto& [name, g] : gauges_) s.gauges.push_back({name, g->value()});
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue v;
+    v.name = name;
+    v.bounds = h->bounds();
+    v.counts = h->counts();
+    v.count = h->count();
+    v.sum = h->sum();
+    s.histograms.push_back(std::move(v));
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* r = new MetricsRegistry();  // leaked: outlives all users
+  return *r;
+}
+
+bool metrics_enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace mupod

@@ -1,0 +1,78 @@
+#include "obs/stage_scope.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mupod {
+
+namespace {
+thread_local ForwardStage tls_stage = ForwardStage::kOther;
+thread_local Counter* tls_counter = nullptr;
+
+// Registry handles are node-stable, so each label resolves its Counter
+// once per process (function-local static) and note_forwards stays a
+// pointer add even for unscoped callers.
+Counter* stage_counter(ForwardStage s) {
+  switch (s) {
+    case ForwardStage::kOther: {
+      static Counter& c = metrics().counter("stage.other.forwards");
+      return &c;
+    }
+    case ForwardStage::kHarness: {
+      static Counter& c = metrics().counter("stage.harness.forwards");
+      return &c;
+    }
+    case ForwardStage::kProfile: {
+      static Counter& c = metrics().counter("stage.profile.forwards");
+      return &c;
+    }
+    case ForwardStage::kSigma: {
+      static Counter& c = metrics().counter("stage.sigma.forwards");
+      return &c;
+    }
+    case ForwardStage::kObjective: {
+      static Counter& c = metrics().counter("stage.objective.forwards");
+      return &c;
+    }
+  }
+  return nullptr;
+}
+}  // namespace
+
+const char* forward_stage_name(ForwardStage s) {
+  switch (s) {
+    case ForwardStage::kOther: return "other";
+    case ForwardStage::kHarness: return "harness";
+    case ForwardStage::kProfile: return "profile";
+    case ForwardStage::kSigma: return "sigma";
+    case ForwardStage::kObjective: return "objective";
+  }
+  return "?";
+}
+
+ForwardStageScope::ForwardStageScope(ForwardStage stage)
+    : prev_stage_(tls_stage), prev_counter_(tls_counter) {
+  tls_stage = stage;
+  tls_counter = metrics_enabled() ? stage_counter(stage) : nullptr;
+}
+
+ForwardStageScope::~ForwardStageScope() {
+  tls_stage = prev_stage_;
+  tls_counter = static_cast<Counter*>(prev_counter_);
+}
+
+ForwardStage current_forward_stage() { return tls_stage; }
+
+void note_forwards(std::int64_t n) {
+  if (tls_counter != nullptr) {
+    tls_counter->add(n);
+    return;
+  }
+  // No scope resolved a counter: either metrics were off when the scope
+  // opened (stay silent — re-checking here would half-count a run whose
+  // flag flipped mid-stage) or no scope is active and the kOther bucket
+  // is charged lazily.
+  if (current_forward_stage() == ForwardStage::kOther && metrics_enabled())
+    stage_counter(ForwardStage::kOther)->add(n);
+}
+
+}  // namespace mupod

@@ -1,0 +1,55 @@
+// Thread-local stage attribution for forward-pass accounting.
+//
+// Forward passes are the pipeline's cost currency (the paper's timing
+// claim is denominated in them), so "how many forwards did the sigma
+// search burn vs. the profile stage?" is the first question the metrics
+// must answer. The AnalysisHarness increments one shared counter from
+// whatever thread calls its measurement methods — every such increment
+// happens on the *calling* thread (the harness never hands measurement
+// loops to the pool), so a thread-local stage label set by the active
+// stage function attributes each forward correctly even when several
+// PlanService tails run concurrently on different threads.
+//
+//   ForwardStageScope scope(ForwardStage::kProfile);
+//   ... harness measurements here land in stage.profile.forwards ...
+//
+// Scopes nest (the previous stage is restored on destruction) and are
+// inert when metrics are disabled: construction takes one relaxed load
+// and note_forwards is a tls-pointer null check.
+#pragma once
+
+#include <cstdint>
+
+namespace mupod {
+
+enum class ForwardStage {
+  kOther,      // no scope active (direct harness use in tests/tools)
+  kHarness,    // activation-cache + eval-set construction
+  kProfile,    // Eq. 5 lambda/theta fits
+  kSigma,      // Sec. V-C binary search + calibration
+  kObjective,  // per-objective validation / refinement / weight search
+};
+
+const char* forward_stage_name(ForwardStage s);
+
+class ForwardStageScope {
+ public:
+  explicit ForwardStageScope(ForwardStage stage);
+  ~ForwardStageScope();
+  ForwardStageScope(const ForwardStageScope&) = delete;
+  ForwardStageScope& operator=(const ForwardStageScope&) = delete;
+
+ private:
+  ForwardStage prev_stage_;
+  void* prev_counter_;  // Counter* of the enclosing scope
+};
+
+// Stage label currently active on this thread.
+ForwardStage current_forward_stage();
+
+// Charge `n` forward passes to stage.<current>.forwards. No-op unless
+// metrics are enabled; the counter handle is resolved once per scope, so
+// the per-call cost is a tls load + sharded atomic add.
+void note_forwards(std::int64_t n);
+
+}  // namespace mupod

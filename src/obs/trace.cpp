@@ -1,0 +1,144 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "io/json_writer.hpp"
+#include "obs/metrics.hpp"
+
+namespace mupod {
+
+namespace {
+std::atomic<bool> g_tracing_enabled{false};
+
+std::uint64_t steady_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_us_(steady_us()) {
+  ring_.reserve(capacity_);
+}
+
+std::uint64_t Tracer::now_us() const {
+  const std::uint64_t t = steady_us();
+  return t >= epoch_us_ ? t - epoch_us_ : 0;
+}
+
+void Tracer::record(TraceEvent e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    next_ = ring_.size() % capacity_;
+    return;
+  }
+  ring_[next_] = std::move(e);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.reserve(ring_.size());
+  if (wrapped_) {
+    // Oldest retained event sits at the insert position.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ring_.size();
+}
+
+std::int64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<TraceEvent> evs = events();
+  JsonWriter j;
+  j.begin_object();
+  j.key("traceEvents").begin_array();
+  for (const TraceEvent& e : evs) {
+    j.begin_object();
+    j.kv("name", e.name);
+    j.kv("cat", e.category);
+    j.kv("ph", "X");
+    j.kv("ts", static_cast<std::int64_t>(e.ts_us));
+    j.kv("dur", static_cast<std::int64_t>(e.dur_us));
+    j.kv("pid", 1);
+    j.kv("tid", e.tid);
+    if (e.n_args > 0) {
+      j.key("args").begin_object();
+      for (int a = 0; a < e.n_args; ++a) j.kv(e.args[static_cast<std::size_t>(a)].first,
+                                              e.args[static_cast<std::size_t>(a)].second);
+      j.end_object();
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.kv("displayTimeUnit", "ms");
+  j.kv("droppedEvents", dropped());
+  j.end_object();
+  return j.str();
+}
+
+Tracer& tracer() {
+  static Tracer* t = new Tracer();  // leaked: outlives all users
+  return *t;
+}
+
+bool tracing_enabled() { return g_tracing_enabled.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : active_(tracing_enabled()), name_(name), category_(category) {
+  if (active_) start_us_ = tracer().now_us();
+}
+
+void ScopedSpan::arg(const char* key, std::int64_t value) {
+  if (!active_ || n_args_ >= TraceEvent::kMaxArgs) return;
+  args_[static_cast<std::size_t>(n_args_++)] = {key, value};
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.ts_us = start_us_;
+  const std::uint64_t end = tracer().now_us();
+  e.dur_us = end >= start_us_ ? end - start_us_ : 0;
+  e.tid = obs_thread_slot();
+  e.args = args_;
+  e.n_args = n_args_;
+  tracer().record(std::move(e));
+}
+
+bool write_chrome_trace(const std::string& path) {
+  return write_json_file(path, tracer().chrome_trace_json());
+}
+
+}  // namespace mupod

@@ -1,0 +1,112 @@
+// Tracer: nested wall-clock spans with a bounded ring-buffer store and a
+// Chrome-trace (chrome://tracing / Perfetto) JSON exporter.
+//
+// Spans answer the question metrics cannot: *where* the wall-clock of a
+// profile, a sigma search, or an N×M sweep actually goes, and how the
+// concurrent PlanService tails interleave on the pool. Usage is RAII:
+//
+//   {
+//     ScopedSpan span("stage.profile");
+//     ...
+//     span.arg("forwards", n);   // attached to the exported event
+//   }
+//
+// Recording is gated behind a relaxed atomic flag (tracing_enabled,
+// default off); a disabled ScopedSpan costs one branch and touches no
+// shared state. Completed spans land in a fixed-capacity ring buffer —
+// when it wraps, the oldest events are dropped (and counted), never
+// reallocated, so tracing has bounded memory no matter how long a serve
+// process runs.
+//
+// The exporter emits the Trace Event Format's "X" (complete) events with
+// microsecond timestamps relative to the tracer epoch; load the file via
+// chrome://tracing or https://ui.perfetto.dev. JSON is produced by the
+// same src/io/json_writer the CLI tools use, so escaping and non-finite
+// handling are uniform (see test_json_writer.cpp for the edge cases).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mupod {
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "mupod";   // literal; "mupod" unless set by the span
+  std::uint64_t ts_us = 0;          // start, microseconds since tracer epoch
+  std::uint64_t dur_us = 0;
+  int tid = 0;                      // obs_thread_slot() of the recording thread
+  // Up to kMaxArgs integer arguments ({"forwards": 640}-style).
+  static constexpr int kMaxArgs = 4;
+  std::array<std::pair<const char*, std::int64_t>, kMaxArgs> args{};
+  int n_args = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 14);
+
+  // Current time in microseconds since the tracer epoch (process-stable).
+  std::uint64_t now_us() const;
+
+  void record(TraceEvent e);
+
+  // Chronologically ordered copy of the retained events.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  // Events overwritten because the ring wrapped.
+  std::int64_t dropped() const;
+  void clear();
+
+  // Full Chrome-trace JSON document: {"traceEvents": [...], ...}.
+  std::string chrome_trace_json() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;     // ring insert position
+  bool wrapped_ = false;
+  std::int64_t dropped_ = 0;
+  std::uint64_t epoch_us_;   // steady_clock at construction
+};
+
+// Process-global tracer and its master switch (default off).
+Tracer& tracer();
+bool tracing_enabled();
+void set_tracing_enabled(bool enabled);
+
+// RAII span against the global tracer. Inert when tracing was disabled at
+// construction time. `name` is copied at destruction; `category` and arg
+// keys must be string literals (stored by pointer).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "mupod");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  // Attaches an integer argument to the exported event (ignored when
+  // inactive; at most TraceEvent::kMaxArgs are kept).
+  void arg(const char* key, std::int64_t value);
+
+ private:
+  bool active_;
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_us_ = 0;
+  std::array<std::pair<const char*, std::int64_t>, TraceEvent::kMaxArgs> args_{};
+  int n_args_ = 0;
+};
+
+// Convenience: tracer().chrome_trace_json() written via write_json_file;
+// false on I/O error.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace mupod

@@ -23,6 +23,8 @@ BinarySearchResult binary_search_max_satisfying(const std::function<bool(double)
       // satisfies; report the last known-good value.
       res.value = lo;
       res.bounded = false;
+      res.lo = lo;
+      res.hi = hi;
       return res;
     }
     hi *= 2.0;
@@ -44,6 +46,8 @@ BinarySearchResult binary_search_max_satisfying(const std::function<bool(double)
     }
   }
   res.value = lo;
+  res.lo = lo;
+  res.hi = hi;
   return res;
 }
 

@@ -23,6 +23,11 @@ struct BinarySearchResult {
   double value = 0.0;      // largest satisfying value found
   int evaluations = 0;     // predicate calls
   bool bounded = true;     // false if the upper bound never violated
+  // Final bracket [lo, hi] at termination; hi - lo is the residual
+  // uncertainty the tolerance stop accepted (callers feed it to the
+  // sigma.search.bracket_width histogram).
+  double lo = 0.0;
+  double hi = 0.0;
 };
 
 // `satisfied(x)` must be monotone: true for small x, false for large x.

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "hw/energy_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mupod {
 
@@ -37,6 +39,12 @@ struct Fnv1a {
 
 std::uint64_t target_bits(double accuracy_target) {
   return std::bit_cast<std::uint64_t>(accuracy_target);
+}
+
+// serve.* cache counters are low-frequency (once per query), so a name
+// lookup per bump is fine.
+void bump(const char* name, std::int64_t n = 1) {
+  if (metrics_enabled()) metrics().counter(name).add(n);
 }
 
 }  // namespace
@@ -108,6 +116,9 @@ struct PlanService::SigmaMemo {
   bool ready = false;
   bool running = false;
   bool failed = false;
+  // Charged-once stats flag: set by the first plan() that consumes this
+  // search (that query is charged the miss; see CacheStats).
+  bool charged = false;
   std::string error;
   SigmaStageResult result;
   DiagnosticSink diag;
@@ -128,12 +139,17 @@ struct PlanService::Entry {
   bool profile_ready = false;
   bool profile_running = false;
   bool profile_failed = false;
+  bool profile_charged = false;  // charged-once stats flag (see CacheStats)
   std::string profile_error;
   std::unique_ptr<AnalysisHarness> harness;
+  // Persisted profile accepted by load_profile, consumed (moved out) by
+  // the next ensure_profile in place of the fit measurements.
+  std::unique_ptr<ProfileBundle> preloaded;
   ProfileStageResult prof;
   DiagnosticSink profile_diag;
   std::map<std::uint64_t, SigmaMemo> sigma;  // key: accuracy-target bit pattern
   std::map<std::string, PlanResult> plans;
+  std::deque<std::string> plan_order;  // FIFO insertion order, for eviction
 };
 
 PlanService::PlanService(PlanServiceConfig cfg) : cfg_(std::move(cfg)) {
@@ -179,25 +195,42 @@ const PlanService::Entry& PlanService::entry(const PlanKey& key) const {
   return const_cast<PlanService*>(this)->entry(key);
 }
 
-bool PlanService::ensure_profile_locked(Entry& e, std::unique_lock<std::mutex>& lk) {
+bool PlanService::ensure_profile_locked(Entry& e, std::unique_lock<std::mutex>& lk, bool* waited) {
   if (e.profile_failed) throw std::runtime_error(e.profile_error);
   if (e.profile_ready) return true;
   if (e.profile_running) {
     // Once-per-key future: somebody else is already measuring this
     // profile; wait for their result and share it.
+    if (waited != nullptr) *waited = true;
+    bump("serve.profile.waits");
     e.cv.wait(lk, [&] { return e.profile_ready || e.profile_failed; });
     if (e.profile_failed) throw std::runtime_error(e.profile_error);
     return true;
   }
   e.profile_running = true;
+  std::unique_ptr<ProfileBundle> pre = std::move(e.preloaded);
   lk.unlock();
+  ScopedSpan span("serve.profile", "serve");
   std::unique_ptr<AnalysisHarness> harness;
   ProfileStageResult prof;
   DiagnosticSink diag;
   try {
     harness = std::make_unique<AnalysisHarness>(*e.net, e.analyzed, *e.dataset,
                                                 cfg_.pipeline.harness, &diag);
-    prof = run_profile_stage(*harness, cfg_.pipeline.profiler, &diag);
+    if (pre != nullptr) {
+      // Accepted by load_profile (hash-checked): reuse the persisted fits
+      // and ranges; only the harness had to be rebuilt.
+      prof.models = pre->models;
+      prof.ranges = pre->ranges;
+      for (const LayerLinearModel& m : prof.models)
+        if (m.usable()) ++prof.usable_models;
+      diag_report(&diag, DiagSeverity::kInfo, PipelineStage::kServe, -1,
+                  "profile stage seeded from a loaded bundle (" +
+                      std::to_string(prof.models.size()) + " layer models)",
+                  "lambda/theta fit measurements skipped");
+    } else {
+      prof = run_profile_stage(*harness, cfg_.pipeline.profiler, &diag);
+    }
   } catch (const std::exception& ex) {
     lk.lock();
     e.profile_failed = true;
@@ -207,6 +240,8 @@ bool PlanService::ensure_profile_locked(Entry& e, std::unique_lock<std::mutex>& 
     throw;
   }
   lk.lock();
+  span.arg("forwards", harness->forward_count());
+  span.arg("seeded", pre != nullptr ? 1 : 0);
   e.harness = std::move(harness);
   e.prof = std::move(prof);
   e.profile_diag = std::move(diag);
@@ -217,18 +252,21 @@ bool PlanService::ensure_profile_locked(Entry& e, std::unique_lock<std::mutex>& 
 }
 
 bool PlanService::ensure_sigma_locked(Entry& e, std::unique_lock<std::mutex>& lk,
-                                      double accuracy_target) {
+                                      double accuracy_target, bool* waited) {
   assert(e.profile_ready);
   SigmaMemo& m = e.sigma[target_bits(accuracy_target)];
   if (m.failed) throw std::runtime_error(m.error);
   if (m.ready) return true;
   if (m.running) {
+    if (waited != nullptr) *waited = true;
+    bump("serve.sigma.waits");
     e.cv.wait(lk, [&] { return m.ready || m.failed; });
     if (m.failed) throw std::runtime_error(m.error);
     return true;
   }
   m.running = true;
   lk.unlock();
+  ScopedSpan span("serve.sigma", "serve");
   SigmaSearchConfig scfg = cfg_.pipeline.sigma;
   scfg.relative_accuracy_drop = accuracy_target;
   SigmaStageResult result;
@@ -244,6 +282,7 @@ bool PlanService::ensure_sigma_locked(Entry& e, std::unique_lock<std::mutex>& lk
     throw;
   }
   lk.lock();
+  span.arg("evaluations", result.sigma.evaluations);
   m.result = std::move(result);
   m.diag = std::move(diag);
   m.ready = true;
@@ -255,23 +294,71 @@ bool PlanService::ensure_sigma_locked(Entry& e, std::unique_lock<std::mutex>& lk
 bool PlanService::ensure_profile(const PlanKey& key) {
   Entry& e = entry(key);
   std::unique_lock<std::mutex> lk(e.mu);
-  const bool hit = ensure_profile_locked(e, lk);
+  bool waited = false;
+  const bool hit = ensure_profile_locked(e, lk, &waited);
   lk.unlock();
+  bump(hit ? "serve.profile.warm_hits" : "serve.profile.warm_misses");
   std::lock_guard<std::mutex> slk(mu_);
-  (hit ? stats_.profile_hits : stats_.profile_misses)++;
+  (hit ? stats_.profile_warm_hits : stats_.profile_warm_misses)++;
+  if (waited) ++stats_.profile_waits;
   return hit;
 }
 
 bool PlanService::ensure_sigma(const PlanKey& key, double accuracy_target) {
   Entry& e = entry(key);
   std::unique_lock<std::mutex> lk(e.mu);
-  const bool prof_hit = ensure_profile_locked(e, lk);
-  const bool hit = ensure_sigma_locked(e, lk, accuracy_target);
+  bool prof_waited = false, sigma_waited = false;
+  const bool prof_hit = ensure_profile_locked(e, lk, &prof_waited);
+  const bool hit = ensure_sigma_locked(e, lk, accuracy_target, &sigma_waited);
   lk.unlock();
+  bump(prof_hit ? "serve.profile.warm_hits" : "serve.profile.warm_misses");
+  bump(hit ? "serve.sigma.warm_hits" : "serve.sigma.warm_misses");
   std::lock_guard<std::mutex> slk(mu_);
-  (prof_hit ? stats_.profile_hits : stats_.profile_misses)++;
-  (hit ? stats_.sigma_hits : stats_.sigma_misses)++;
+  (prof_hit ? stats_.profile_warm_hits : stats_.profile_warm_misses)++;
+  (hit ? stats_.sigma_warm_hits : stats_.sigma_warm_misses)++;
+  if (prof_waited) ++stats_.profile_waits;
+  if (sigma_waited) ++stats_.sigma_waits;
   return hit;
+}
+
+bool PlanService::load_profile(const PlanKey& key, const ProfileBundle& bundle) {
+  Entry& e = entry(key);
+  std::unique_lock<std::mutex> lk(e.mu);
+  const auto reject = [&](DiagSeverity sev, std::string what) {
+    lk.unlock();
+    serve_diag_.report(sev, PipelineStage::kServe, -1,
+                       "profile load rejected for " + key.to_string() + ": " + std::move(what),
+                       "profile will be measured from scratch");
+    bump("serve.profile.load_rejected");
+    std::lock_guard<std::mutex> slk(mu_);
+    ++stats_.profile_load_rejected;
+    return false;
+  };
+  if (e.profile_ready || e.profile_running)
+    return reject(DiagSeverity::kInfo, "profile already measured (or being measured)");
+  if (bundle.net_hash == 0)
+    return reject(DiagSeverity::kWarning,
+                  "bundle carries no network hash (pre-v3 file); provenance unverifiable");
+  if (bundle.net_hash != key.net_hash) {
+    std::ostringstream os;
+    os << "network hash mismatch (bundle " << std::hex << bundle.net_hash << ", key "
+       << key.net_hash << "); the profile was measured on a different network";
+    return reject(DiagSeverity::kError, os.str());
+  }
+  if (bundle.models.size() != e.analyzed.size())
+    return reject(DiagSeverity::kError,
+                  "layer count mismatch (bundle " + std::to_string(bundle.models.size()) +
+                      ", analyzed " + std::to_string(e.analyzed.size()) + ")");
+  e.preloaded = std::make_unique<ProfileBundle>(bundle);
+  lk.unlock();
+  serve_diag_.report(DiagSeverity::kInfo, PipelineStage::kServe, -1,
+                     "profile bundle accepted for " + key.to_string() + " (" +
+                         std::to_string(bundle.models.size()) + " layer models)",
+                     "next ensure_profile skips the fit measurements");
+  bump("serve.profile.loads");
+  std::lock_guard<std::mutex> slk(mu_);
+  ++stats_.profile_loads;
+  return true;
 }
 
 namespace {
@@ -288,11 +375,31 @@ std::string plan_memo_key(const PlanQuery& q) {
 }  // namespace
 
 PlanResult PlanService::plan(const PlanKey& key, const PlanQuery& query) {
+  ScopedSpan span("serve.plan", "serve");
   Entry& e = entry(key);
   std::unique_lock<std::mutex> lk(e.mu);
-  const bool prof_hit = ensure_profile_locked(e, lk);
-  const bool sigma_hit = ensure_sigma_locked(e, lk, query.accuracy_target);
-  const SigmaMemo& sm = e.sigma.at(target_bits(query.accuracy_target));
+  bool prof_waited = false, sigma_waited = false;
+  const bool prof_hit = ensure_profile_locked(e, lk, &prof_waited);
+  const bool sigma_hit = ensure_sigma_locked(e, lk, query.accuracy_target, &sigma_waited);
+  SigmaMemo& sm = e.sigma.at(target_bits(query.accuracy_target));
+
+  // Charged-once accounting (under the entry lock, so exactly one query is
+  // charged each stage's miss — see CacheStats).
+  const bool prof_charged = e.profile_charged;
+  e.profile_charged = true;
+  const bool sigma_charged = sm.charged;
+  sm.charged = true;
+
+  const auto charge = [&](std::lock_guard<std::mutex>&) {
+    (prof_charged ? stats_.profile_hits : stats_.profile_misses)++;
+    (sigma_charged ? stats_.sigma_hits : stats_.sigma_misses)++;
+    if (prof_waited) ++stats_.profile_waits;
+    if (sigma_waited) ++stats_.sigma_waits;
+  };
+  const auto charge_metrics = [&] {
+    bump(prof_charged ? "serve.profile.hits" : "serve.profile.misses");
+    bump(sigma_charged ? "serve.sigma.hits" : "serve.sigma.misses");
+  };
 
   const std::string memo_key = plan_memo_key(query);
   if (auto it = e.plans.find(memo_key); it != e.plans.end()) {
@@ -301,9 +408,11 @@ PlanResult PlanService::plan(const PlanKey& key, const PlanQuery& query) {
     r.profile_cached = prof_hit;
     r.sigma_cached = sigma_hit;
     r.plan_cached = true;
+    charge_metrics();
+    bump("serve.plan.hits");
+    span.arg("plan_cached", 1);
     std::lock_guard<std::mutex> slk(mu_);
-    (prof_hit ? stats_.profile_hits : stats_.profile_misses)++;
-    (sigma_hit ? stats_.sigma_hits : stats_.sigma_misses)++;
+    charge(slk);
     ++stats_.plan_hits;
     return r;
   }
@@ -353,12 +462,35 @@ PlanResult PlanService::plan(const PlanKey& key, const PlanQuery& query) {
   r.sim_speedup = sim.speedup_vs_baseline;
 
   lk.lock();
-  e.plans.emplace(memo_key, r);  // two racers compute identical answers; keep the first
+  int evicted = 0;
+  std::string victim;
+  // Two racers compute identical answers; keep the first.
+  if (e.plans.emplace(memo_key, r).second) {
+    e.plan_order.push_back(memo_key);
+    while (cfg_.max_plans_per_entry > 0 && e.plans.size() > cfg_.max_plans_per_entry) {
+      victim = std::move(e.plan_order.front());
+      e.plan_order.pop_front();
+      e.plans.erase(victim);
+      ++evicted;
+    }
+  }
   lk.unlock();
+  if (evicted > 0) {
+    serve_diag_.report(DiagSeverity::kInfo, PipelineStage::kServe, -1,
+                       "plan memo for " + key.to_string() + " exceeded max_plans_per_entry (" +
+                           std::to_string(cfg_.max_plans_per_entry) + "); evicted " +
+                           std::to_string(evicted) + " oldest plan(s)",
+                       "evicted queries recompute their allocation tail on next ask");
+    bump("serve.plan.evictions", evicted);
+  }
+  charge_metrics();
+  bump("serve.plan.misses");
+  span.arg("plan_cached", 0);
+  span.arg("refinements", r.refinements);
   std::lock_guard<std::mutex> slk(mu_);
-  (prof_hit ? stats_.profile_hits : stats_.profile_misses)++;
-  (sigma_hit ? stats_.sigma_hits : stats_.sigma_misses)++;
+  charge(slk);
   ++stats_.plan_misses;
+  stats_.plan_evictions += evicted;
   return r;
 }
 
@@ -419,6 +551,7 @@ void PlanService::clear_plan_memo() {
     (void)key;
     std::lock_guard<std::mutex> lk(ep->mu);
     ep->plans.clear();
+    ep->plan_order.clear();
   }
 }
 

@@ -35,6 +35,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,7 @@
 #include "core/pipeline.hpp"
 #include "hw/accelerator_sim.hpp"
 #include "io/plan_io.hpp"
+#include "io/profile_io.hpp"
 
 namespace mupod {
 
@@ -57,6 +59,11 @@ struct PlanServiceConfig {
   MacEnergyModel energy = MacEnergyModel::stripes_like();
   AcceleratorConfig accelerator = AcceleratorConfig::stripes_like();
   int weight_bits = 16;  // uniform weight width for the cost models
+  // Upper bound on memoized plans kept per network entry; 0 = unlimited.
+  // When the cap is exceeded the oldest memo is evicted (FIFO) and the
+  // eviction is reported through service_diagnostics() — a long-running
+  // serve process over a churning query stream stays bounded.
+  std::size_t max_plans_per_entry = 0;
 };
 
 // Content-addressed cache key: (network content hash, config digest).
@@ -105,13 +112,34 @@ struct PlanResult {
   bool plan_cached = false;
 };
 
+// Charged-once accounting: each computed profile/sigma stage is charged to
+// exactly ONE plan() query as its miss (the first query that consumes it,
+// even when a warm-up computed it); every later consumer is a hit. So for
+// an N-objective x M-target sweep: profile_misses == 1, profile_hits ==
+// N*M - 1, sigma_misses == M, sigma_hits == M*(N-1) — regardless of
+// whether the sweep pre-warmed the caches. Warm-up calls (ensure_profile /
+// ensure_sigma) are tallied separately in the *_warm_* fields.
 struct CacheStats {
-  std::int64_t profile_misses = 0;  // profiles actually computed
-  std::int64_t profile_hits = 0;    // served (or waited on) from cache
+  std::int64_t profile_misses = 0;  // plan() queries charged a profile computation
+  std::int64_t profile_hits = 0;    // plan() queries served an already-charged profile
   std::int64_t sigma_misses = 0;
   std::int64_t sigma_hits = 0;
   std::int64_t plan_misses = 0;     // allocation tails actually run
   std::int64_t plan_hits = 0;       // answers replayed from the plan memo
+  // Warm-up accounting: ensure_profile/ensure_sigma calls that computed
+  // (miss) or found (hit) their stage, outside plan() charging.
+  std::int64_t profile_warm_misses = 0;
+  std::int64_t profile_warm_hits = 0;
+  std::int64_t sigma_warm_misses = 0;
+  std::int64_t sigma_warm_hits = 0;
+  // Callers that blocked on another caller's in-flight computation of the
+  // same stage (the once-per-key future discipline in action).
+  std::int64_t profile_waits = 0;
+  std::int64_t sigma_waits = 0;
+  // Cache lifecycle (see service_diagnostics()).
+  std::int64_t plan_evictions = 0;
+  std::int64_t profile_loads = 0;          // bundles accepted by load_profile
+  std::int64_t profile_load_rejected = 0;  // bundles rejected (hash mismatch etc.)
   std::int64_t plans_served() const { return plan_misses + plan_hits; }
 };
 
@@ -141,6 +169,16 @@ class PlanService {
   bool ensure_profile(const PlanKey& key);
   bool ensure_sigma(const PlanKey& key, double accuracy_target);
 
+  // Seeds the profile stage for `key` from a persisted bundle
+  // (io/profile_io.hpp), skipping the lambda/theta fit measurements on the
+  // next ensure_profile (the harness — activation caches — is still
+  // built). The bundle must carry the network content hash of the profiled
+  // network and it must match the key's: a mismatching or hashless bundle
+  // is REJECTED (returns false) and the rejection is reported through
+  // service_diagnostics() — a stale profile must never be served silently.
+  // Also returns false (benignly) when the profile was already measured.
+  bool load_profile(const PlanKey& key, const ProfileBundle& bundle);
+
   // Answers one query: profile and sigma stages from cache (computing them
   // on first need), then the cheap allocate+validate tail. Thread-safe.
   PlanResult plan(const PlanKey& key, const PlanQuery& query);
@@ -151,6 +189,11 @@ class PlanService {
   const std::string& network_name(const PlanKey& key) const;
 
   CacheStats stats() const;
+
+  // Service-level cache-lifecycle diagnostics (PipelineStage::kServe):
+  // rejected profile loads, plan-memo evictions. Thread-safe to read via
+  // snapshot(); distinct from the per-entry profile_diagnostics().
+  const DiagnosticSink& service_diagnostics() const { return serve_diag_; }
 
   // Every memoized plan as a persistable store (io/plan_io.hpp).
   PlanStore export_plans() const;
@@ -165,13 +208,17 @@ class PlanService {
 
   Entry& entry(const PlanKey& key);
   const Entry& entry(const PlanKey& key) const;
-  bool ensure_profile_locked(Entry& e, std::unique_lock<std::mutex>& lk);
-  bool ensure_sigma_locked(Entry& e, std::unique_lock<std::mutex>& lk, double accuracy_target);
+  // `waited`, when given, is set when this caller blocked on another
+  // caller's in-flight computation of the same stage.
+  bool ensure_profile_locked(Entry& e, std::unique_lock<std::mutex>& lk, bool* waited = nullptr);
+  bool ensure_sigma_locked(Entry& e, std::unique_lock<std::mutex>& lk, double accuracy_target,
+                           bool* waited = nullptr);
 
   PlanServiceConfig cfg_;
   mutable std::mutex mu_;  // guards entries_ map shape and stats_
   std::map<PlanKey, std::unique_ptr<Entry>> entries_;
   CacheStats stats_;
+  DiagnosticSink serve_diag_;  // internally synchronized
 };
 
 }  // namespace mupod

@@ -4,6 +4,7 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "tensor/parallel.hpp"
 
 namespace mupod {
@@ -40,6 +41,10 @@ void mark_pareto_front(std::vector<SweepCell>& cells) {
 SweepResult run_sweep(PlanService& service, const PlanKey& key, const SweepSpec& spec) {
   SweepResult res;
   res.workers = parallel_worker_count();
+  ScopedSpan span("sweep.run", "serve");
+  span.arg("targets", static_cast<std::int64_t>(spec.accuracy_targets.size()));
+  span.arg("objectives", static_cast<std::int64_t>(spec.objectives.size()));
+  span.arg("workers", res.workers);
   const auto t_start = Clock::now();
 
   // Warm the shared stages OUTSIDE the pool: they are internally parallel,
@@ -74,10 +79,14 @@ SweepResult run_sweep(PlanService& service, const PlanKey& key, const SweepSpec&
     }
   };
   t0 = Clock::now();
-  if (spec.concurrent) {
-    parallel_for(0, static_cast<std::int64_t>(n_cells), run_cell);
-  } else {
-    for (std::int64_t c = 0; c < static_cast<std::int64_t>(n_cells); ++c) run_cell(c);
+  {
+    ScopedSpan tails_span("sweep.tails", "serve");
+    tails_span.arg("cells", static_cast<std::int64_t>(n_cells));
+    if (spec.concurrent) {
+      parallel_for(0, static_cast<std::int64_t>(n_cells), run_cell);
+    } else {
+      for (std::int64_t c = 0; c < static_cast<std::int64_t>(n_cells); ++c) run_cell(c);
+    }
   }
   res.tails_ms = ms_since(t0);
   if (first_error) std::rethrow_exception(first_error);

@@ -2,16 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace mupod {
 namespace {
 
 thread_local bool tls_in_parallel_region = false;
+
+// Per-worker busy-time/chunk accounting (pool.worker<slot>.busy_us and
+// .chunks). Gauges are resolved once per thread: the registry lookup
+// (string build + mutex) happens on the first instrumented chunk only, so
+// the steady-state cost per chunk is two atomic adds.
+struct WorkerMetrics {
+  Gauge* busy_us;
+  Gauge* chunks;
+};
+
+WorkerMetrics& worker_metrics() {
+  thread_local WorkerMetrics m = [] {
+    const std::string base = "pool.worker" + std::to_string(obs_thread_slot());
+    return WorkerMetrics{&metrics().gauge(base + ".busy_us"), &metrics().gauge(base + ".chunks")};
+  }();
+  return m;
+}
 
 class ThreadPool {
  public:
@@ -73,7 +94,17 @@ class ThreadPool {
       }
       if (b < e) {
         tls_in_parallel_region = true;
-        fn(b, e);
+        if (metrics_enabled()) {
+          const auto t0 = std::chrono::steady_clock::now();
+          fn(b, e);
+          const auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0);
+          WorkerMetrics& wm = worker_metrics();
+          wm.busy_us->add(dt.count());
+          wm.chunks->add(1);
+        } else {
+          fn(b, e);
+        }
         tls_in_parallel_region = false;
       }
       std::unique_lock<std::mutex> lk(mu_);

@@ -10,6 +10,8 @@
 #include "core/pipeline.hpp"
 #include "data/synthetic.hpp"
 #include "io/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/plan_service.hpp"
 #include "zoo/zoo.hpp"
 
@@ -89,6 +91,44 @@ TEST(Determinism, IdenticalRunsRenderIdenticalReports) {
   const std::string ra = render_report(a.model.net, a.model.analyzed, a.result, opts);
   const std::string rb = render_report(b.model.net, b.model.analyzed, b.result, opts);
   EXPECT_EQ(ra, rb);  // byte-equal markdown, not merely similar
+}
+
+TEST(Determinism, InstrumentationDoesNotPerturbResultsOrReports) {
+  // The observability layer's contract: flipping metrics/tracing on
+  // changes what is *recorded*, never what is *computed* — and with the
+  // default ReportOptions (include_metrics = false) the rendered report
+  // stays byte-identical, run-dependent counters notwithstanding.
+  const PipelineRun plain = fresh_run();
+
+  set_metrics_enabled(true);
+  set_tracing_enabled(true);
+  const PipelineRun instrumented = fresh_run();
+  set_metrics_enabled(false);
+  set_tracing_enabled(false);
+
+  EXPECT_EQ(plain.result.sigma.sigma_yl, instrumented.result.sigma.sigma_yl);
+  EXPECT_EQ(plain.result.forward_count, instrumented.result.forward_count);
+  ASSERT_EQ(plain.result.objectives.size(), instrumented.result.objectives.size());
+  for (std::size_t i = 0; i < plain.result.objectives.size(); ++i) {
+    EXPECT_EQ(plain.result.objectives[i].alloc.bits, instrumented.result.objectives[i].alloc.bits);
+    EXPECT_EQ(plain.result.objectives[i].alloc.xi, instrumented.result.objectives[i].alloc.xi);
+    EXPECT_EQ(plain.result.objectives[i].validated_accuracy,
+              instrumented.result.objectives[i].validated_accuracy);
+  }
+
+  ReportOptions opts;
+  opts.include_timings = false;  // defaults otherwise: include_metrics off
+  const std::string rp = render_report(plain.model.net, plain.model.analyzed, plain.result, opts);
+  const std::string ri = render_report(instrumented.model.net, instrumented.model.analyzed,
+                                       instrumented.result, opts);
+  EXPECT_EQ(rp, ri);  // byte-equal despite the now-populated registry
+
+  // Opting in is the only way metrics reach a report.
+  opts.include_metrics = true;
+  const std::string with_metrics =
+      render_report(plain.model.net, plain.model.analyzed, plain.result, opts);
+  EXPECT_NE(with_metrics.find("## Metrics"), std::string::npos);
+  EXPECT_EQ(rp.find("## Metrics"), std::string::npos);
 }
 
 TEST(Determinism, IdenticalNetworksHashIdentically) {

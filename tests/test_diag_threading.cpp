@@ -1,0 +1,144 @@
+// Concurrency regression tests for the shared observability surfaces:
+// DiagnosticSink (now internally synchronized), the metrics registry, and
+// PlanService's diagnostic/stat reporting under concurrent plan() calls.
+//
+// These tests live in their own executable labeled `sanitize` (see
+// tests/CMakeLists.txt): they pass unremarkably in a plain build, but
+// under -DMUPOD_SANITIZE=thread every asserted interleaving is a TSan
+// check — `ctest -L sanitize` in that build is the regression gate for
+// the data race the mutex in DiagnosticSink fixes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/diagnostics.hpp"
+#include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
+#include "serve/plan_service.hpp"
+#include "zoo/zoo.hpp"
+
+namespace mupod {
+namespace {
+
+TEST(DiagThreading, ConcurrentReportersAndReadersStayConsistent) {
+  DiagnosticSink sink;
+  constexpr int kWriters = 4, kReaders = 3, kPerWriter = 500;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r)
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Every read path the report consumers use, racing the writers.
+        // The sink is append-only, so any earlier-read quantity must be
+        // bounded by any later-read total.
+        const std::vector<Diagnostic> snap = sink.snapshot();
+        const std::size_t warns = static_cast<std::size_t>(sink.count(DiagSeverity::kWarning));
+        ASSERT_LE(warns, sink.size());
+        const DiagnosticSink copy = sink;  // copy ctor locks the source
+        ASSERT_LE(copy.size(), sink.size());
+        ASSERT_LE(snap.size(), copy.size());
+      }
+    });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&sink, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        sink.report(i % 3 == 0 ? DiagSeverity::kWarning : DiagSeverity::kInfo,
+                    w % 2 == 0 ? PipelineStage::kServe : PipelineStage::kProfile,
+                    /*layer=*/w, "writer " + std::to_string(w) + " entry " + std::to_string(i),
+                    "none");
+      }
+    });
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(sink.size(), static_cast<std::size_t>(kWriters) * kPerWriter);
+  int warns = 0;
+  for (const Diagnostic& d : sink.snapshot())
+    if (d.severity == DiagSeverity::kWarning) ++warns;
+  EXPECT_EQ(warns, sink.count(DiagSeverity::kWarning));
+}
+
+TEST(DiagThreading, MetricsRegistryConcurrentRegistrationAndSnapshot) {
+  metrics().reset();
+  constexpr int kThreads = 4, kIters = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([t] {
+      // Mix of shared and per-thread instruments: registration (map
+      // mutation) races value updates and snapshots.
+      Counter& shared = metrics().counter("tsan.shared");
+      for (int i = 0; i < kIters; ++i) {
+        shared.add(1);
+        metrics().counter("tsan.thread" + std::to_string(t)).add(1);
+        metrics().histogram("tsan.hist", {1.0, 2.0}).record(static_cast<double>(i % 3));
+        if (i % 256 == 0) (void)metrics().snapshot();
+      }
+    });
+  for (std::thread& t : ts) t.join();
+  const MetricsSnapshot snap = metrics().snapshot();
+  EXPECT_EQ(snap.counter("tsan.shared"), static_cast<std::int64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(snap.counter("tsan.thread" + std::to_string(t)), kIters);
+  metrics().reset();
+}
+
+TEST(DiagThreading, PlanServiceConcurrentQueriesShareOneProfile) {
+  ZooOptions zo;
+  zo.num_classes = 10;
+  zo.seed = 404;
+  zo.data_seed = 8;
+  zo.calibration_images = 8;
+  ZooModel model = build_tiny_cnn(zo);
+  DatasetConfig dc;
+  dc.num_classes = 10;
+  dc.height = 16;
+  dc.width = 16;
+  dc.seed = 8;
+  SyntheticImageDataset dataset(dc);
+
+  PlanServiceConfig scfg;
+  scfg.pipeline.harness.profile_images = 8;
+  scfg.pipeline.harness.eval_images = 64;
+  scfg.pipeline.profiler.points = 4;
+  PlanService service(scfg);
+  const PlanKey key = service.register_network(model.net, model.analyzed, dataset);
+
+  // Four threads race the same grid cell plus a second target: the
+  // once-per-key future must hand every thread the same bits while the
+  // service-level stats/diagnostics absorb concurrent updates.
+  constexpr int kThreads = 4;
+  std::vector<PlanResult> results(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&, t] {
+      PlanQuery q;
+      q.accuracy_target = (t % 2 == 0) ? 0.05 : 0.10;
+      q.objective = objective_input_bits(model.net, model.analyzed);
+      results[static_cast<std::size_t>(t)] = service.plan(key, q);
+      (void)service.stats();                          // racing reads
+      (void)service.service_diagnostics().snapshot(); // of shared state
+    });
+  for (std::thread& t : ts) t.join();
+
+  for (int t = 2; t < kThreads; ++t) {
+    const PlanResult& a = results[static_cast<std::size_t>(t - 2)];
+    const PlanResult& b = results[static_cast<std::size_t>(t)];
+    EXPECT_EQ(a.alloc.bits, b.alloc.bits);  // same query -> identical answer
+    EXPECT_EQ(a.alloc.formats, b.alloc.formats);
+  }
+  const CacheStats s = service.stats();
+  EXPECT_EQ(s.profile_misses, 1);  // charged-once even under the race
+  EXPECT_EQ(s.profile_hits, kThreads - 1);
+  EXPECT_EQ(s.sigma_misses, 2);
+  EXPECT_EQ(s.plans_served(), kThreads);
+}
+
+}  // namespace
+}  // namespace mupod

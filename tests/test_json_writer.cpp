@@ -1,0 +1,87 @@
+// JsonWriter edge cases: the emitter backs the CLI --json modes, the
+// benchmark BENCH_*.json files, and now the Chrome-trace exporter — all
+// consumed by external parsers (python, chrome://tracing), so the corner
+// cases of the JSON grammar must come out exactly right: non-finite
+// doubles (JSON has no NaN/Inf), control characters, multi-byte UTF-8,
+// and deep nesting.
+#include "io/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace mupod {
+namespace {
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter j;
+  j.begin_object();
+  j.kv("nan", std::numeric_limits<double>::quiet_NaN());
+  j.kv("inf", std::numeric_limits<double>::infinity());
+  j.kv("ninf", -std::numeric_limits<double>::infinity());
+  j.kv("finite", 1.5);
+  j.end_object();
+  EXPECT_EQ(j.str(), R"({"nan":null,"inf":null,"ninf":null,"finite":1.5})");
+}
+
+TEST(JsonWriter, ControlCharactersAreEscaped) {
+  // The short escapes where JSON defines them, \u00XX for the rest of the
+  // C0 range — a raw control byte would make the document unparseable.
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape("cr\rlf"), "cr\\rlf");
+  EXPECT_EQ(JsonWriter::escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(JsonWriter::escape("\x01\x1f"), "\\u0001\\u001f");
+  EXPECT_EQ(JsonWriter::escape("quote\"back\\slash"), "quote\\\"back\\\\slash");
+
+  JsonWriter j;
+  j.begin_object();
+  j.kv("k\n", std::string("v\x02"));
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"k\\n\":\"v\\u0002\"}");
+}
+
+TEST(JsonWriter, MultiByteUtf8PassesThroughUntouched) {
+  // Already-valid UTF-8 must not be escaped or mangled: 2-byte (é),
+  // 3-byte (日本語), and 4-byte (emoji, beyond the BMP) sequences.
+  const std::string s = "caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac\xe8\xaa\x9e \xf0\x9f\x98\x80";
+  EXPECT_EQ(JsonWriter::escape(s), s);
+  JsonWriter j;
+  j.begin_object();
+  j.kv("text", s);
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"text\":\"" + s + "\"}");
+}
+
+TEST(JsonWriter, DeeplyNestedArraysBalance) {
+  // 256 levels — far beyond anything the tools emit; the writer must keep
+  // its context stack straight and report completeness only at the end.
+  constexpr int kDepth = 256;
+  JsonWriter j;
+  for (int i = 0; i < kDepth; ++i) j.begin_array();
+  j.value(std::int64_t{1});
+  EXPECT_FALSE(j.complete());
+  for (int i = 0; i < kDepth; ++i) j.end_array();
+  EXPECT_TRUE(j.complete());
+  EXPECT_EQ(j.str(), std::string(kDepth, '[') + "1" + std::string(kDepth, ']'));
+}
+
+TEST(JsonWriter, MixedNestingCommasAndTypes) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("rows").begin_array();
+  j.begin_object().kv("id", 1).kv("ok", true).end_object();
+  j.begin_object().kv("id", 2).kv("ok", false).kv("note", "b").end_object();
+  j.end_array();
+  j.key("none").null();
+  j.kv("big", std::uint64_t{18446744073709551615ull});
+  j.end_object();
+  EXPECT_EQ(j.str(),
+            R"({"rows":[{"id":1,"ok":true},{"id":2,"ok":false,"note":"b"}],)"
+            R"("none":null,"big":18446744073709551615})");
+}
+
+}  // namespace
+}  // namespace mupod

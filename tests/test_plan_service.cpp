@@ -164,8 +164,141 @@ TEST(PlanService, ContentAddressingSharesIdenticallyBuiltNetworks) {
   EXPECT_FALSE(service.ensure_profile(k1));  // miss: computed now
   EXPECT_TRUE(service.ensure_profile(k2));   // hit: shared entry
   const CacheStats s = service.stats();
+  // Warm-ups are tallied separately; plan() charging never happened.
+  EXPECT_EQ(s.profile_warm_misses, 1);
+  EXPECT_EQ(s.profile_warm_hits, 1);
+  EXPECT_EQ(s.profile_misses, 0);
+  EXPECT_EQ(s.profile_hits, 0);
+}
+
+TEST(PlanService, LoadedProfileSeedsTheStageAndPreservesAnswers) {
+  // Persist a profile from a cold pipeline run, feed it to a fresh service
+  // via load_profile, and check the seeded service (a) skips the fit
+  // measurements and (b) still answers bit-identically.
+  ServiceFixture cold = make_fixture();
+  PipelineConfig cfg = fast_pipeline_config();
+  cfg.sigma.relative_accuracy_drop = 0.05;
+  const ObjectiveSpec cold_obj = objective_input_bits(cold.model.net, cold.model.analyzed);
+  const PipelineResult cold_r =
+      run_pipeline(cold.model.net, cold.model.analyzed, *cold.dataset, {cold_obj}, cfg);
+  const ProfileBundle bundle =
+      make_profile_bundle(cold.model.net, cold.model.analyzed, cold_r);
+  ASSERT_NE(bundle.net_hash, 0u);
+
+  const ServiceFixture& f = fixture();
+  PlanServiceConfig scfg;
+  scfg.pipeline = fast_pipeline_config();
+  PlanService service(scfg);
+  const PlanKey key = service.register_network(f.model.net, f.model.analyzed, *f.dataset);
+  ASSERT_EQ(bundle.net_hash, key.net_hash);  // content-addressing lines up
+
+  EXPECT_TRUE(service.load_profile(key, bundle));
+  EXPECT_EQ(service.stats().profile_loads, 1);
+
+  PlanQuery q;
+  q.accuracy_target = 0.05;
+  q.objective = objective_input_bits(f.model.net, f.model.analyzed);
+  const PlanResult r = service.plan(key, q);
+  expect_alloc_equal(cold_r.objectives[0].alloc, r.alloc);
+  EXPECT_EQ(cold_r.objectives[0].validated_accuracy, r.validated_accuracy);
+
+  // The seeded entry spent strictly fewer forwards than the cold pipeline:
+  // the profile-stage measurements were skipped.
+  EXPECT_LT(service.forward_count(key), cold_r.forward_count);
+
+  bool seeded_diag = false;
+  for (const Diagnostic& d : service.profile_diagnostics(key).snapshot())
+    if (d.stage == PipelineStage::kServe && d.message.find("seeded") != std::string::npos)
+      seeded_diag = true;
+  EXPECT_TRUE(seeded_diag);
+}
+
+TEST(PlanService, LoadProfileRejectsUnverifiableOrMismatchedBundles) {
+  const ServiceFixture& f = fixture();
+  PlanServiceConfig scfg;
+  scfg.pipeline = fast_pipeline_config();
+  PlanService service(scfg);
+  const PlanKey key = service.register_network(f.model.net, f.model.analyzed, *f.dataset);
+
+  ProfileBundle bundle;
+  bundle.network = f.model.net.name();
+  bundle.models.resize(f.model.analyzed.size());
+  bundle.ranges.resize(f.model.analyzed.size(), 1.0);
+
+  // No hash (pre-v3 file): provenance unverifiable, rejected.
+  bundle.net_hash = 0;
+  EXPECT_FALSE(service.load_profile(key, bundle));
+  // Wrong hash: measured on a different network, rejected.
+  bundle.net_hash = key.net_hash ^ 0x1;
+  EXPECT_FALSE(service.load_profile(key, bundle));
+  // Right hash but wrong layer count: rejected.
+  bundle.net_hash = key.net_hash;
+  bundle.models.resize(f.model.analyzed.size() + 1);
+  EXPECT_FALSE(service.load_profile(key, bundle));
+  // Already-measured profile: a late (even valid) bundle is refused.
+  bundle.models.resize(f.model.analyzed.size());
+  service.ensure_profile(key);
+  EXPECT_FALSE(service.load_profile(key, bundle));
+
+  const CacheStats s = service.stats();
+  EXPECT_EQ(s.profile_load_rejected, 4);
+  EXPECT_EQ(s.profile_loads, 0);
+
+  // Every rejection is reported through the service diagnostics, never
+  // swallowed: a stale profile must fail loudly.
+  int rejections = 0;
+  bool saw_error = false;
+  for (const Diagnostic& d : service.service_diagnostics().snapshot()) {
+    if (d.stage != PipelineStage::kServe) continue;
+    if (d.message.find("rejected") != std::string::npos) ++rejections;
+    if (d.severity == DiagSeverity::kError) saw_error = true;
+  }
+  EXPECT_EQ(rejections, 4);
+  EXPECT_TRUE(saw_error);  // the hash mismatch is an error, not a note
+}
+
+TEST(PlanService, PlanMemoEvictionIsBoundedFifoAndCounted) {
+  const ServiceFixture& f = fixture();
+  PlanServiceConfig scfg;
+  scfg.pipeline = fast_pipeline_config();
+  scfg.max_plans_per_entry = 1;  // pathological cap to force churn
+  PlanService service(scfg);
+  const PlanKey key = service.register_network(f.model.net, f.model.analyzed, *f.dataset);
+
+  PlanQuery qa;
+  qa.accuracy_target = 0.05;
+  qa.objective = objective_input_bits(f.model.net, f.model.analyzed);
+  PlanQuery qb = qa;
+  qb.objective = objective_mac_energy(f.model.net, f.model.analyzed);
+
+  const PlanResult a1 = service.plan(key, qa);
+  EXPECT_FALSE(a1.plan_cached);
+  EXPECT_EQ(service.stats().plan_evictions, 0);
+
+  const PlanResult b1 = service.plan(key, qb);  // evicts qa's memo (FIFO)
+  EXPECT_FALSE(b1.plan_cached);
+  EXPECT_EQ(service.stats().plan_evictions, 1);
+
+  // qa was the eviction victim: asking again recomputes the tail — and
+  // recomputes it identically (caching changes cost, never values).
+  const PlanResult a2 = service.plan(key, qa);
+  EXPECT_FALSE(a2.plan_cached);
+  expect_alloc_equal(a1.alloc, a2.alloc);
+  EXPECT_EQ(service.stats().plan_evictions, 2);
+
+  // The churn is visible in the service diagnostics.
+  bool eviction_diag = false;
+  for (const Diagnostic& d : service.service_diagnostics().snapshot())
+    if (d.stage == PipelineStage::kServe &&
+        d.message.find("max_plans_per_entry") != std::string::npos)
+      eviction_diag = true;
+  EXPECT_TRUE(eviction_diag);
+
+  // The expensive stages were untouched by the churn.
+  const CacheStats s = service.stats();
   EXPECT_EQ(s.profile_misses, 1);
-  EXPECT_EQ(s.profile_hits, 1);
+  EXPECT_EQ(s.sigma_misses, 1);
+  EXPECT_EQ(s.plan_hits, 0);
 }
 
 TEST(PlanService, DifferentWeightsGetDifferentKeys) {

@@ -1,0 +1,165 @@
+// bench_forward: min-of-N forward throughput per zoo network, old scalar
+// path vs the register-blocked packed GEMM path (src/tensor/gemm.cpp), on
+// the same binary via set_gemm_mode. Two batch sizes per network:
+//
+//   batch 1   the serving case — the old conv path had no intra-image
+//             parallelism (it fanned over image x group), so this is where
+//             GEMM tile-task scheduling matters most;
+//   batch 8   the profiling case, where both paths parallelise across
+//             images and the win is per-core kernel throughput.
+//
+// Each (network, batch) row also cross-checks the two paths against each
+// other (max |Δ| over the output logits) — the kernel swap must change
+// wall time, never the answer beyond float reassociation.
+//
+// Usage: bench_forward [--nets a,b,c] [--reps N] [--json FILE]
+// scripts/run_benchmarks.sh parks the JSON at bench_logs/BENCH_forward.json
+// so the forward-throughput trajectory is machine-readable per commit.
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/json_writer.hpp"
+#include "stats/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/parallel.hpp"
+#include "zoo/zoo.hpp"
+
+namespace {
+
+using namespace mupod;
+using mupod::bench::Stopwatch;
+
+struct Row {
+  std::string net;
+  int batch = 0;
+  double legacy_ms = 0.0;
+  double blocked_ms = 0.0;
+  double max_abs_diff = 0.0;
+  double speedup() const { return blocked_ms > 0.0 ? legacy_ms / blocked_ms : 0.0; }
+};
+
+Tensor random_input(const ZooModel& model, int batch, std::uint64_t seed) {
+  Tensor x(Shape({batch, model.channels, model.height, model.width}));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.gaussian());
+  return x;
+}
+
+double min_forward_ms(Network& net, const Tensor& x, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    Tensor y = net.forward(x);
+    best = std::min(best, sw.seconds() * 1e3);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> nets = {"nin", "alexnet", "mobilenet"};
+  int reps = 5;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--nets" && i + 1 < argc) {
+      nets.clear();
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        nets.push_back(list.substr(pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--nets a,b,c] [--reps N] [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  bench::print_header("forward throughput: legacy scalar path vs blocked GEMM path",
+                      "forward hot path (Eq. 5 profiling / sigma search cost)");
+  std::printf("workers %d (MUPOD_THREADS to pin), min of %d rep(s)\n\n",
+              parallel_worker_count(), reps);
+  std::printf("%-10s %5s  %12s %12s %8s %12s\n", "net", "batch", "legacy ms", "blocked ms",
+              "speedup", "max |diff|");
+
+  std::vector<Row> rows;
+  bool all_finite = true;
+  for (const std::string& name : nets) {
+    // Forward timing only: skip calibration and head training so the
+    // build cost stays out of the benchmark.
+    ZooOptions zo;
+    zo.calibration_images = 0;
+    zo.head_images = 0;
+    ZooModel model = build_model(name, zo);
+    for (const int batch : {1, 8}) {
+      const Tensor x = random_input(model, batch, 7 + batch);
+
+      set_gemm_mode(GemmMode::kLegacy);
+      Tensor y_legacy = model.net.forward(x);  // warm-up + parity reference
+      const double legacy_ms = min_forward_ms(model.net, x, reps);
+
+      set_gemm_mode(GemmMode::kBlocked);
+      Tensor y_blocked = model.net.forward(x);
+      const double blocked_ms = min_forward_ms(model.net, x, reps);
+      set_gemm_mode(GemmMode::kBlocked);
+
+      Row row;
+      row.net = name;
+      row.batch = batch;
+      row.legacy_ms = legacy_ms;
+      row.blocked_ms = blocked_ms;
+      for (std::int64_t i = 0; i < y_legacy.numel(); ++i) {
+        const double d = std::abs(static_cast<double>(y_legacy[i]) - y_blocked[i]);
+        if (!(d < 1e30)) all_finite = false;
+        row.max_abs_diff = std::max(row.max_abs_diff, d);
+      }
+      rows.push_back(row);
+      std::printf("%-10s %5d  %12.2f %12.2f %7.2fx %12.2e\n", name.c_str(), batch, legacy_ms,
+                  blocked_ms, row.speedup(), row.max_abs_diff);
+    }
+  }
+
+  if (!json_out.empty()) {
+    JsonWriter j;
+    j.begin_object();
+    j.kv("bench", "forward");
+    j.kv("workers", parallel_worker_count());
+    j.kv("reps", reps);
+    j.kv("paths_agree", all_finite);
+    j.key("rows").begin_array();
+    for (const Row& r : rows) {
+      j.begin_object();
+      j.kv("net", r.net);
+      j.kv("batch", r.batch);
+      j.kv("legacy_ms_min", r.legacy_ms);
+      j.kv("blocked_ms_min", r.blocked_ms);
+      j.kv("speedup", r.speedup());
+      j.kv("max_abs_diff", r.max_abs_diff);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    errno = 0;
+    if (!write_json_file(json_out, j.str())) {
+      std::fprintf(stderr, "error: cannot write '%s': %s\n", json_out.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_out.c_str());
+  }
+  return 0;
+}

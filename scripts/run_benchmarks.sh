@@ -12,11 +12,15 @@
 #
 # BENCH_observability.json records the instrumentation cost on the profile
 # stage (off vs on, min-of-N) and fails the run when it exceeds 3%.
+#
+# BENCH_forward.json records min-of-N forward wall time per zoo network
+# (NiN, AlexNet, MobileNet) x batch {1, 8}, legacy scalar path vs blocked
+# GEMM path, plus the old/new max |diff| parity check.
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p bench_logs
 
-for b in bench_sweep bench_observability; do
+for b in bench_sweep bench_observability bench_forward; do
   if [ ! -x "build/bench/$b" ]; then
     echo "build/bench/$b not found — build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -33,7 +37,13 @@ echo "=== bench_observability $(date +%H:%M:%S) ==="
   | tee bench_logs/bench_observability.txt
 
 echo
-for f in bench_logs/BENCH_sweep.json bench_logs/BENCH_observability.json; do
+echo "=== bench_forward $(date +%H:%M:%S) (MUPOD_THREADS=${MUPOD_THREADS:-unset}) ==="
+./build/bench/bench_forward --json bench_logs/BENCH_forward.json \
+  | tee bench_logs/bench_forward.txt
+
+echo
+for f in bench_logs/BENCH_sweep.json bench_logs/BENCH_observability.json \
+         bench_logs/BENCH_forward.json; do
   echo "wrote $f:"
   cat "$f"
 done

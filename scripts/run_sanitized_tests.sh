@@ -8,9 +8,12 @@
 #
 # --tsan builds with -DMUPOD_SANITIZE=thread and runs only the tests
 # labeled `sanitize` (ctest -L sanitize): the DiagnosticSink / metrics /
-# PlanService threading hammers in tests/test_diag_threading.cpp, which are
-# the interesting ones under TSan — the full suite under TSan is an order
-# of magnitude slower for no extra interleaving coverage.
+# PlanService threading hammers in tests/test_diag_threading.cpp plus the
+# GEMM pack/tile-task suite in tests/test_gemm.cpp — the interesting ones
+# under TSan; the full suite under TSan is an order of magnitude slower
+# for no extra interleaving coverage. The TSan run pins MUPOD_THREADS=4 so
+# the pool (and the GEMM tile fan-out) exercises real cross-thread
+# interleavings even on single-core machines.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +27,9 @@ fi
 if [ "$MODE" = "thread" ]; then
   BUILD_DIR=build-tsan
   CTEST_EXTRA=(-L sanitize)
+  # Force a multi-worker pool: on few-core CI boxes the pool would
+  # otherwise collapse to 1 worker and TSan would see no interleavings.
+  export MUPOD_THREADS="${MUPOD_THREADS:-4}"
 else
   BUILD_DIR=build-asan
   CTEST_EXTRA=()

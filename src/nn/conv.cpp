@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/layers.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
 
 namespace mupod {
@@ -47,33 +48,49 @@ Shape Conv2DLayer::output_shape(std::span<const Shape> in) const {
 
 namespace {
 
-// Expands one image group into column-major patch matrix `col` of shape
+// Fills rows [kb, ke) of the column-major patch matrix `col` of shape
 // [icg*KH*KW rows, OH*OW cols]: col[k][j] = input value the k-th kernel
 // tap sees at output position j (0 where the tap falls in padding).
-void im2col_group(const float* ximg, int icg, int H, int W, int KH, int KW, int stride, int pad,
-                  int OH, int OW, float* col) {
+void im2col_rows(const float* ximg, int H, int W, int KH, int KW, int stride, int pad,
+                 int OH, int OW, float* col, std::int64_t kb, std::int64_t ke) {
   const std::int64_t cols = static_cast<std::int64_t>(OH) * OW;
-  std::int64_t k = 0;
-  for (int ic = 0; ic < icg; ++ic) {
+  for (std::int64_t k = kb; k < ke; ++k) {
+    const int ic = static_cast<int>(k / (KH * KW));
+    const int rem = static_cast<int>(k % (KH * KW));
+    const int kh = rem / KW;
+    const int kw = rem % KW;
     const float* xplane = ximg + static_cast<std::int64_t>(ic) * H * W;
-    for (int kh = 0; kh < KH; ++kh) {
-      for (int kw = 0; kw < KW; ++kw, ++k) {
-        float* crow = col + k * cols;
-        for (int oh = 0; oh < OH; ++oh) {
-          const int ih = oh * stride - pad + kh;
-          float* cptr = crow + static_cast<std::int64_t>(oh) * OW;
-          if (ih < 0 || ih >= H) {
-            std::fill(cptr, cptr + OW, 0.0f);
-            continue;
-          }
-          const float* xrow = xplane + static_cast<std::int64_t>(ih) * W;
-          for (int ow = 0; ow < OW; ++ow) {
-            const int iw = ow * stride - pad + kw;
-            cptr[ow] = (iw >= 0 && iw < W) ? xrow[iw] : 0.0f;
-          }
-        }
+    float* crow = col + k * cols;
+    for (int oh = 0; oh < OH; ++oh) {
+      const int ih = oh * stride - pad + kh;
+      float* cptr = crow + static_cast<std::int64_t>(oh) * OW;
+      if (ih < 0 || ih >= H) {
+        std::fill(cptr, cptr + OW, 0.0f);
+        continue;
+      }
+      const float* xrow = xplane + static_cast<std::int64_t>(ih) * W;
+      for (int ow = 0; ow < OW; ++ow) {
+        const int iw = ow * stride - pad + kw;
+        cptr[ow] = (iw >= 0 && iw < W) ? xrow[iw] : 0.0f;
       }
     }
+  }
+}
+
+// Expands one image group into the patch matrix. Parallelises over rows
+// when the expansion is big enough to amortize a pool dispatch (a no-op
+// serial fallback when already inside a parallel region, so the batched
+// outer loop can stay parallel over images).
+void im2col_group(const float* ximg, int icg, int H, int W, int KH, int KW, int stride, int pad,
+                  int OH, int OW, float* col) {
+  const std::int64_t rows = static_cast<std::int64_t>(icg) * KH * KW;
+  const std::int64_t cols = static_cast<std::int64_t>(OH) * OW;
+  if (rows * cols >= (1 << 14)) {
+    parallel_for_chunked(0, rows, [&](std::int64_t kb, std::int64_t ke) {
+      im2col_rows(ximg, H, W, KH, KW, stride, pad, OH, OW, col, kb, ke);
+    });
+  } else {
+    im2col_rows(ximg, H, W, KH, KW, stride, pad, OH, OW, col, 0, rows);
   }
 }
 
@@ -97,14 +114,84 @@ void Conv2DLayer::forward(std::span<const Tensor* const> in, Tensor& out) const 
   const std::int64_t x_img = static_cast<std::int64_t>(C) * H * W;
   const std::int64_t y_img = static_cast<std::int64_t>(OC) * OH * OW;
 
-  // im2col + GEMM path: wins when the patch matrix is reused across many
-  // output channels. Direct path keeps depthwise/1x1-ish cases cheap.
   const std::int64_t k_dim = static_cast<std::int64_t>(icg) * KH * KW;
   const std::int64_t spatial = static_cast<std::int64_t>(OH) * OW;
-  const bool use_gemm = ocg >= 4 && k_dim >= 9 && spatial >= 16;
+  const bool legacy = gemm_mode() == GemmMode::kLegacy;
+
+  // A 1x1/stride-1/pad-0 conv is already a GEMM over the input planes —
+  // no patch expansion needed (OH*OW == H*W).
+  const bool is_pointwise = KH == 1 && KW == 1 && stride == 1 && pad == 0;
+
+  // GEMM vs direct crossover, re-derived from the contested-shape sweep in
+  // bench_micro_kernels (icg x ocg x K x HW grid, min-of-N; methodology and
+  // full table in docs/method.md §11). What the measurements show:
+  //   * Pointwise convs pay no im2col, so the packed kernel wins from
+  //     ocg >= 2 or icg >= 2 onward (1.2-26x), and even the 1->1 channel
+  //     case once spatial reaches ~512 (1.7x at 32x32). Below that the
+  //     direct loop is ~7% faster — keep it.
+  //   * Patch-expanded convs amortize im2col over ocg output rows: ocg >= 4
+  //     wins at every measured shape (1.5-3.9x for 3x3/5x5), ocg == 3 wins
+  //     for 3x3 everywhere (>= 1.38x) but for larger kernel areas only once
+  //     spatial >= 256 (5x5 is break-even at 8x8). ocg == 2 with a 3x3
+  //     kernel flips past spatial >= 1024 (1.06-1.46x at 32x32).
+  //   * Depthwise (ocg == 1, patch-expanded) always loses (0.4-0.8x):
+  //     im2col inflates reads 9-25x with only one output row to reuse the
+  //     panel — the direct loop keeps it.
+  bool use_gemm;
+  if (legacy) {
+    use_gemm = ocg >= 4 && k_dim >= 9 && spatial >= 16;
+  } else if (is_pointwise) {
+    use_gemm = ocg >= 2 || k_dim >= 2 || spatial >= 512;
+  } else {
+    const std::int64_t karea = static_cast<std::int64_t>(KH) * KW;
+    use_gemm = ocg >= 4 || (ocg == 3 && (karea <= 9 || spatial >= 256)) ||
+               (ocg == 2 && karea <= 9 && spatial >= 1024);
+  }
+
+  if (use_gemm && !legacy) {
+    // im2col (skipped for pointwise) followed by one blocked GEMM per
+    // (image, group): Y[ocg x OH*OW] = W[ocg x k_dim] · col[k_dim x OH*OW].
+    // With enough (image, group) jobs to fill the pool the outer loop
+    // parallelises and each GEMM runs serial (nested); for small batches —
+    // the serving case — the outer loop is serial and the GEMM fans its
+    // tile tasks across the workers instead. Both give bitwise identical
+    // results (see the determinism contract in tensor/gemm.hpp).
+    const std::int64_t jobs = static_cast<std::int64_t>(N) * groups;
+    const auto body = [&](std::int64_t b, std::int64_t e) {
+      GemmScratch& scratch = GemmScratch::local();
+      for (std::int64_t idx = b; idx < e; ++idx) {
+        const int n = static_cast<int>(idx / groups);
+        const int g = static_cast<int>(idx % groups);
+        const float* ximg = xdata + n * x_img + static_cast<std::int64_t>(g) * icg * H * W;
+        const float* bmat = ximg;
+        if (!is_pointwise) {
+          float* col = scratch.col(static_cast<std::size_t>(k_dim * spatial));
+          im2col_group(ximg, icg, H, W, KH, KW, stride, pad, OH, OW, col);
+          bmat = col;
+        }
+        float* yg = ydata + n * y_img + static_cast<std::int64_t>(g) * ocg * spatial;
+        float beta = 0.0f;
+        if (bdata != nullptr) {
+          for (int oc_local = 0; oc_local < ocg; ++oc_local) {
+            float* yrow = yg + static_cast<std::int64_t>(oc_local) * spatial;
+            std::fill(yrow, yrow + spatial, bdata[g * ocg + oc_local]);
+          }
+          beta = 1.0f;
+        }
+        gemm(ocg, spatial, k_dim, wdata + static_cast<std::int64_t>(g) * ocg * k_dim, k_dim,
+             bmat, spatial, beta, yg, spatial);
+      }
+    };
+    if (jobs >= parallel_worker_count() && jobs > 1)
+      parallel_for_chunked(0, jobs, body);
+    else
+      body(0, jobs);
+    return;
+  }
 
   if (use_gemm) {
-    // Parallel over (image, group) pairs; each task owns a col buffer.
+    // Legacy blocked-less path (kept for bench_forward's old-vs-new
+    // trajectory): im2col + rank-1 axpy sweep over the output plane.
     parallel_for_chunked(0, static_cast<std::int64_t>(N) * groups,
                          [&](std::int64_t b, std::int64_t e) {
       std::vector<float> col(static_cast<std::size_t>(k_dim * spatial));
@@ -112,7 +199,7 @@ void Conv2DLayer::forward(std::span<const Tensor* const> in, Tensor& out) const 
         const int n = static_cast<int>(idx / groups);
         const int g = static_cast<int>(idx % groups);
         const float* ximg = xdata + n * x_img + static_cast<std::int64_t>(g) * icg * H * W;
-        im2col_group(ximg, icg, H, W, KH, KW, stride, pad, OH, OW, col.data());
+        im2col_rows(ximg, H, W, KH, KW, stride, pad, OH, OW, col.data(), 0, k_dim);
 
         for (int oc_local = 0; oc_local < ocg; ++oc_local) {
           const int oc = g * ocg + oc_local;

@@ -1,6 +1,8 @@
+#include <algorithm>
 #include <cassert>
 
 #include "nn/layers.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
 
 namespace mupod {
@@ -31,18 +33,43 @@ void InnerProductLayer::forward(std::span<const Tensor* const> in, Tensor& out) 
   float* ydata = out.data();
   const int in_f = in_features_, out_f = out_features_;
 
-  parallel_for_chunked(0, static_cast<std::int64_t>(N) * out_f,
-                       [&](std::int64_t b, std::int64_t e) {
-    for (std::int64_t idx = b; idx < e; ++idx) {
-      const int n = static_cast<int>(idx / out_f);
-      const int o = static_cast<int>(idx % out_f);
-      const float* xrow = xdata + static_cast<std::int64_t>(n) * in_f;
-      const float* wrow = wdata + static_cast<std::int64_t>(o) * in_f;
-      float acc = bdata != nullptr ? bdata[o] : 0.0f;
-      for (int i = 0; i < in_f; ++i) acc += xrow[i] * wrow[i];
-      ydata[idx] = acc;
-    }
-  });
+  if (gemm_mode() == GemmMode::kLegacy) {
+    // Legacy per-row dot product (kept for bench_forward's old-vs-new
+    // trajectory).
+    parallel_for_chunked(0, static_cast<std::int64_t>(N) * out_f,
+                         [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t idx = b; idx < e; ++idx) {
+        const int n = static_cast<int>(idx / out_f);
+        const int o = static_cast<int>(idx % out_f);
+        const float* xrow = xdata + static_cast<std::int64_t>(n) * in_f;
+        const float* wrow = wdata + static_cast<std::int64_t>(o) * in_f;
+        float acc = bdata != nullptr ? bdata[o] : 0.0f;
+        for (int i = 0; i < in_f; ++i) acc += xrow[i] * wrow[i];
+        ydata[idx] = acc;
+      }
+    });
+    return;
+  }
+
+  // Seed the output with the bias (beta = 1 accumulates onto it), then one
+  // blocked GEMM covers the whole batch.
+  float beta = 0.0f;
+  if (bdata != nullptr) {
+    for (int n = 0; n < N; ++n)
+      std::copy(bdata, bdata + out_f, ydata + static_cast<std::int64_t>(n) * out_f);
+    beta = 1.0f;
+  }
+  if (N == 1) {
+    // Single image: compute the transposed product y = W·x so the m
+    // dimension (out_f) carries the register tiles — y (1 x out_f) and
+    // yᵀ (out_f x 1) share the same memory.
+    gemm(out_f, 1, in_f, wdata, in_f, xdata, 1, beta, ydata, 1);
+  } else {
+    // Y[N x out_f] = X[N x in_f] · Wᵀ; packing absorbs the transpose of
+    // the (out, in) weight matrix.
+    gemm(N, out_f, in_f, xdata, in_f, wdata, in_f, beta, ydata, out_f,
+         /*trans_b=*/true);
+  }
 }
 
 LayerCost InnerProductLayer::cost(std::span<const Shape> in) const {

@@ -23,7 +23,10 @@
 // Naming scheme (docs/method.md §10): dot-separated lowercase
 // `<area>.<object>.<property>`, e.g. `stage.profile.forwards`,
 // `serve.sigma.hits`, `pool.worker3.busy_us`. Units are suffixes
-// (`_us`, `_ms`) when not dimensionless.
+// (`_us`, `_ms`) when not dimensionless. The kernel layer reports
+// `gemm.calls` / `gemm.flops` / `gemm.tiles` (counters) and
+// `tensor.scratch.bytes` (gauge: resident per-thread packing/im2col
+// arenas) — see docs/method.md §11.
 #pragma once
 
 #include <array>

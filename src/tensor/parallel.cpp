@@ -58,8 +58,16 @@ class ThreadPool {
 
   void run(std::int64_t begin, std::int64_t end,
            const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    // One job at a time: concurrent submitters (e.g. PlanService queries
+    // issued from independent caller threads, each fanning GEMM tiles)
+    // serialize here instead of clobbering each other's job fields. Held
+    // for the whole run; safe because the holder participates in its own
+    // job, and nested parallel_for calls never reach run() (they fall
+    // back to serial via tls_in_parallel_region before getting here).
+    std::lock_guard<std::mutex> submit_lock(submit_mu_);
     const std::int64_t total = end - begin;
     const int parts = static_cast<int>(std::min<std::int64_t>(n_workers_, total));
+    std::uint64_t gen;
     {
       std::unique_lock<std::mutex> lk(mu_);
       job_fn_ = &fn;
@@ -68,24 +76,29 @@ class ThreadPool {
       job_parts_ = parts;
       next_part_ = 0;
       pending_ = parts;
-      ++generation_;
+      gen = ++generation_;
     }
     cv_.notify_all();
     // The calling thread participates.
-    run_parts(fn);
+    run_parts(fn, gen);
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [this] { return pending_ == 0; });
     job_fn_ = nullptr;
   }
 
  private:
-  void run_parts(const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  void run_parts(const std::function<void(std::int64_t, std::int64_t)>& fn, std::uint64_t gen) {
     for (;;) {
       int part;
       std::int64_t b, e;
       {
         std::unique_lock<std::mutex> lk(mu_);
-        if (next_part_ >= job_parts_) return;
+        // The generation check pins this loop to the job `fn` belongs to:
+        // after the last part is claimed, the submitting thread can return
+        // and publish a new job while a worker is still between parts —
+        // without the check it would claim parts of the new job against
+        // the old (already destroyed) callable.
+        if (generation_ != gen || next_part_ >= job_parts_) return;
         part = next_part_++;
         const std::int64_t total = job_end_ - job_begin_;
         const std::int64_t chunk = (total + job_parts_ - 1) / job_parts_;
@@ -123,13 +136,14 @@ class ThreadPool {
         seen_generation = generation_;
         fn = job_fn_;
       }
-      if (fn != nullptr) run_parts(*fn);
+      if (fn != nullptr) run_parts(*fn, seen_generation);
     }
   }
 
   std::vector<std::thread> threads_;
   int n_workers_ = 1;
 
+  std::mutex submit_mu_;  // serializes run() across submitting threads
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;

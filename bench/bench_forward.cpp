@@ -12,6 +12,13 @@
 // other (max |Δ| over the output logits) — the kernel swap must change
 // wall time, never the answer beyond float reassociation.
 //
+// Each row additionally times the INTEGER execution backend
+// (quant/qexec + tensor/qgemm) at int16 and int8 activation formats
+// derived from the network's own profiled input ranges — the
+// edge-deployment measurement the paper's cost models predict. The
+// integer columns report wall time plus max |Δ| vs the float logits
+// (bounded by the formats' quantization error, NOT zero).
+//
 // Usage: bench_forward [--nets a,b,c] [--reps N] [--json FILE]
 // scripts/run_benchmarks.sh parks the JSON at bench_logs/BENCH_forward.json
 // so the forward-throughput trajectory is machine-readable per commit.
@@ -25,6 +32,7 @@
 
 #include "bench_common.hpp"
 #include "io/json_writer.hpp"
+#include "quant/qexec.hpp"
 #include "stats/rng.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
@@ -41,8 +49,45 @@ struct Row {
   double legacy_ms = 0.0;
   double blocked_ms = 0.0;
   double max_abs_diff = 0.0;
+  double int16_ms = 0.0;
+  double int8_ms = 0.0;
+  double int16_max_diff = 0.0;  // vs float logits; bounded by quant error
+  double int8_max_diff = 0.0;
   double speedup() const { return blocked_ms > 0.0 ? legacy_ms / blocked_ms : 0.0; }
 };
+
+// Activation formats for the integer rows, derived the way the allocator
+// does: I from the profiled max |X_K| of each analyzed layer's input,
+// F = total bits - I.
+std::vector<FixedPointFormat> uniform_formats(const ZooModel& model, const Tensor& x, int bits) {
+  const std::vector<double> ranges = model.net.profile_input_ranges(x);
+  std::vector<FixedPointFormat> fmts;
+  fmts.reserve(model.analyzed.size());
+  for (int id : model.analyzed) {
+    FixedPointFormat f;
+    f.integer_bits = FixedPointFormat::integer_bits_for_range(ranges[static_cast<std::size_t>(id)]);
+    f.fraction_bits = bits - f.integer_bits;
+    fmts.push_back(f);
+  }
+  return fmts;
+}
+
+double min_qforward_ms(const QuantizedNetwork& qnet, const Tensor& x, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    Tensor y = qnet.forward(x);
+    best = std::min(best, sw.seconds() * 1e3);
+  }
+  return best;
+}
+
+double max_diff(const Tensor& a, const Tensor& b) {
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - b[i]));
+  return m;
+}
 
 Tensor random_input(const ZooModel& model, int batch, std::uint64_t seed) {
   Tensor x(Shape({batch, model.channels, model.height, model.width}));
@@ -93,8 +138,8 @@ int main(int argc, char** argv) {
                       "forward hot path (Eq. 5 profiling / sigma search cost)");
   std::printf("workers %d (MUPOD_THREADS to pin), min of %d rep(s)\n\n",
               parallel_worker_count(), reps);
-  std::printf("%-10s %5s  %12s %12s %8s %12s\n", "net", "batch", "legacy ms", "blocked ms",
-              "speedup", "max |diff|");
+  std::printf("%-10s %5s  %12s %12s %8s %12s %10s %10s\n", "net", "batch", "legacy ms",
+              "blocked ms", "speedup", "max |diff|", "int16 ms", "int8 ms");
 
   std::vector<Row> rows;
   bool all_finite = true;
@@ -127,9 +172,30 @@ int main(int argc, char** argv) {
         if (!(d < 1e30)) all_finite = false;
         row.max_abs_diff = std::max(row.max_abs_diff, d);
       }
+
+      // Integer backend: uniform 16-bit and 8-bit activation formats from
+      // the network's own profiled ranges, weights at the same width.
+      {
+        QExecOptions qo16;
+        qo16.weight_bits = 16;
+        QuantizedNetwork q16(model.net, model.analyzed, uniform_formats(model, x, 16), qo16);
+        Tensor y16 = q16.forward(x);  // warm-up + parity sample
+        row.int16_ms = min_qforward_ms(q16, x, reps);
+        row.int16_max_diff = max_diff(y_blocked, y16);
+
+        QExecOptions qo8;
+        qo8.weight_bits = 8;
+        QuantizedNetwork q8(model.net, model.analyzed, uniform_formats(model, x, 8), qo8);
+        Tensor y8 = q8.forward(x);
+        row.int8_ms = min_qforward_ms(q8, x, reps);
+        row.int8_max_diff = max_diff(y_blocked, y8);
+        if (!(row.int16_max_diff < 1e30) || !(row.int8_max_diff < 1e30)) all_finite = false;
+      }
+
       rows.push_back(row);
-      std::printf("%-10s %5d  %12.2f %12.2f %7.2fx %12.2e\n", name.c_str(), batch, legacy_ms,
-                  blocked_ms, row.speedup(), row.max_abs_diff);
+      std::printf("%-10s %5d  %12.2f %12.2f %7.2fx %12.2e %10.2f %10.2f\n", name.c_str(), batch,
+                  legacy_ms, blocked_ms, row.speedup(), row.max_abs_diff, row.int16_ms,
+                  row.int8_ms);
     }
   }
 
@@ -149,6 +215,10 @@ int main(int argc, char** argv) {
       j.kv("blocked_ms_min", r.blocked_ms);
       j.kv("speedup", r.speedup());
       j.kv("max_abs_diff", r.max_abs_diff);
+      j.kv("int16_ms_min", r.int16_ms);
+      j.kv("int8_ms_min", r.int8_ms);
+      j.kv("int16_max_diff", r.int16_max_diff);
+      j.kv("int8_max_diff", r.int8_max_diff);
       j.end_object();
     }
     j.end_array();

@@ -7,7 +7,8 @@
 //   sweep_tool [--net tiny|alexnet|nin|...] [--drops 0.005,0.01,0.02,0.05]
 //              [--objectives input,mac,equal] [--solver sqp|pg|closed]
 //              [--serial] [--csv | --json] [--save-plans plans.txt]
-//              [--classes N] [--eval N] [--metrics] [--trace FILE]
+//              [--classes N] [--eval N] [--validate]
+//              [--metrics] [--trace FILE]
 //
 // Cells marked 'yes' in the pareto column are on the accuracy-cost front
 // of their objective group; dominated cells are the configurations no
@@ -16,6 +17,13 @@
 // netdef_tool --json). --metrics enables the obs registry and prints the
 // snapshot to stderr (or embeds it under "metrics" with --json);
 // --trace FILE writes a Chrome-trace JSON (chrome://tracing / Perfetto).
+//
+// --validate executes every cell's plan on the INTEGER backend
+// (quant/qexec) and reports actual vs predicted accuracy drop per cell;
+// a cell conforms when its integer-executed drop stays within the
+// accuracy budget + the committed tolerance (kValidationTolerance).
+// Violations are flagged in the output (and exit status 3) so a CI lane
+// can gate on plan conformance.
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -36,7 +44,7 @@ void usage() {
   std::printf(
       "usage: sweep_tool [--net NAME] [--drops D1,D2,...] [--objectives input,mac,equal]\n"
       "                  [--solver sqp|pg|closed] [--serial] [--csv | --json]\n"
-      "                  [--save-plans FILE] [--classes N] [--eval N]\n"
+      "                  [--save-plans FILE] [--classes N] [--eval N] [--validate]\n"
       "                  [--metrics] [--trace FILE]\n");
 }
 
@@ -77,7 +85,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   int classes = 10;
   int eval_images = 256;
-  bool serial = false, csv = false, json = false, with_metrics = false;
+  bool serial = false, csv = false, json = false, with_metrics = false, validate = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,6 +106,7 @@ int main(int argc, char** argv) {
     else if (arg == "--save-plans") plans_out = next();
     else if (arg == "--classes") classes = std::atoi(next());
     else if (arg == "--eval") eval_images = std::atoi(next());
+    else if (arg == "--validate") validate = true;
     else if (arg == "--metrics") with_metrics = true;
     else if (arg == "--trace") trace_out = next();
     else if (arg == "--help" || arg == "-h") { usage(); return 0; }
@@ -178,6 +187,25 @@ int main(int argc, char** argv) {
   }();
   const CacheStats stats = service.stats();
 
+  // Conformance pass: run every cell's plan through the integer execution
+  // backend on the service's own harness. validations[i] pairs with
+  // sweep.cells[i]; plan() inside validate_plan replays from the memo, so
+  // the extra cost is exactly one integer-executed eval pass per cell.
+  std::vector<PlanValidation> validations;
+  int violations = 0;
+  if (validate) {
+    validations.reserve(sweep.cells.size());
+    for (const SweepCell& cell : sweep.cells) {
+      try {
+        validations.push_back(service.validate_plan(key, cell.result.query));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: validation failed: %s\n", e.what());
+        std::exit(1);
+      }
+      if (!validations.back().within_budget) ++violations;
+    }
+  }
+
   // Per-cell diagnostics (the existing DiagnosticSink, per allocation
   // tail) plus the shared profile-stage diagnostics, all on stderr.
   const DiagnosticSink& prof_diag = service.profile_diagnostics(key);
@@ -236,6 +264,22 @@ int main(int argc, char** argv) {
       j.kv("sigma_used", r.sigma_used);
       j.kv("refinements", r.refinements);
       j.kv("diagnostics", static_cast<int>(r.diagnostics.size()));
+      if (validate) {
+        const PlanValidation& v = validations[static_cast<std::size_t>(&cell - sweep.cells.data())];
+        j.key("validation").begin_object();
+        j.kv("weight_bits", v.weight_bits);
+        j.kv("tolerance", v.tolerance);
+        j.kv("float_accuracy", v.float_accuracy);
+        j.kv("emulated_accuracy", v.emulated_accuracy);
+        j.kv("integer_accuracy", v.integer_accuracy);
+        j.kv("predicted_drop", v.predicted_drop);
+        j.kv("emulated_drop", v.emulated_drop);
+        j.kv("integer_drop", v.integer_drop);
+        j.kv("within_budget", v.within_budget);
+        j.kv("act_saturated", v.act_saturated);
+        j.kv("lowered_layers", v.lowered_layers);
+        j.end_object();
+      }
       j.key("bits").begin_array();
       for (int b : r.alloc.bits) j.value(b);
       j.end_array();
@@ -264,6 +308,24 @@ int main(int argc, char** argv) {
                  cell.pareto ? "yes" : "dominated"});
     }
     std::printf("%s", csv ? t.render_csv().c_str() : t.render_text().c_str());
+    if (validate) {
+      TextTable vt({"drop%", "objective", "predicted%", "emulated%", "integer%", "budget+tol%",
+                    "act_sat", "conforms"});
+      for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+        const PlanResult& r = sweep.cells[i].result;
+        const PlanValidation& v = validations[i];
+        vt.add_row({TextTable::fmt(r.query.accuracy_target * 100, 2), r.query.objective.name,
+                    TextTable::fmt(v.predicted_drop * 100, 2),
+                    TextTable::fmt(v.emulated_drop * 100, 2),
+                    TextTable::fmt(v.integer_drop * 100, 2),
+                    TextTable::fmt((r.query.accuracy_target + v.tolerance) * 100, 2),
+                    TextTable::fmt_int(v.act_saturated), v.within_budget ? "yes" : "VIOLATION"});
+      }
+      std::printf("\nplan conformance (integer-executed, %d-bit weights, tolerance %.2f%%):\n%s",
+                  validations.empty() ? 0 : validations.front().weight_bits,
+                  (validations.empty() ? 0.0 : validations.front().tolerance) * 100,
+                  csv ? vt.render_csv().c_str() : vt.render_text().c_str());
+    }
     std::printf(
         "\n1 profile + %lld sigma search(es) + %lld allocation tail(s) "
         "(%lld plan-cache hit(s)); %lld forwards total; %.0f ms "
@@ -293,6 +355,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "saved plan store to %s\n", plans_out.c_str());
+  }
+  if (validate && violations > 0) {
+    std::fprintf(stderr, "plan conformance: %d of %zu cell(s) exceeded budget + tolerance\n",
+                 violations, validations.size());
+    return 3;
   }
   return 0;
 }

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Line-coverage lane for the numeric kernels and the integer backend.
+#
+# Builds a separate tree with -DMUPOD_COVERAGE=ON (gcov instrumentation,
+# -O0 so inlining doesn't fold lines away — see the option in the root
+# CMakeLists.txt), runs the `quant` and `sanitize` test labels (the
+# integer-backend battery plus the GEMM pack/tile suite — the code whose
+# coverage we actually track), and writes a machine-readable summary to
+# bench_logs/COVERAGE.json restricted to src/tensor and src/quant.
+#
+# Uses gcovr when it exists; this container only ships plain gcov, so the
+# fallback parses gcov's own "File '...'" / "Lines executed:" report pairs.
+#
+# Usage:
+#   scripts/run_coverage.sh [ctest-args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+BUILD_DIR=build-cov
+OUT_DIR=bench_logs
+OUT_JSON=$OUT_DIR/COVERAGE.json
+
+cmake -B "$BUILD_DIR" -S . -DMUPOD_COVERAGE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Stale counters from a previous run would inflate the numbers.
+find "$BUILD_DIR" -name '*.gcda' -delete
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -L 'quant|sanitize' "$@"
+
+mkdir -p "$OUT_DIR"
+
+if command -v gcovr > /dev/null 2>&1; then
+  gcovr --root "$ROOT" --filter 'src/(tensor|quant)/' --json-summary-pretty \
+        --output "$OUT_JSON" "$BUILD_DIR"
+  echo "coverage summary (gcovr) -> $OUT_JSON"
+  exit 0
+fi
+
+# Plain-gcov fallback. Run gcov over every .gcda in a scratch dir (it
+# litters .gcov files next to the cwd), then aggregate its stdout:
+#   File '/abs/path/src/tensor/qgemm.cpp'
+#   Lines executed:93.21% of 472
+# The same source shows up once per object file that includes it (headers,
+# or a .cpp built into several targets); keep the max — each report is a
+# lower bound on what the combined test run executed.
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+GCOV_RAW=$SCRATCH/gcov.out
+find "$ROOT/$BUILD_DIR" -name '*.gcda' -print0 \
+  | (cd "$SCRATCH" && xargs -0 gcov > "$GCOV_RAW" 2> /dev/null || true)
+
+awk -v root="$ROOT/" '
+  /^File / {
+    # File <quote>/root/repo/src/tensor/qgemm.cpp<quote> -> strip the 6-char
+    # prefix and the closing quote, then the absolute root prefix.
+    f = substr($0, 7, length($0) - 7)
+    sub(root, "", f)
+    next
+  }
+  /^Lines executed:/ {
+    if (f !~ /^src\/(tensor|quant)\//) { f = ""; next }
+    pct = $0; sub(/^Lines executed:/, "", pct); sub(/% of .*/, "", pct)
+    total = $0; sub(/.*% of /, "", total)
+    if (!(f in best_pct) || pct + 0 > best_pct[f] + 0) {
+      best_pct[f] = pct; best_total[f] = total
+    }
+    f = ""
+  }
+  END {
+    n = 0
+    for (f in best_pct) keys[n++] = f
+    # insertion sort: stable file order for diff-friendly output
+    for (i = 1; i < n; i++) {
+      k = keys[i]
+      for (j = i - 1; j >= 0 && keys[j] > k; j--) keys[j + 1] = keys[j]
+      keys[j + 1] = k
+    }
+    printf "{\n  \"tool\": \"gcov\",\n  \"filter\": \"src/(tensor|quant)/\",\n"
+    printf "  \"labels\": \"quant|sanitize\",\n  \"files\": [\n"
+    sum_total = 0; sum_cov = 0
+    for (i = 0; i < n; i++) {
+      f = keys[i]
+      covered = int(best_pct[f] * best_total[f] / 100 + 0.5)
+      sum_total += best_total[f]; sum_cov += covered
+      printf "    {\"file\": \"%s\", \"line_percent\": %s, \"lines_total\": %s, \"lines_covered\": %d}%s\n", \
+             f, best_pct[f], best_total[f], covered, (i < n - 1 ? "," : "")
+    }
+    printf "  ],\n  \"totals\": {\"lines_total\": %d, \"lines_covered\": %d, \"line_percent\": %.2f}\n}\n", \
+           sum_total, sum_cov, (sum_total > 0 ? 100.0 * sum_cov / sum_total : 0)
+  }
+' "$GCOV_RAW" > "$OUT_JSON"
+
+echo "coverage summary (gcov fallback) -> $OUT_JSON"

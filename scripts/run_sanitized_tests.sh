@@ -7,13 +7,16 @@
 #   scripts/run_sanitized_tests.sh --tsan [ctest-args...]   # TSan, concurrency tests
 #
 # --tsan builds with -DMUPOD_SANITIZE=thread and runs only the tests
-# labeled `sanitize` (ctest -L sanitize): the DiagnosticSink / metrics /
-# PlanService threading hammers in tests/test_diag_threading.cpp plus the
-# GEMM pack/tile-task suite in tests/test_gemm.cpp — the interesting ones
-# under TSan; the full suite under TSan is an order of magnitude slower
-# for no extra interleaving coverage. The TSan run pins MUPOD_THREADS=4 so
-# the pool (and the GEMM tile fan-out) exercises real cross-thread
-# interleavings even on single-core machines.
+# labeled `sanitize` or `quant` (ctest -L 'sanitize|quant'): the
+# DiagnosticSink / metrics / PlanService threading hammers in
+# tests/test_diag_threading.cpp, the GEMM pack/tile-task suite in
+# tests/test_gemm.cpp, and the integer-backend battery in
+# tests/test_qgemm_property.cpp + test_plan_conformance.cpp (the qgemm
+# pack/tile tasks and quantize-on-load chunking cross threads) — the
+# interesting ones under TSan; the full suite under TSan is an order of
+# magnitude slower for no extra interleaving coverage. The TSan run pins
+# MUPOD_THREADS=4 so the pool (and the GEMM tile fan-out) exercises real
+# cross-thread interleavings even on single-core machines.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,7 +29,7 @@ fi
 
 if [ "$MODE" = "thread" ]; then
   BUILD_DIR=build-tsan
-  CTEST_EXTRA=(-L sanitize)
+  CTEST_EXTRA=(-L 'sanitize|quant')
   # Force a multi-worker pool: on few-core CI boxes the pool would
   # otherwise collapse to 1 worker and TSan would see no interleavings.
   export MUPOD_THREADS="${MUPOD_THREADS:-4}"

@@ -230,6 +230,20 @@ double AnalysisHarness::accuracy_full_forward(
   return accuracy_with_injection(inject, rep);
 }
 
+double AnalysisHarness::accuracy_with_executor(
+    const std::function<Tensor(const Tensor&)>& forward_fn) const {
+  std::int64_t hits = 0, total = 0;
+  for (const Batch& b : eval_batches_) {
+    Tensor logits = forward_fn(b.images);
+    forward_count_ += b.images.shape().n();
+    const int n = logits.shape().dim(0);
+    for (int i = 0; i < n; ++i)
+      if (logits.argmax_row(i) == b.reference[static_cast<std::size_t>(i)]) ++hits;
+    total += n;
+  }
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+}
+
 double AnalysisHarness::accuracy_with_output_gaussian(double sigma, int rep) const {
   Rng rng(rep_seed(rep) ^ 0xfeedface12345678ULL);
   std::int64_t hits = 0, total = 0;

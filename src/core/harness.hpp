@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -124,6 +125,13 @@ class AnalysisHarness {
   // bitwidth search.
   double accuracy_full_forward(const std::unordered_map<int, InjectionSpec>& inject,
                                int rep = 0) const;
+
+  // Accuracy of an arbitrary executor over the same eval set and the same
+  // references: `forward_fn` maps an eval batch's images to final-node
+  // logits. Used by plan validation to measure the INTEGER-executed
+  // network (quant/qexec) against exactly the measurement the emulated
+  // pipeline used. Forward passes are charged to forward_count().
+  double accuracy_with_executor(const std::function<Tensor(const Tensor&)>& forward_fn) const;
 
   // Number of full-net-equivalent forward passes issued so far (cost
   // accounting for the timing experiment). Atomic: the measurement methods

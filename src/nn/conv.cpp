@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <vector>
@@ -6,6 +7,7 @@
 #include "nn/layers.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace mupod {
 
@@ -51,27 +53,30 @@ namespace {
 // Fills rows [kb, ke) of the column-major patch matrix `col` of shape
 // [icg*KH*KW rows, OH*OW cols]: col[k][j] = input value the k-th kernel
 // tap sees at output position j (0 where the tap falls in padding).
-void im2col_rows(const float* ximg, int H, int W, int KH, int KW, int stride, int pad,
-                 int OH, int OW, float* col, std::int64_t kb, std::int64_t ke) {
+// Templated over the element type: the integer execution path expands the
+// already-quantized int8/int16/int32 activations with the same code.
+template <typename T>
+void im2col_rows(const T* ximg, int H, int W, int KH, int KW, int stride, int pad,
+                 int OH, int OW, T* col, std::int64_t kb, std::int64_t ke) {
   const std::int64_t cols = static_cast<std::int64_t>(OH) * OW;
   for (std::int64_t k = kb; k < ke; ++k) {
     const int ic = static_cast<int>(k / (KH * KW));
     const int rem = static_cast<int>(k % (KH * KW));
     const int kh = rem / KW;
     const int kw = rem % KW;
-    const float* xplane = ximg + static_cast<std::int64_t>(ic) * H * W;
-    float* crow = col + k * cols;
+    const T* xplane = ximg + static_cast<std::int64_t>(ic) * H * W;
+    T* crow = col + k * cols;
     for (int oh = 0; oh < OH; ++oh) {
       const int ih = oh * stride - pad + kh;
-      float* cptr = crow + static_cast<std::int64_t>(oh) * OW;
+      T* cptr = crow + static_cast<std::int64_t>(oh) * OW;
       if (ih < 0 || ih >= H) {
-        std::fill(cptr, cptr + OW, 0.0f);
+        std::fill(cptr, cptr + OW, T(0));
         continue;
       }
-      const float* xrow = xplane + static_cast<std::int64_t>(ih) * W;
+      const T* xrow = xplane + static_cast<std::int64_t>(ih) * W;
       for (int ow = 0; ow < OW; ++ow) {
         const int iw = ow * stride - pad + kw;
-        cptr[ow] = (iw >= 0 && iw < W) ? xrow[iw] : 0.0f;
+        cptr[ow] = (iw >= 0 && iw < W) ? xrow[iw] : T(0);
       }
     }
   }
@@ -81,8 +86,9 @@ void im2col_rows(const float* ximg, int H, int W, int KH, int KW, int stride, in
 // when the expansion is big enough to amortize a pool dispatch (a no-op
 // serial fallback when already inside a parallel region, so the batched
 // outer loop can stay parallel over images).
-void im2col_group(const float* ximg, int icg, int H, int W, int KH, int KW, int stride, int pad,
-                  int OH, int OW, float* col) {
+template <typename T>
+void im2col_group(const T* ximg, int icg, int H, int W, int KH, int KW, int stride, int pad,
+                  int OH, int OW, T* col) {
   const std::int64_t rows = static_cast<std::int64_t>(icg) * KH * KW;
   const std::int64_t cols = static_cast<std::int64_t>(OH) * OW;
   if (rows * cols >= (1 << 14)) {
@@ -94,10 +100,103 @@ void im2col_group(const float* ximg, int icg, int H, int W, int KH, int KW, int 
   }
 }
 
+// Quantizes a whole activation tensor into the calling thread's qact
+// arena slot (saturating round-to-nearest onto the plan's I.F grid).
+// Chunk-parallel and deterministic: chunks write disjoint ranges and the
+// saturation total is order-independent.
+template <typename T>
+const T* quantize_activations(const QLayerBinding& q, const float* xdata, std::int64_t numel) {
+  T* xq = reinterpret_cast<T*>(
+      GemmScratch::local().qact(static_cast<std::size_t>(numel) * sizeof(T)));
+  std::atomic<std::int64_t> sat{0};
+  const auto body = [&](std::int64_t b, std::int64_t e) {
+    const std::int64_t s =
+        quantize_to(q.type, xdata + b, e - b, q.act_step, q.act_lo, q.act_hi, xq + b);
+    if (s != 0) sat.fetch_add(s, std::memory_order_relaxed);
+  };
+  if (numel >= (1 << 14))
+    parallel_for_chunked(0, numel, body);
+  else
+    body(0, numel);
+  const std::int64_t total = sat.load(std::memory_order_relaxed);
+  if (total != 0 && q.act_saturated != nullptr)
+    q.act_saturated->fetch_add(total, std::memory_order_relaxed);
+  return xq;
+}
+
+// Integer conv: quantize-on-load once, then per (image, group) an integer
+// im2col feeds one qgemm whose epilogue adds the accumulator-scale bias
+// and dequantizes on store. Every conv shape takes this route in integer
+// mode (no direct-path crossover: the MACs must run in integer
+// arithmetic, and a depthwise qgemm is still exact, just not optimal).
+template <typename T>
+void conv_forward_integer(const Conv2DLayer::Config& cfg, const QLayerBinding& q,
+                          const Tensor& x, Tensor& out) {
+  const int N = x.shape().n(), C = x.shape().c(), H = x.shape().h(), W = x.shape().w();
+  const int OC = out.shape().c(), OH = out.shape().h(), OW = out.shape().w();
+  const int KH = cfg.kernel_h, KW = cfg.kernel_w;
+  const int stride = cfg.stride, pad = cfg.pad;
+  const int groups = cfg.groups;
+  const int icg = C / groups;
+  const int ocg = OC / groups;
+  const std::int64_t x_img = static_cast<std::int64_t>(C) * H * W;
+  const std::int64_t y_img = static_cast<std::int64_t>(OC) * OH * OW;
+  const std::int64_t k_dim = static_cast<std::int64_t>(icg) * KH * KW;
+  const std::int64_t spatial = static_cast<std::int64_t>(OH) * OW;
+  const bool is_pointwise = KH == 1 && KW == 1 && stride == 1 && pad == 0;
+
+  const T* xq = quantize_activations<T>(q, x.data(), x.numel());
+  const T* wq = static_cast<const T*>(q.weights);
+  float* ydata = out.data();
+
+  // Same outer-parallel vs tile-fan-out split as the float GEMM path;
+  // both give bitwise identical results (integer accumulation is exact).
+  const std::int64_t jobs = static_cast<std::int64_t>(N) * groups;
+  const auto body = [&](std::int64_t b, std::int64_t e) {
+    GemmScratch& scratch = GemmScratch::local();
+    for (std::int64_t idx = b; idx < e; ++idx) {
+      const int n = static_cast<int>(idx / groups);
+      const int g = static_cast<int>(idx % groups);
+      const T* ximg = xq + n * x_img + static_cast<std::int64_t>(g) * icg * H * W;
+      const T* bmat = ximg;
+      if (!is_pointwise) {
+        T* col = reinterpret_cast<T*>(
+            scratch.qcol(static_cast<std::size_t>(k_dim * spatial) * sizeof(T)));
+        im2col_group(ximg, icg, H, W, KH, KW, stride, pad, OH, OW, col);
+        bmat = col;
+      }
+      float* yg = ydata + n * y_img + static_cast<std::int64_t>(g) * ocg * spatial;
+      QGemmEpilogue ep;
+      ep.bias_row = q.bias != nullptr ? q.bias + static_cast<std::int64_t>(g) * ocg : nullptr;
+      ep.scale = q.acc_scale;
+      qgemm(q.type, ocg, spatial, k_dim, wq + static_cast<std::int64_t>(g) * ocg * k_dim, k_dim,
+            bmat, spatial, yg, spatial, ep);
+    }
+  };
+  if (jobs >= parallel_worker_count() && jobs > 1)
+    parallel_for_chunked(0, jobs, body);
+  else
+    body(0, jobs);
+}
+
 }  // namespace
+
+void Conv2DLayer::forward_integer(const QLayerBinding& q, const Tensor& x, Tensor& out) const {
+  switch (q.type) {
+    case QType::kInt8: conv_forward_integer<std::int8_t>(cfg_, q, x, out); break;
+    case QType::kInt16: conv_forward_integer<std::int16_t>(cfg_, q, x, out); break;
+    case QType::kInt32: conv_forward_integer<std::int32_t>(cfg_, q, x, out); break;
+  }
+}
 
 void Conv2DLayer::forward(std::span<const Tensor* const> in, Tensor& out) const {
   const Tensor& x = *in[0];
+  if (exec_mode() == ExecMode::kInteger) {
+    if (const QLayerBinding* q = current_qlayer(); q != nullptr && q->weights != nullptr) {
+      forward_integer(*q, x, out);
+      return;
+    }
+  }
   const int N = x.shape().n(), C = x.shape().c(), H = x.shape().h(), W = x.shape().w();
   const int OC = out.shape().c(), OH = out.shape().h(), OW = out.shape().w();
   const int KH = cfg_.kernel_h, KW = cfg_.kernel_w;

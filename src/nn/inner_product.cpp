@@ -1,9 +1,11 @@
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "nn/layers.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace mupod {
 
@@ -24,8 +26,71 @@ Shape InnerProductLayer::output_shape(std::span<const Shape> in) const {
   return Shape({s.dim(0), out_features_});
 }
 
+namespace {
+
+// Integer inner product: quantize-on-load, one qgemm over the batch in
+// the same orientation as the float path, dequantize-on-store in the
+// epilogue. The N==1 transposed product puts the bias per output row;
+// the batched product puts it per output column.
+template <typename T>
+void ip_forward_integer(const QLayerBinding& q, const Tensor& x, Tensor& out,
+                        int in_f, int out_f) {
+  const int N = x.shape().dim(0);
+  const std::int64_t numel = x.numel();
+  T* xq = reinterpret_cast<T*>(
+      GemmScratch::local().qact(static_cast<std::size_t>(numel) * sizeof(T)));
+  std::atomic<std::int64_t> sat{0};
+  const auto body = [&](std::int64_t b, std::int64_t e) {
+    const std::int64_t s =
+        quantize_to(q.type, x.data() + b, e - b, q.act_step, q.act_lo, q.act_hi, xq + b);
+    if (s != 0) sat.fetch_add(s, std::memory_order_relaxed);
+  };
+  if (numel >= (1 << 14))
+    parallel_for_chunked(0, numel, body);
+  else
+    body(0, numel);
+  const std::int64_t total = sat.load(std::memory_order_relaxed);
+  if (total != 0 && q.act_saturated != nullptr)
+    q.act_saturated->fetch_add(total, std::memory_order_relaxed);
+
+  const T* wq = static_cast<const T*>(q.weights);
+  QGemmEpilogue ep;
+  ep.scale = q.acc_scale;
+  if (N == 1) {
+    ep.bias_row = q.bias;
+    qgemm(q.type, out_f, 1, in_f, wq, in_f, xq, 1, out.data(), 1, ep);
+  } else {
+    ep.bias_col = q.bias;
+    qgemm(q.type, N, out_f, in_f, xq, in_f, wq, in_f, out.data(), out_f, ep,
+          /*trans_b=*/true);
+  }
+}
+
+}  // namespace
+
+void InnerProductLayer::forward_integer(const QLayerBinding& q, const Tensor& x,
+                                        Tensor& out) const {
+  switch (q.type) {
+    case QType::kInt8:
+      ip_forward_integer<std::int8_t>(q, x, out, in_features_, out_features_);
+      break;
+    case QType::kInt16:
+      ip_forward_integer<std::int16_t>(q, x, out, in_features_, out_features_);
+      break;
+    case QType::kInt32:
+      ip_forward_integer<std::int32_t>(q, x, out, in_features_, out_features_);
+      break;
+  }
+}
+
 void InnerProductLayer::forward(std::span<const Tensor* const> in, Tensor& out) const {
   const Tensor& x = *in[0];
+  if (exec_mode() == ExecMode::kInteger) {
+    if (const QLayerBinding* q = current_qlayer(); q != nullptr && q->weights != nullptr) {
+      forward_integer(*q, x, out);
+      return;
+    }
+  }
   const int N = x.shape().dim(0);
   const float* xdata = x.data();
   const float* wdata = weights_.data();

@@ -9,6 +9,12 @@
 
 namespace mupod {
 
+// Integer operands bound around a layer's forward by the quantized
+// executor (tensor/qgemm.hpp). The dot-product layers dispatch to their
+// integer path when exec_mode() == ExecMode::kInteger and a binding is
+// set on the calling thread.
+struct QLayerBinding;
+
 // ---------------------------------------------------------------------------
 // Input placeholder. Holds the per-image (C, H, W) shape.
 class InputLayer final : public Layer {
@@ -57,6 +63,8 @@ class Conv2DLayer final : public Layer {
   const Config& config() const { return cfg_; }
 
  private:
+  void forward_integer(const QLayerBinding& q, const Tensor& x, Tensor& out) const;
+
   Config cfg_;
   Tensor weights_;  // (out_c, in_c/groups, kh, kw)
   Tensor bias_;     // (out_c) stored as rank-1
@@ -83,6 +91,8 @@ class InnerProductLayer final : public Layer {
   int out_features() const { return out_features_; }
 
  private:
+  void forward_integer(const QLayerBinding& q, const Tensor& x, Tensor& out) const;
+
   int in_features_, out_features_;
   bool has_bias_;
   Tensor weights_;  // (out, in)

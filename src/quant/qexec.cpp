@@ -1,0 +1,190 @@
+#include "quant/qexec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace mupod {
+
+namespace {
+
+// Integer grid of a fixed-point format: values q with q * step ==
+// representable value, q in [-2^(B-1), 2^(B-1)-1]. Bit-compatible with
+// quantize_tensor's value clamp [min_value, max_value] because step is a
+// power of two (see quantize_to's contract in tensor/qgemm.hpp).
+struct Grid {
+  double step = 1.0;
+  std::int32_t lo = -1;
+  std::int32_t hi = 0;
+};
+
+Grid grid_for(const FixedPointFormat& fmt) {
+  const int bits = std::clamp(fmt.total_bits(), 1, 31);
+  Grid g;
+  g.step = fmt.step();
+  g.lo = -(std::int32_t{1} << (bits - 1));
+  g.hi = (std::int32_t{1} << (bits - 1)) - 1;
+  return g;
+}
+
+void* storage_for(QLayerLowering& L, std::size_t numel) {
+  switch (L.type) {
+    case QType::kInt8: L.w8.resize(numel); return L.w8.data();
+    case QType::kInt16: L.w16.resize(numel); return L.w16.data();
+    case QType::kInt32: L.w32.resize(numel); return L.w32.data();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const void* QLayerLowering::weights_ptr() const {
+  switch (type) {
+    case QType::kInt8: return w8.data();
+    case QType::kInt16: return w16.data();
+    case QType::kInt32: return w32.data();
+  }
+  return nullptr;
+}
+
+QuantizedNetwork::QuantizedNetwork(const Network& net, const std::vector<int>& analyzed,
+                                   const std::vector<FixedPointFormat>& formats,
+                                   const QExecOptions& opts)
+    : net_(&net), opts_(opts) {
+  assert(net.finalized());
+  assert(analyzed.size() == formats.size());
+  lowered_index_.assign(static_cast<std::size_t>(net.num_nodes()), -1);
+
+  for (std::size_t i = 0; i < analyzed.size(); ++i) {
+    const int node = analyzed[i];
+    const Layer& layer = net.layer(node);
+    const Tensor* w = layer.weights();
+    if (w == nullptr || w->numel() == 0) continue;  // no weights: stays float
+
+    QLayerLowering L;
+    L.node = node;
+    L.act_fmt = formats[i];
+
+    // Weight format mirrors Network::quantize_weights_uniform: I from the
+    // layer's max |w|, F = weight_bits - I.
+    double wmax = 0.0;
+    const float* wd = w->data();
+    for (std::int64_t j = 0; j < w->numel(); ++j) wmax = std::max(wmax, std::abs(double{wd[j]}));
+    L.w_fmt.integer_bits = FixedPointFormat::integer_bits_for_range(wmax);
+    L.w_fmt.fraction_bits = opts_.weight_bits - L.w_fmt.integer_bits;
+
+    // Narrowest homogeneous storage holding BOTH operand grids.
+    L.type = qtype_for_bits(std::max(L.act_fmt.total_bits(), L.w_fmt.total_bits()));
+
+    const Grid wg = grid_for(L.w_fmt);
+    void* wq = storage_for(L, static_cast<std::size_t>(w->numel()));
+    L.weight_saturated = quantize_to(L.type, wd, w->numel(), wg.step, wg.lo, wg.hi, wq);
+
+    // Bias in accumulator scale, rounded once offline.
+    if (const Tensor* b = layer.bias(); b != nullptr && b->numel() > 0) {
+      const Grid ag = grid_for(L.act_fmt);
+      const double acc_scale = ag.step * wg.step;
+      L.bias.resize(static_cast<std::size_t>(b->numel()));
+      const float* bd = b->data();
+      for (std::int64_t j = 0; j < b->numel(); ++j)
+        L.bias[static_cast<std::size_t>(j)] = std::llrint(double{bd[j]} / acc_scale);
+    }
+
+    lowered_index_[static_cast<std::size_t>(node)] = static_cast<int>(lowered_.size());
+    lowered_.push_back(std::move(L));
+  }
+}
+
+const QLayerLowering* QuantizedNetwork::lowering_for_node(int node) const {
+  if (node < 0 || node >= static_cast<int>(lowered_index_.size())) return nullptr;
+  const int li = lowered_index_[static_cast<std::size_t>(node)];
+  return li >= 0 ? &lowered_[static_cast<std::size_t>(li)] : nullptr;
+}
+
+std::int64_t QuantizedNetwork::weight_saturated() const {
+  std::int64_t total = 0;
+  for (const QLayerLowering& L : lowered_) total += L.weight_saturated;
+  return total;
+}
+
+Tensor QuantizedNetwork::forward(const Tensor& input) const {
+  const Network& net = *net_;
+  assert(net.finalized());
+  forwards_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) {
+    static Counter& calls = metrics().counter("qexec.forward.calls");
+    calls.add(1);
+  }
+
+  const int n_nodes = net.num_nodes();
+  std::vector<Tensor> local(static_cast<std::size_t>(n_nodes));
+  std::vector<const Tensor*> outs(static_cast<std::size_t>(n_nodes), nullptr);
+
+  // Save/restore the thread-local gate so a quantized forward nested
+  // inside other work (or an exception-free early return) leaves the
+  // calling thread exactly as it found it.
+  const ExecMode saved_mode = exec_mode();
+  const QLayerBinding* saved_binding = current_qlayer();
+  std::atomic<std::int64_t> sat{0};
+
+  for (int id = 0; id < n_nodes; ++id) {
+    const Network::Node& n = net.node(id);
+    if (n.layer->kind() == LayerKind::kInput) {
+      outs[static_cast<std::size_t>(id)] = &input;
+      continue;
+    }
+
+    std::vector<const Tensor*> ins;
+    ins.reserve(n.inputs.size());
+    for (int in : n.inputs) {
+      const Tensor* t = outs[static_cast<std::size_t>(in)];
+      assert(t != nullptr && "QuantizedNetwork: node consumed before produced");
+      ins.push_back(t);
+    }
+
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(ins.size());
+    for (const Tensor* t : ins) in_shapes.push_back(t->shape());
+    Tensor& out = local[static_cast<std::size_t>(id)];
+    const Shape os = n.layer->output_shape(in_shapes);
+    if (out.shape() != os) out = Tensor(os);
+
+    const int li = lowered_index_[static_cast<std::size_t>(id)];
+    if (li >= 0) {
+      const QLayerLowering& L = lowered_[static_cast<std::size_t>(li)];
+      const Grid ag = grid_for(L.act_fmt);
+      const Grid wg = grid_for(L.w_fmt);
+      QLayerBinding b;
+      b.type = L.type;
+      b.weights = L.weights_ptr();
+      b.bias = L.bias.empty() ? nullptr : L.bias.data();
+      b.act_step = ag.step;
+      b.act_lo = ag.lo;
+      b.act_hi = ag.hi;
+      b.acc_scale = ag.step * wg.step;
+      b.act_saturated = &sat;
+      set_exec_mode(ExecMode::kInteger);
+      set_current_qlayer(&b);
+      n.layer->forward(ins, out);
+      set_current_qlayer(saved_binding);
+      set_exec_mode(saved_mode);
+    } else {
+      n.layer->forward(ins, out);
+    }
+    outs[static_cast<std::size_t>(id)] = &out;
+  }
+
+  const std::int64_t total_sat = sat.load(std::memory_order_relaxed);
+  if (total_sat != 0) {
+    act_saturated_.fetch_add(total_sat, std::memory_order_relaxed);
+    if (metrics_enabled()) {
+      static Counter& c = metrics().counter("qexec.act.saturated");
+      c.add(total_sat);
+    }
+  }
+  return std::move(local[static_cast<std::size_t>(net.output_node())]);
+}
+
+}  // namespace mupod

@@ -8,6 +8,7 @@
 #include "hw/energy_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "quant/qexec.hpp"
 
 namespace mupod {
 
@@ -492,6 +493,65 @@ PlanResult PlanService::plan(const PlanKey& key, const PlanQuery& query) {
   ++stats_.plan_misses;
   stats_.plan_evictions += evicted;
   return r;
+}
+
+PlanValidation PlanService::validate_plan(const PlanKey& key, const PlanQuery& query,
+                                          double tolerance) {
+  ScopedSpan span("serve.validate", "serve");
+  PlanValidation v;
+  v.plan = plan(key, query);  // leaves the entry's profile (and harness) ready
+  v.weight_bits = cfg_.weight_bits;
+  v.tolerance = tolerance;
+  v.float_accuracy = v.plan.float_accuracy;
+  v.predicted_drop = v.plan.accuracy_loss;
+
+  Entry& e = entry(key);
+  const Network* net = nullptr;
+  const std::vector<int>* analyzed = nullptr;
+  const AnalysisHarness* harness = nullptr;
+  {
+    // Immutable once profile_ready (guaranteed by the plan() above), so
+    // the borrowed pointers stay valid outside the lock.
+    std::lock_guard<std::mutex> lk(e.mu);
+    net = e.net;
+    analyzed = &e.analyzed;
+    harness = e.harness.get();
+  }
+
+  // Emulated accuracy: the pipeline's validated measurement when its tail
+  // ran validation; otherwise measure the kQuantize injection here so the
+  // comparison always has both sides.
+  if (v.plan.validated_accuracy >= 0.0) {
+    v.emulated_accuracy = v.plan.validated_accuracy;
+  } else {
+    std::unordered_map<int, InjectionSpec> inject;
+    for (std::size_t i = 0; i < analyzed->size() && i < v.plan.alloc.formats.size(); ++i)
+      inject[(*analyzed)[i]] = InjectionSpec::quantize(v.plan.alloc.formats[i]);
+    v.emulated_accuracy = harness->accuracy_with_injection(inject);
+  }
+
+  // Ground truth: lower onto the integer backend and run the SAME eval
+  // set against the SAME references.
+  QExecOptions qopts;
+  qopts.weight_bits = cfg_.weight_bits;
+  QuantizedNetwork qnet(*net, *analyzed, v.plan.alloc.formats, qopts);
+  v.lowered_layers = qnet.num_lowered();
+  v.integer_accuracy =
+      harness->accuracy_with_executor([&](const Tensor& x) { return qnet.forward(x); });
+  v.act_saturated = qnet.act_saturated();
+
+  if (v.float_accuracy > 0.0) {
+    if (v.emulated_accuracy >= 0.0)
+      v.emulated_drop = std::max(0.0, 1.0 - v.emulated_accuracy / v.float_accuracy);
+    v.integer_drop = std::max(0.0, 1.0 - v.integer_accuracy / v.float_accuracy);
+  }
+  v.within_budget = v.integer_drop <= query.accuracy_target + tolerance;
+
+  bump("serve.validate.calls");
+  if (!v.within_budget) bump("serve.validate.violations");
+  span.arg("lowered_layers", v.lowered_layers);
+  span.arg("within_budget", v.within_budget ? 1 : 0);
+  return v;
 }
 
 const DiagnosticSink& PlanService::profile_diagnostics(const PlanKey& key) const {

@@ -112,6 +112,32 @@ struct PlanResult {
   bool plan_cached = false;
 };
 
+// Result of executing a plan on the INTEGER backend (quant/qexec) and
+// comparing against what the emulated pipeline predicted. The committed
+// conformance contract: integer_drop <= query.accuracy_target +
+// tolerance, where tolerance defaults to kValidationTolerance and covers
+// the emulated-vs-executed gap (integer MACs + requantized boundaries vs
+// fp32 MACs on rounded inputs; see docs/method.md Sec. 12).
+struct PlanValidation {
+  PlanResult plan;           // the answer being validated (memoized as usual)
+  int weight_bits = 16;      // uniform weight width the lowering used
+  double tolerance = 0.0;    // budget slack this validation applied
+  double float_accuracy = 1.0;
+  double emulated_accuracy = -1.0;  // kQuantize-injection accuracy (fp32 MACs)
+  double integer_accuracy = -1.0;   // integer-executed accuracy (qexec)
+  double predicted_drop = 0.0;      // the plan's accuracy_loss estimate
+  double emulated_drop = 0.0;       // measured, emulated path
+  double integer_drop = 0.0;        // measured, integer path
+  bool within_budget = false;       // integer_drop <= target + tolerance
+  std::int64_t act_saturated = 0;   // activations clipped by quantize-on-load
+  int lowered_layers = 0;           // layers actually executed in integer
+};
+
+// Committed emulated-vs-executed tolerance: the conformance battery
+// (tests/test_plan_conformance.cpp) and sweep_tool --validate both hold
+// integer_drop to accuracy_target + this.
+inline constexpr double kValidationTolerance = 0.02;
+
 // Charged-once accounting: each computed profile/sigma stage is charged to
 // exactly ONE plan() query as its miss (the first query that consumes it,
 // even when a warm-up computed it); every later consumer is a hit. So for
@@ -182,6 +208,14 @@ class PlanService {
   // Answers one query: profile and sigma stages from cache (computing them
   // on first need), then the cheap allocate+validate tail. Thread-safe.
   PlanResult plan(const PlanKey& key, const PlanQuery& query);
+
+  // plan() plus ground truth: lowers the answer onto the integer backend
+  // (quant/qexec, cfg.weight_bits weights), runs the eval set through the
+  // integer-executed network on the entry's own harness, and reports the
+  // actual vs predicted accuracy drop. Thread-safe; the plan itself is
+  // memoized as usual (the integer execution is not — it IS the check).
+  PlanValidation validate_plan(const PlanKey& key, const PlanQuery& query,
+                               double tolerance = kValidationTolerance);
 
   // Cached per-entry state, for reporting. Valid after ensure_profile.
   const DiagnosticSink& profile_diagnostics(const PlanKey& key) const;

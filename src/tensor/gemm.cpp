@@ -189,8 +189,19 @@ float* GemmScratch::grow(std::vector<float>& v, std::size_t floats) {
   return v.data();
 }
 
+unsigned char* GemmScratch::grow_bytes(std::vector<unsigned char>& v, std::size_t bytes) {
+  if (v.size() < bytes) {
+    const std::size_t old_cap = v.capacity();
+    v.resize(bytes);
+    if (v.capacity() > old_cap)
+      note_scratch_growth(static_cast<std::int64_t>(v.capacity() - old_cap));
+  }
+  return v.data();
+}
+
 std::size_t GemmScratch::bytes() const {
-  return (a_.capacity() + b_.capacity() + col_.capacity()) * sizeof(float);
+  return (a_.capacity() + b_.capacity() + col_.capacity()) * sizeof(float) + qa_.capacity() +
+         qb_.capacity() + qcol_.capacity() + qact_.capacity();
 }
 
 GemmScratch::~GemmScratch() {

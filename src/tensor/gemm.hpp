@@ -75,7 +75,13 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
 // state does zero heap traffic no matter how many forwards run. Slots:
 //   packed_a / packed_b  the GEMM packing buffers (packed_b is written by
 //                        the calling thread and read by tile tasks);
-//   col                  the im2col column buffer of Conv2DLayer.
+//   col                  the im2col column buffer of Conv2DLayer;
+//   qa / qb / qcol /     byte-granular slots for the integer path
+//   qact                 (tensor/qgemm.cpp): packed int A strips, packed
+//                        int B panels, the integer im2col buffer, and the
+//                        quantized copy of a layer's input activations
+//                        (qb/qact are written by the calling thread and
+//                        read by tile tasks).
 // The returned pointers stay valid until the next call for the same slot
 // on the same thread with a larger size.
 class GemmScratch {
@@ -86,6 +92,11 @@ class GemmScratch {
   float* packed_b(std::size_t floats) { return grow(b_, floats); }
   float* col(std::size_t floats) { return grow(col_, floats); }
 
+  unsigned char* qa(std::size_t bytes) { return grow_bytes(qa_, bytes); }
+  unsigned char* qb(std::size_t bytes) { return grow_bytes(qb_, bytes); }
+  unsigned char* qcol(std::size_t bytes) { return grow_bytes(qcol_, bytes); }
+  unsigned char* qact(std::size_t bytes) { return grow_bytes(qact_, bytes); }
+
   // Bytes currently held by this thread's arena.
   std::size_t bytes() const;
 
@@ -94,8 +105,10 @@ class GemmScratch {
 
  private:
   float* grow(std::vector<float>& v, std::size_t floats);
+  unsigned char* grow_bytes(std::vector<unsigned char>& v, std::size_t bytes);
 
   std::vector<float> a_, b_, col_;
+  std::vector<unsigned char> qa_, qb_, qcol_, qact_;
 };
 
 // Process-wide total of live scratch-arena bytes across all threads.

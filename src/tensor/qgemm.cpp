@@ -1,0 +1,337 @@
+#include "tensor/qgemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/parallel.hpp"
+
+namespace mupod {
+namespace {
+
+// Micro-tile geometry. Integer accumulators are wider than floats (int32
+// for int8 operands, int64 otherwise), so the tile is kept at 4 x 16: the
+// int32 case fits the vector register file on SSE2 and the int64 case
+// stays inside one L1 line set. Unlike the float kernel there are no
+// KC/MC/NC cache blocks: a tile task owns its output tile for the FULL k
+// extent (the requantize epilogue needs the complete accumulator), packing
+// its 4-row A strip once per row of tiles and streaming the shared packed
+// B panel.
+constexpr int QMR = 4;
+constexpr int QNR = 16;
+
+// Same pool-dispatch crossover as the float GEMM.
+constexpr std::int64_t kSerialMacCutoff = 1 << 16;
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+thread_local ExecMode t_exec_mode = ExecMode::kFloat;
+thread_local const QLayerBinding* t_qlayer = nullptr;
+
+struct QGemmCounters {
+  Counter* calls;
+  Counter* macs;
+  Counter* tiles;
+  Counter* requant_saturated;
+};
+
+QGemmCounters& qgemm_counters() {
+  static QGemmCounters c{&metrics().counter("qgemm.calls"), &metrics().counter("qgemm.macs"),
+                         &metrics().counter("qgemm.tiles"),
+                         &metrics().counter("qgemm.requant.saturated")};
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Packing (same layout discipline as the float kernel: A strips
+// r-contiguous per k, B strips c-contiguous per k, edges zero-padded so
+// the micro-kernel never branches on tile size).
+
+template <typename T>
+void pack_a_strip(const T* a, std::int64_t lda, std::int64_t i0, int mr_cur, std::int64_t k,
+                  T* ap) {
+  const T* src = a + i0 * lda;
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    int r = 0;
+    for (; r < mr_cur; ++r) ap[kk * QMR + r] = src[r * lda + kk];
+    for (; r < QMR; ++r) ap[kk * QMR + r] = T(0);
+  }
+}
+
+template <typename T>
+void pack_b_strip(const T* b, std::int64_t ldb, bool trans_b, std::int64_t j0, int nr_cur,
+                  std::int64_t k, T* bp) {
+  if (!trans_b) {
+    const T* src = b + j0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      int c = 0;
+      for (; c < nr_cur; ++c) bp[kk * QNR + c] = src[kk * ldb + c];
+      for (; c < QNR; ++c) bp[kk * QNR + c] = T(0);
+    }
+    return;
+  }
+  for (int c = 0; c < nr_cur; ++c) {
+    const T* src = b + (j0 + c) * ldb;
+    for (std::int64_t kk = 0; kk < k; ++kk) bp[kk * QNR + c] = src[kk];
+  }
+  for (int c = nr_cur; c < QNR; ++c)
+    for (std::int64_t kk = 0; kk < k; ++kk) bp[kk * QNR + c] = T(0);
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernel: full QMR x QNR register tile over the whole k extent,
+// fixed ascending order (the determinism contract; for integers the order
+// is also value-irrelevant — addition is exact and associative).
+
+template <typename T, typename Acc>
+void qmicro(std::int64_t k, const T* __restrict ap, const T* __restrict bp,
+            Acc acc[QMR][QNR]) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const T* __restrict ak = ap + static_cast<std::ptrdiff_t>(kk) * QMR;
+    const T* __restrict bk = bp + static_cast<std::ptrdiff_t>(kk) * QNR;
+    for (int r = 0; r < QMR; ++r) {
+      const Acc av = static_cast<Acc>(ak[r]);
+      for (int cc = 0; cc < QNR; ++cc) acc[r][cc] += av * static_cast<Acc>(bk[cc]);
+    }
+  }
+}
+
+// Epilogue: bias in accumulator scale, then either dequantized float
+// store or saturating requantized integer store. Returns the tile's
+// saturation count (summed per task, added to the sink once — keeps the
+// total deterministic).
+template <typename T, typename Acc>
+std::int64_t store_tile(const Acc acc[QMR][QNR], std::int64_t i0, std::int64_t j0, int mr_cur,
+                        int nr_cur, void* c, std::int64_t ldc, const QGemmEpilogue& ep) {
+  std::int64_t sat = 0;
+  for (int r = 0; r < mr_cur; ++r) {
+    for (int cc = 0; cc < nr_cur; ++cc) {
+      std::int64_t v = static_cast<std::int64_t>(acc[r][cc]);
+      if (ep.bias_row != nullptr)
+        v += ep.bias_row[i0 + r];
+      else if (ep.bias_col != nullptr)
+        v += ep.bias_col[j0 + cc];
+      if (!ep.quant_store) {
+        static_cast<float*>(c)[(i0 + r) * ldc + j0 + cc] =
+            static_cast<float>(static_cast<double>(v) * ep.scale);
+      } else {
+        std::int32_t q = apply_requant(v, ep.requant);
+        if (q > ep.hi) {
+          q = ep.hi;
+          ++sat;
+        } else if (q < ep.lo) {
+          q = ep.lo;
+          ++sat;
+        }
+        static_cast<T*>(c)[(i0 + r) * ldc + j0 + cc] = static_cast<T>(q);
+      }
+    }
+  }
+  return sat;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+template <typename T, typename Acc>
+void qgemm_impl(std::int64_t m, std::int64_t n, std::int64_t k,
+                const T* a, std::int64_t lda, const T* b, std::int64_t ldb,
+                void* c, std::int64_t ldc, const QGemmEpilogue& ep, bool trans_b) {
+  const std::int64_t n_ir = ceil_div(m, QMR);
+  const std::int64_t n_js = ceil_div(n, QNR);
+  const bool par = 2 * m * n * std::max<std::int64_t>(k, 1) >= kSerialMacCutoff;
+
+  // Pack ALL of B once into the calling thread's arena (strip-major,
+  // full-k strips); tile tasks only read it.
+  T* bp = reinterpret_cast<T*>(
+      GemmScratch::local().qb(static_cast<std::size_t>(n_js * std::max<std::int64_t>(k, 1)) *
+                              QNR * sizeof(T)));
+  const auto pack_b_range = [&](std::int64_t sb, std::int64_t se) {
+    for (std::int64_t js = sb; js < se; ++js) {
+      const std::int64_t j0 = js * QNR;
+      const int nr_cur = static_cast<int>(std::min<std::int64_t>(QNR, n - j0));
+      pack_b_strip(b, ldb, trans_b, j0, nr_cur, k, bp + js * k * QNR);
+    }
+  };
+  if (par && n_js >= 4)
+    parallel_for_chunked(0, n_js, pack_b_range);
+  else
+    pack_b_range(0, n_js);
+
+  std::atomic<std::int64_t> sat{0};
+  // Tile tasks, row-of-tiles major: a contiguous chunk packs each A strip
+  // once and reuses it across its run of B strips.
+  const auto tile_range = [&](std::int64_t tb, std::int64_t te) {
+    T* ap = reinterpret_cast<T*>(GemmScratch::local().qa(
+        static_cast<std::size_t>(std::max<std::int64_t>(k, 1)) * QMR * sizeof(T)));
+    std::int64_t packed_ir = -1;
+    std::int64_t local_sat = 0;
+    for (std::int64_t t = tb; t < te; ++t) {
+      const std::int64_t ir = t / n_js;
+      const std::int64_t js = t % n_js;
+      const std::int64_t i0 = ir * QMR;
+      const int mr_cur = static_cast<int>(std::min<std::int64_t>(QMR, m - i0));
+      if (ir != packed_ir) {
+        pack_a_strip(a, lda, i0, mr_cur, k, ap);
+        packed_ir = ir;
+      }
+      const std::int64_t j0 = js * QNR;
+      const int nr_cur = static_cast<int>(std::min<std::int64_t>(QNR, n - j0));
+      Acc acc[QMR][QNR] = {};
+      qmicro(k, ap, bp + js * k * QNR, acc);
+      local_sat += store_tile<T>(acc, i0, j0, mr_cur, nr_cur, c, ldc, ep);
+    }
+    if (local_sat != 0) sat.fetch_add(local_sat, std::memory_order_relaxed);
+  };
+  if (par)
+    parallel_for_chunked(0, n_ir * n_js, tile_range);
+  else
+    tile_range(0, n_ir * n_js);
+
+  const std::int64_t total_sat = sat.load(std::memory_order_relaxed);
+  if (total_sat != 0) {
+    if (ep.saturated != nullptr) ep.saturated->fetch_add(total_sat, std::memory_order_relaxed);
+    if (metrics_enabled()) qgemm_counters().requant_saturated->add(total_sat);
+  }
+}
+
+template <typename T>
+std::int64_t quantize_to_t(const float* x, std::int64_t n, double step, std::int32_t lo,
+                           std::int32_t hi, T* out) {
+  const double inv = 1.0 / step;  // step is a power of two: x * inv is exact
+  std::int64_t sat = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double q = std::nearbyint(static_cast<double>(x[i]) * inv);
+    if (q > hi) {
+      q = hi;
+      ++sat;
+    } else if (q < lo) {
+      q = lo;
+      ++sat;
+    } else if (!(q == q)) {
+      q = 0.0;  // NaN input: deterministic zero, like a flushed lane
+    }
+    out[i] = static_cast<T>(static_cast<std::int32_t>(q));
+  }
+  return sat;
+}
+
+}  // namespace
+
+ExecMode exec_mode() { return t_exec_mode; }
+void set_exec_mode(ExecMode m) { t_exec_mode = m; }
+
+const QLayerBinding* current_qlayer() { return t_qlayer; }
+void set_current_qlayer(const QLayerBinding* b) { t_qlayer = b; }
+
+const char* qtype_name(QType t) {
+  switch (t) {
+    case QType::kInt8: return "int8";
+    case QType::kInt16: return "int16";
+    case QType::kInt32: return "int32";
+  }
+  return "?";
+}
+
+int qtype_bits(QType t) {
+  switch (t) {
+    case QType::kInt8: return 8;
+    case QType::kInt16: return 16;
+    case QType::kInt32: return 32;
+  }
+  return 0;
+}
+
+std::size_t qtype_bytes(QType t) { return static_cast<std::size_t>(qtype_bits(t)) / 8; }
+
+QType qtype_for_bits(int total_bits) {
+  if (total_bits <= 8) return QType::kInt8;
+  if (total_bits <= 16) return QType::kInt16;
+  return QType::kInt32;
+}
+
+QRequant make_requant(double real_multiplier) {
+  assert(real_multiplier > 0.0);
+  QRequant rq;
+  int exp = 0;
+  const double q = std::frexp(real_multiplier, &exp);  // real = q * 2^exp, q in [0.5, 1)
+  std::int64_t qi = std::llround(q * static_cast<double>(std::int64_t{1} << 31));
+  if (qi == (std::int64_t{1} << 31)) {
+    qi >>= 1;
+    ++exp;
+  }
+  rq.multiplier = static_cast<std::int32_t>(qi);
+  rq.shift = -exp;  // y = acc * multiplier * 2^-(31 + shift)
+  return rq;
+}
+
+std::int32_t apply_requant(std::int64_t acc, const QRequant& rq) {
+  // 128-bit product: |acc| < 2^63 and multiplier < 2^31 always fit.
+  __int128 p = static_cast<__int128>(acc) * rq.multiplier;
+  const int s = 31 + rq.shift;
+  if (s > 0) {
+    // Round to nearest, ties toward +inf: add half, floor (arithmetic
+    // shift). One fixed rule for both signs keeps it branch-free and
+    // bit-reproducible.
+    p = (p + (static_cast<__int128>(1) << (s - 1))) >> s;
+  } else if (s < 0) {
+    p <<= -s;
+  }
+  if (p > std::numeric_limits<std::int32_t>::max()) return std::numeric_limits<std::int32_t>::max();
+  if (p < std::numeric_limits<std::int32_t>::min()) return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(p);
+}
+
+QGemmBlocking qgemm_blocking() { return {QMR, QNR}; }
+
+void qgemm(QType type, std::int64_t m, std::int64_t n, std::int64_t k,
+           const void* a, std::int64_t lda, const void* b, std::int64_t ldb,
+           void* c, std::int64_t ldc, const QGemmEpilogue& ep, bool trans_b) {
+  if (m <= 0 || n <= 0) return;
+  if (k < 0) k = 0;
+
+  if (metrics_enabled()) {
+    QGemmCounters& qc = qgemm_counters();
+    qc.calls->add(1);
+    qc.macs->add(m * n * k);
+    qc.tiles->add(ceil_div(m, QMR) * ceil_div(n, QNR));
+  }
+
+  switch (type) {
+    case QType::kInt8:
+      // int8 x int8 products are < 2^14, so int32 accumulation is exact
+      // for any k < 2^17 — far beyond any layer this pipeline lowers.
+      qgemm_impl<std::int8_t, std::int32_t>(m, n, k, static_cast<const std::int8_t*>(a), lda,
+                                            static_cast<const std::int8_t*>(b), ldb, c, ldc, ep,
+                                            trans_b);
+      break;
+    case QType::kInt16:
+      qgemm_impl<std::int16_t, std::int64_t>(m, n, k, static_cast<const std::int16_t*>(a), lda,
+                                             static_cast<const std::int16_t*>(b), ldb, c, ldc, ep,
+                                             trans_b);
+      break;
+    case QType::kInt32:
+      qgemm_impl<std::int32_t, std::int64_t>(m, n, k, static_cast<const std::int32_t*>(a), lda,
+                                             static_cast<const std::int32_t*>(b), ldb, c, ldc, ep,
+                                             trans_b);
+      break;
+  }
+}
+
+std::int64_t quantize_to(QType type, const float* x, std::int64_t n, double step, std::int32_t lo,
+                         std::int32_t hi, void* out) {
+  switch (type) {
+    case QType::kInt8:
+      return quantize_to_t(x, n, step, lo, hi, static_cast<std::int8_t*>(out));
+    case QType::kInt16:
+      return quantize_to_t(x, n, step, lo, hi, static_cast<std::int16_t*>(out));
+    case QType::kInt32:
+      return quantize_to_t(x, n, step, lo, hi, static_cast<std::int32_t*>(out));
+  }
+  return 0;
+}
+
+}  // namespace mupod

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/plan_service.hpp"
+#include "tensor/parallel.hpp"
 #include "zoo/zoo.hpp"
 
 namespace mupod {
@@ -178,6 +179,58 @@ TEST(Determinism, WarmServiceAnswerEqualsColdPipelineAnswer) {
   }
   EXPECT_FALSE(warm.plan_cached);
   EXPECT_TRUE(replay.plan_cached);
+}
+
+TEST(Determinism, ValidatePlanBitIdenticalAcrossWorkerCountsAndRuns) {
+  // The integer execution backend extends the determinism contract to
+  // plan validation: the quantize-on-load chunking and the qgemm tile
+  // fan-out must not leak into the measured accuracy. One validation per
+  // worker count, plus a repetition within each service — every field of
+  // the ground truth must be bit-equal.
+  std::vector<PlanValidation> per_worker;
+  for (const int workers : {1, 4}) {
+    set_parallel_worker_count(workers);
+    ZooOptions zo;
+    zo.num_classes = 10;
+    zo.seed = 404;
+    zo.data_seed = 8;
+    zo.calibration_images = 8;
+    ZooModel model = build_tiny_cnn(zo);
+    DatasetConfig dc;
+    dc.num_classes = 10;
+    dc.height = 16;
+    dc.width = 16;
+    dc.seed = 8;
+    SyntheticImageDataset dataset(dc);
+
+    PlanServiceConfig scfg;
+    scfg.pipeline = fast_config();
+    PlanService service(scfg);
+    const PlanKey key = service.register_network(model.net, model.analyzed, dataset);
+    PlanQuery q;
+    q.accuracy_target = 0.05;
+    q.objective = objective_input_bits(model.net, model.analyzed);
+
+    const PlanValidation a = service.validate_plan(key, q);
+    const PlanValidation b = service.validate_plan(key, q);  // repetition
+    EXPECT_EQ(a.integer_accuracy, b.integer_accuracy) << workers << " worker(s)";
+    EXPECT_EQ(a.emulated_accuracy, b.emulated_accuracy) << workers << " worker(s)";
+    EXPECT_EQ(a.act_saturated, b.act_saturated) << workers << " worker(s)";
+    per_worker.push_back(a);
+  }
+  set_parallel_worker_count(0);  // restore the default pool
+
+  ASSERT_EQ(per_worker.size(), 2u);
+  const PlanValidation& w1 = per_worker[0];
+  const PlanValidation& w4 = per_worker[1];
+  EXPECT_EQ(w1.float_accuracy, w4.float_accuracy);
+  EXPECT_EQ(w1.emulated_accuracy, w4.emulated_accuracy);
+  EXPECT_EQ(w1.integer_accuracy, w4.integer_accuracy);
+  EXPECT_EQ(w1.integer_drop, w4.integer_drop);
+  EXPECT_EQ(w1.act_saturated, w4.act_saturated);
+  EXPECT_EQ(w1.plan.alloc.bits, w4.plan.alloc.bits);
+  EXPECT_EQ(w1.plan.alloc.formats, w4.plan.alloc.formats);
+  EXPECT_EQ(w1.within_budget, w4.within_budget);
 }
 
 }  // namespace

@@ -1,0 +1,300 @@
+// bench_cluster: chaos bench for the sharded plan-serving cluster
+// (src/cluster). Three phases, all on replicas warmed so that measured
+// latency is routing + verified-cache work, never plan computation:
+//
+//   healthy     closed-loop queries against an unharmed cluster: the
+//               latency floor (p50/p99) for the hedged configuration.
+//   straggler   a kDelay fault (50 ms, ~30% of dispatches) is armed on
+//               the replica the router prefers when idle. Run once with
+//               hedging on (a second replica is tried after 5 ms; first
+//               response wins) and once with hedging off. The hedged p99
+//               must undercut the unhedged p99 — that gap is what hedged
+//               retries buy against stragglers.
+//   recovery    a replica is killed under load. Measures the time from
+//               the kill until its circuit breaker opens (queries fail
+//               over meanwhile) and, after reviving it, the time until a
+//               half-open probe closes the breaker again.
+//
+// Every successful response is checked byte-identical to a single-process
+// PlanService answer for the same query — chaos must never change the
+// plan, only the path it takes. Exit code reflects the contract.
+//
+// Usage: bench_cluster [--net NAME] [--queries N] [--json FILE]
+// --json writes a machine-readable summary (scripts/run_benchmarks.sh
+// parks it at BENCH_cluster.json).
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "core/fault.hpp"
+#include "io/json_writer.hpp"
+
+namespace {
+
+using namespace mupod;
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(pos + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+bool plans_identical(const PlanResult& a, const PlanResult& b) {
+  return a.alloc.bits == b.alloc.bits && a.alloc.xi == b.alloc.xi &&
+         a.alloc.deltas == b.alloc.deltas && a.alloc.formats == b.alloc.formats &&
+         a.sigma_used == b.sigma_used && a.objective_cost == b.objective_cost &&
+         plan_result_checksum(a) == plan_result_checksum(b);
+}
+
+// Warms every replica's own PlanService (bypassing the router) so chaos
+// phases only ever exercise the memoized path on healthy nodes.
+void warm_replicas(ClusterController& cluster, const PlanKey& key,
+                   const std::vector<PlanQuery>& queries) {
+  cluster.replicate_profile(key);
+  for (int id : cluster.replicas_for_hash(key.net_hash))
+    for (const PlanQuery& q : queries) cluster.node(id).service().plan(key, q);
+}
+
+struct PhaseResult {
+  std::vector<double> wall_ms;
+  std::int64_t ok = 0;
+  std::int64_t failed = 0;
+  std::int64_t mismatched = 0;
+  std::int64_t hedges = 0;
+  std::int64_t hedge_wins = 0;
+};
+
+PhaseResult run_phase(ClusterController& cluster, const PlanKey& key,
+                      const std::vector<PlanQuery>& queries,
+                      const std::vector<PlanResult>& expected, int n) {
+  PhaseResult r;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t qi = static_cast<std::size_t>(i) % queries.size();
+    const ClusterQueryResult q = cluster.plan(key, queries[qi]);
+    if (!q.ok) {
+      ++r.failed;
+      continue;
+    }
+    ++r.ok;
+    r.wall_ms.push_back(q.wall_ms);
+    r.hedges += q.hedges;
+    r.hedge_wins += q.hedge_won ? 1 : 0;
+    if (!plans_identical(q.plan, expected[qi])) ++r.mismatched;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net_name = "tiny";
+  std::string json_out;
+  int n_queries = 120;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--net" && i + 1 < argc) net_name = argv[++i];
+    else if (arg == "--queries" && i + 1 < argc) n_queries = std::max(8, std::atoi(argv[++i]));
+    else if (arg == "--json" && i + 1 < argc) json_out = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: bench_cluster [--net NAME] [--queries N] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  bench::print_header("plan-serving cluster: hedged retries and breaker recovery under chaos",
+                      "serving-layer extension; robustness contract (docs/method.md sec. 13)");
+
+  bench::ExperimentConfig ecfg;
+  bench::Experiment e = bench::make_experiment(net_name, ecfg);
+
+  PlanServiceConfig scfg;
+  scfg.pipeline.harness.profile_images = ecfg.profile_images;
+  scfg.pipeline.harness.eval_images = 64;  // warm-up cost only; latency is cache-path
+  scfg.pipeline.harness.batch = ecfg.batch;
+  scfg.pipeline.profiler.points = 5;
+  scfg.pipeline.search_weights = false;
+
+  // Single-process ground truth: chaos must reproduce these byte-for-byte.
+  PlanService baseline(scfg);
+  const PlanKey key =
+      baseline.register_network(e.model.net, e.model.analyzed, *e.dataset);
+  std::vector<PlanQuery> queries(2);
+  queries[0].accuracy_target = 0.02;
+  queries[0].objective = objective_input_bits(e.model.net, e.model.analyzed);
+  queries[1].accuracy_target = 0.05;
+  queries[1].objective = objective_mac_energy(e.model.net, e.model.analyzed);
+  std::vector<PlanResult> expected;
+  for (const PlanQuery& q : queries) expected.push_back(baseline.plan(key, q));
+
+  ClusterConfig hedged_cfg;
+  hedged_cfg.nodes = 3;
+  hedged_cfg.replicas = 2;
+  hedged_cfg.node_threads = 2;
+  hedged_cfg.attempt_timeout_us = 2'000'000;
+  hedged_cfg.hedge_delay_us = 5'000;
+  hedged_cfg.deadline_us = 30'000'000;
+  ClusterConfig unhedged_cfg = hedged_cfg;
+  unhedged_cfg.hedging = false;
+
+  // The kDelay straggler: ~30% of dispatches to the victim stall 50 ms.
+  // The victim is the lowest-id replica — the router's tie-break favorite
+  // when both replicas are idle, so primaries genuinely hit it.
+  FaultSchedule straggle;
+  straggle.kind = FaultKind::kDelay;
+  straggle.delay_us = 50'000;
+  straggle.probability = 0.3;
+  straggle.seed = 7;
+
+  // --- healthy + straggler (hedging on) -----------------------------------
+  ClusterController hedged(hedged_cfg, scfg);
+  const PlanKey hkey = hedged.register_network(e.model.net, e.model.analyzed, *e.dataset);
+  warm_replicas(hedged, hkey, queries);
+  const std::vector<int> reps = hedged.replicas_for_hash(hkey.net_hash);
+  const int straggler = *std::min_element(reps.begin(), reps.end());
+
+  const PhaseResult healthy = run_phase(hedged, hkey, queries, expected, n_queries);
+  hedged.faults().arm(hedged.node(straggler).fault_point(), straggle);
+  const PhaseResult slow_hedged = run_phase(hedged, hkey, queries, expected, n_queries);
+
+  // --- straggler (hedging off) --------------------------------------------
+  ClusterController unhedged(unhedged_cfg, scfg);
+  const PlanKey ukey = unhedged.register_network(e.model.net, e.model.analyzed, *e.dataset);
+  warm_replicas(unhedged, ukey, queries);
+  unhedged.faults().arm(unhedged.node(straggler).fault_point(), straggle);
+  const PhaseResult slow_unhedged = run_phase(unhedged, ukey, queries, expected, n_queries);
+
+  // --- kill / recovery -----------------------------------------------------
+  ClusterConfig chaos_cfg = hedged_cfg;
+  chaos_cfg.attempt_timeout_us = 400'000;
+  chaos_cfg.hedge_delay_us = 30'000;
+  chaos_cfg.max_attempts = 6;
+  chaos_cfg.deadline_us = 60'000'000;
+  chaos_cfg.breaker.failure_threshold = 1;  // a killed node gets few dispatches
+  chaos_cfg.breaker.cooldown_us = 150'000;
+  ClusterController chaos(chaos_cfg, scfg);
+  const PlanKey ckey = chaos.register_network(e.model.net, e.model.analyzed, *e.dataset);
+  warm_replicas(chaos, ckey, queries);
+  const std::vector<int> creps = chaos.replicas_for_hash(ckey.net_hash);
+  const int victim = *std::min_element(creps.begin(), creps.end());
+
+  const std::int64_t t_kill = cluster_now_us();
+  chaos.kill_node(victim);
+  PhaseResult outage = run_phase(chaos, ckey, queries, expected, 8);
+  double time_to_open_ms = -1.0;
+  for (int i = 0; i < 500; ++i) {  // parked dispatches resolve at attempt_timeout
+    chaos.sweep_pending();
+    if (chaos.breaker(victim).counters().opened >= 1) {
+      time_to_open_ms = static_cast<double>(cluster_now_us() - t_kill) / 1000.0;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  const std::int64_t t_revive = cluster_now_us();
+  chaos.revive_node(victim);
+  double time_to_recover_ms = -1.0;
+  for (int i = 0; i < 1000; ++i) {  // cooldown, then a probe query closes it
+    const ClusterQueryResult q = chaos.plan(ckey, queries[i % queries.size()]);
+    if (q.ok) {
+      outage.ok++;
+      if (!plans_identical(q.plan, expected[i % queries.size()])) outage.mismatched++;
+    } else {
+      outage.failed++;
+    }
+    chaos.sweep_pending();
+    if (chaos.breaker(victim).counters().closed >= 1 &&
+        chaos.breaker(victim).state(cluster_now_us()) == BreakerState::kClosed) {
+      time_to_recover_ms = static_cast<double>(cluster_now_us() - t_revive) / 1000.0;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // --- report --------------------------------------------------------------
+  const double healthy_p50 = percentile(healthy.wall_ms, 0.50);
+  const double healthy_p99 = percentile(healthy.wall_ms, 0.99);
+  const double hedged_p50 = percentile(slow_hedged.wall_ms, 0.50);
+  const double hedged_p99 = percentile(slow_hedged.wall_ms, 0.99);
+  const double unhedged_p50 = percentile(slow_unhedged.wall_ms, 0.50);
+  const double unhedged_p99 = percentile(slow_unhedged.wall_ms, 0.99);
+  const double p99_speedup = hedged_p99 > 0.0 ? unhedged_p99 / hedged_p99 : 0.0;
+  const double hedge_win_rate =
+      slow_hedged.hedges > 0
+          ? static_cast<double>(slow_hedged.hedge_wins) / static_cast<double>(slow_hedged.hedges)
+          : 0.0;
+
+  const std::int64_t mismatched =
+      healthy.mismatched + slow_hedged.mismatched + slow_unhedged.mismatched + outage.mismatched;
+  const std::int64_t failed =
+      healthy.failed + slow_hedged.failed + slow_unhedged.failed + outage.failed;
+  const bool recovered = time_to_open_ms >= 0.0 && time_to_recover_ms >= 0.0;
+  const bool pass =
+      mismatched == 0 && failed == 0 && recovered && hedged_p99 < unhedged_p99;
+
+  std::printf("network %s, %d queries per phase, straggler node %d (50 ms delay, p=0.3):\n",
+              net_name.c_str(), n_queries, straggler);
+  std::printf("  healthy                p50 %7.2f ms   p99 %7.2f ms\n", healthy_p50, healthy_p99);
+  std::printf("  straggler, hedging on  p50 %7.2f ms   p99 %7.2f ms   (%lld hedges, "
+              "win rate %.2f)\n",
+              hedged_p50, hedged_p99, static_cast<long long>(slow_hedged.hedges),
+              hedge_win_rate);
+  std::printf("  straggler, hedging off p50 %7.2f ms   p99 %7.2f ms\n", unhedged_p50,
+              unhedged_p99);
+  std::printf("  hedging p99 speedup    %.2fx\n", p99_speedup);
+  std::printf("  node %d killed: breaker opened after %.1f ms, closed %.1f ms after revive\n",
+              victim, time_to_open_ms, time_to_recover_ms);
+  std::printf("  byte-identical plans   %lld/%lld responses, %lld failed  -> %s\n",
+              static_cast<long long>(healthy.ok + slow_hedged.ok + slow_unhedged.ok + outage.ok -
+                                     mismatched),
+              static_cast<long long>(healthy.ok + slow_hedged.ok + slow_unhedged.ok + outage.ok),
+              static_cast<long long>(failed), pass ? "PASS" : "FAIL");
+
+  if (!json_out.empty()) {
+    JsonWriter j;
+    j.begin_object();
+    j.kv("bench", "cluster");
+    j.kv("network", net_name);
+    j.kv("queries_per_phase", n_queries);
+    j.kv("straggler_node", straggler);
+    j.kv("straggler_delay_ms", 50.0);
+    j.kv("straggler_probability", 0.3);
+    j.key("healthy").begin_object();
+    j.kv("p50_ms", healthy_p50).kv("p99_ms", healthy_p99);
+    j.end_object();
+    j.key("straggler_hedged").begin_object();
+    j.kv("p50_ms", hedged_p50).kv("p99_ms", hedged_p99);
+    j.kv("hedges", slow_hedged.hedges).kv("hedge_wins", slow_hedged.hedge_wins);
+    j.kv("hedge_win_rate", hedge_win_rate);
+    j.end_object();
+    j.key("straggler_unhedged").begin_object();
+    j.kv("p50_ms", unhedged_p50).kv("p99_ms", unhedged_p99);
+    j.end_object();
+    j.kv("hedge_p99_speedup", p99_speedup);
+    j.key("recovery").begin_object();
+    j.kv("victim_node", victim);
+    j.kv("time_to_open_ms", time_to_open_ms);
+    j.kv("time_to_recover_ms", time_to_recover_ms);
+    j.end_object();
+    j.kv("mismatched", mismatched);
+    j.kv("failed", failed);
+    j.kv("pass", pass);
+    j.end_object();
+    errno = 0;
+    if (!write_json_file(json_out, j.str())) {
+      std::fprintf(stderr, "error: cannot write '%s': %s\n", json_out.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return pass ? 0 : 1;
+}

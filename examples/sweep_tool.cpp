@@ -240,6 +240,8 @@ int main(int argc, char** argv) {
     j.kv("plan_misses", stats.plan_misses).kv("plan_hits", stats.plan_hits);
     j.kv("profile_waits", stats.profile_waits).kv("sigma_waits", stats.sigma_waits);
     j.kv("plan_evictions", stats.plan_evictions);
+    j.kv("profile_loads", stats.profile_loads)
+        .kv("profile_load_rejected", stats.profile_load_rejected);
     j.end_object();
     j.key("cells").begin_array();
     for (const SweepCell& cell : sweep.cells) {

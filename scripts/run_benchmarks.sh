@@ -16,11 +16,16 @@
 # BENCH_forward.json records min-of-N forward wall time per zoo network
 # (NiN, AlexNet, MobileNet) x batch {1, 8}, legacy scalar path vs blocked
 # GEMM path, plus the old/new max |diff| parity check.
+#
+# BENCH_cluster.json records the chaos bench on the sharded plan-serving
+# cluster: straggler p50/p99 with hedging on vs off, hedge win rate,
+# breaker time-to-open after a node kill and time-to-recover after the
+# revive, and the byte-identical-plans contract (mismatched must be 0).
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p bench_logs
 
-for b in bench_sweep bench_observability bench_forward; do
+for b in bench_sweep bench_observability bench_forward bench_cluster; do
   if [ ! -x "build/bench/$b" ]; then
     echo "build/bench/$b not found — build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -42,8 +47,13 @@ echo "=== bench_forward $(date +%H:%M:%S) (MUPOD_THREADS=${MUPOD_THREADS:-unset}
   | tee bench_logs/bench_forward.txt
 
 echo
+echo "=== bench_cluster $(date +%H:%M:%S) ==="
+./build/bench/bench_cluster --json bench_logs/BENCH_cluster.json \
+  | tee bench_logs/bench_cluster.txt
+
+echo
 for f in bench_logs/BENCH_sweep.json bench_logs/BENCH_observability.json \
-         bench_logs/BENCH_forward.json; do
+         bench_logs/BENCH_forward.json bench_logs/BENCH_cluster.json; do
   echo "wrote $f:"
   cat "$f"
 done

@@ -1,0 +1,154 @@
+#include "cluster/breaker.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace mupod {
+
+namespace {
+
+struct Transition {
+  BreakerState from;
+  BreakerState to;
+  std::int64_t now_us;
+};
+
+}  // namespace
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig cfg) : cfg_(cfg) {
+  if (cfg_.failure_threshold < 1) cfg_.failure_threshold = 1;
+  if (cfg_.probe_successes < 1) cfg_.probe_successes = 1;
+}
+
+void CircuitBreaker::on_transition(
+    std::function<void(BreakerState, BreakerState, std::int64_t)> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  on_transition_ = std::move(fn);
+}
+
+void CircuitBreaker::transition(BreakerState to, std::int64_t) { state_ = to; }
+
+BreakerDecision CircuitBreaker::admit(std::int64_t now_us) {
+  std::vector<Transition> fired;
+  BreakerDecision decision = BreakerDecision::kReject;
+  std::function<void(BreakerState, BreakerState, std::int64_t)> cb;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cb = on_transition_;
+    switch (state_) {
+      case BreakerState::kClosed:
+        decision = BreakerDecision::kAdmit;
+        break;
+      case BreakerState::kOpen:
+        if (now_us >= open_until_us_) {
+          // Cooldown elapsed: half-open, and this caller IS the probe.
+          fired.push_back({BreakerState::kOpen, BreakerState::kHalfOpen, now_us});
+          transition(BreakerState::kHalfOpen, now_us);
+          probe_in_flight_ = true;
+          probe_successes_ = 0;
+          ++counters_.probes;
+          decision = BreakerDecision::kProbe;
+        } else {
+          ++counters_.rejected;
+          decision = BreakerDecision::kReject;
+        }
+        break;
+      case BreakerState::kHalfOpen:
+        if (probe_in_flight_) {
+          // Exactly one in-flight probe: everyone else fast-fails.
+          ++counters_.rejected;
+          decision = BreakerDecision::kReject;
+        } else {
+          probe_in_flight_ = true;
+          ++counters_.probes;
+          decision = BreakerDecision::kProbe;
+        }
+        break;
+    }
+  }
+  if (cb) {
+    for (const Transition& t : fired) cb(t.from, t.to, t.now_us);
+  }
+  return decision;
+}
+
+void CircuitBreaker::record_success(std::int64_t now_us, bool probe) {
+  std::vector<Transition> fired;
+  std::function<void(BreakerState, BreakerState, std::int64_t)> cb;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cb = on_transition_;
+    if (probe) {
+      // A probe admitted before a concurrent re-open resolves against the
+      // current state; only count it while still half-open.
+      if (state_ == BreakerState::kHalfOpen) {
+        probe_in_flight_ = false;
+        if (++probe_successes_ >= cfg_.probe_successes) {
+          fired.push_back({state_, BreakerState::kClosed, now_us});
+          transition(BreakerState::kClosed, now_us);
+          consecutive_failures_ = 0;
+          probe_successes_ = 0;
+          ++counters_.closed;
+        }
+      }
+    } else if (state_ == BreakerState::kClosed) {
+      consecutive_failures_ = 0;
+    }
+  }
+  if (cb) {
+    for (const Transition& t : fired) cb(t.from, t.to, t.now_us);
+  }
+}
+
+void CircuitBreaker::record_failure(std::int64_t now_us, bool probe) {
+  std::vector<Transition> fired;
+  std::function<void(BreakerState, BreakerState, std::int64_t)> cb;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cb = on_transition_;
+    if (probe) {
+      if (state_ == BreakerState::kHalfOpen) {
+        // Probe failed: straight back to open for another cooldown.
+        probe_in_flight_ = false;
+        probe_successes_ = 0;
+        fired.push_back({state_, BreakerState::kOpen, now_us});
+        transition(BreakerState::kOpen, now_us);
+        open_until_us_ = now_us + cfg_.cooldown_us;
+        ++counters_.reopened;
+      }
+    } else if (state_ == BreakerState::kClosed) {
+      if (++consecutive_failures_ >= cfg_.failure_threshold) {
+        fired.push_back({state_, BreakerState::kOpen, now_us});
+        transition(BreakerState::kOpen, now_us);
+        open_until_us_ = now_us + cfg_.cooldown_us;
+        consecutive_failures_ = 0;
+        ++counters_.opened;
+      }
+    }
+  }
+  if (cb) {
+    for (const Transition& t : fired) cb(t.from, t.to, t.now_us);
+  }
+}
+
+BreakerState CircuitBreaker::state(std::int64_t now_us) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (state_ == BreakerState::kOpen && now_us >= open_until_us_) return BreakerState::kHalfOpen;
+  return state_;
+}
+
+BreakerCounters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+}  // namespace mupod

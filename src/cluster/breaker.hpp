@@ -1,0 +1,88 @@
+// Per-node circuit breaker: closed -> open -> half-open with probe-based
+// recovery.
+//
+// The cluster router consults one breaker per worker node before
+// dispatching. A node that times out or errors `failure_threshold` times
+// in a row trips its breaker OPEN: queries fast-fail over to the other
+// replicas instead of each paying the attempt timeout against a dead
+// node. After `cooldown_us` the breaker admits exactly ONE probe request
+// (HALF-OPEN); the probe's outcome decides — success (after
+// `probe_successes` probes) fully closes the breaker, failure re-opens it
+// for another cooldown. While a probe is in flight every other caller is
+// rejected, so a recovering node is never stampeded.
+//
+// Time is an explicit microsecond timestamp supplied by the caller, never
+// read from a real clock here — the state machine is testable with a fake
+// clock (tests/test_cluster.cpp walks every transition without sleeping)
+// and the cluster uses one steady-clock origin for all breakers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace mupod {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* breaker_state_name(BreakerState s);
+
+struct BreakerConfig {
+  int failure_threshold = 3;           // consecutive failures to trip open
+  std::int64_t cooldown_us = 100'000;  // open -> half-open (probe) delay
+  int probe_successes = 1;             // successful probes to fully close
+};
+
+// What admit() decided for this call.
+enum class BreakerDecision {
+  kAdmit,   // closed: proceed normally
+  kProbe,   // half-open: proceed, and report the outcome as a probe
+  kReject,  // open (or probe already in flight): fast-fail
+};
+
+struct BreakerCounters {
+  std::int64_t opened = 0;    // closed -> open trips
+  std::int64_t reopened = 0;  // half-open probe failures
+  std::int64_t closed = 0;    // half-open -> closed recoveries
+  std::int64_t probes = 0;    // probe admissions
+  std::int64_t rejected = 0;  // fast-failed admission attempts
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig cfg = {});
+
+  // Admission decision at time `now_us`. kProbe admissions MUST be
+  // resolved by a later record_success/record_failure with probe=true
+  // (whichever side observes the outcome first — the node on completion
+  // or the router on timeout).
+  BreakerDecision admit(std::int64_t now_us);
+
+  void record_success(std::int64_t now_us, bool probe = false);
+  void record_failure(std::int64_t now_us, bool probe = false);
+
+  // The state an admit() at `now_us` would act from (an elapsed cooldown
+  // reads as half-open even before the transition is taken).
+  BreakerState state(std::int64_t now_us) const;
+
+  BreakerCounters counters() const;
+
+  // Observer for transitions (metrics / diagnostics); called outside the
+  // internal lock with (from, to, now_us). Install before use.
+  void on_transition(std::function<void(BreakerState, BreakerState, std::int64_t)> fn);
+
+ private:
+  void transition(BreakerState to, std::int64_t now_us);  // requires mu_ held
+
+  BreakerConfig cfg_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  std::int64_t open_until_us_ = 0;
+  BreakerCounters counters_;
+  std::function<void(BreakerState, BreakerState, std::int64_t)> on_transition_;
+};
+
+}  // namespace mupod

@@ -362,6 +362,26 @@ bool PlanService::load_profile(const PlanKey& key, const ProfileBundle& bundle) 
   return true;
 }
 
+ProfileBundle PlanService::export_profile(const PlanKey& key) const {
+  const Entry& e = entry(key);
+  std::lock_guard<std::mutex> lk(e.mu);
+  if (!e.profile_ready)
+    throw std::runtime_error("plan service: export_profile on " + key.to_string() +
+                             " before the profile is ready (call ensure_profile first)");
+  ProfileBundle b;
+  b.network = e.name;
+  b.net_hash = key.net_hash;
+  b.models = e.prof.models;
+  b.ranges = e.prof.ranges;
+  b.layer_names.reserve(e.analyzed.size());
+  for (int id : e.analyzed) {
+    b.layer_names.push_back(e.net->node(id).name);
+    b.input_elems.push_back(e.net->node(id).cost.input_elems);
+    b.macs.push_back(e.net->node(id).cost.macs);
+  }
+  return b;
+}
+
 namespace {
 
 std::string plan_memo_key(const PlanQuery& q) {

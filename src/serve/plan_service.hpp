@@ -205,6 +205,13 @@ class PlanService {
   // Also returns false (benignly) when the profile was already measured.
   bool load_profile(const PlanKey& key, const ProfileBundle& bundle);
 
+  // The inverse of load_profile: packages the cached profile stage as a
+  // persistable/replicable bundle carrying the network content hash (so a
+  // receiving service's load_profile can verify provenance). Requires the
+  // profile to be ready (ensure_profile first); throws otherwise. The
+  // sigma fields are left zero — seeding only consumes models/ranges.
+  ProfileBundle export_profile(const PlanKey& key) const;
+
   // Answers one query: profile and sigma stages from cache (computing them
   // on first need), then the cheap allocate+validate tail. Thread-safe.
   PlanResult plan(const PlanKey& key, const PlanQuery& query);

@@ -1,17 +1,18 @@
-// Fault-injection harness for the robustness tests: a delegating layer
-// wrapper that poisons its output (NaN / Inf / huge saturated values) on a
-// configurable call schedule, plus a builder for a small CNN with the
-// fault planted mid-network. The pipeline must survive these faults with
-// diagnostics and a conservative allocation — never a crash or a
+// Test-side remnants of the fault-injection harness. The reusable
+// machinery (FaultKind / FaultSchedule / FaultyLayer / FaultInjector)
+// was promoted to src/core/fault.hpp so the cluster layer can inject the
+// same faults at node seams; what stays here is the small CNN builder
+// with a fault planted mid-network, which depends on the zoo/data helpers
+// and is only meaningful to tests. The pipeline must survive these faults
+// with diagnostics and a conservative allocation — never a crash or a
 // confident-but-garbage result.
 #pragma once
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
 #include <memory>
 #include <utility>
+#include <vector>
 
+#include "core/fault.hpp"
 #include "data/synthetic.hpp"
 #include "nn/layers.hpp"
 #include "nn/network.hpp"
@@ -19,77 +20,9 @@
 
 namespace mupod::faulttest {
 
-enum class FaultKind {
-  kNaN,       // quiet NaNs
-  kInf,       // +infinity
-  kSaturate,  // finite but absurdly large (~1e6) — degrades fits, not isfinite
-};
-
-// Which forward() calls of the wrapped layer emit the fault. Calls are
-// counted per FaultyLayer instance, starting at 0.
-struct FaultSchedule {
-  FaultKind kind = FaultKind::kNaN;
-  int first_call = 0;                                 // first faulty call
-  int period = 1;                                     // every Nth call after first
-  int last_call = std::numeric_limits<int>::max();    // inclusive
-  double fraction = 0.25;                             // fraction of elements poisoned
-};
-
-// Wraps any Layer and corrupts its output on schedule. The mutable call
-// counter mirrors how a real intermittent hardware fault presents: the
-// same layer works on some forward passes and emits garbage on others.
-class FaultyLayer final : public Layer {
- public:
-  FaultyLayer(std::unique_ptr<Layer> inner, FaultSchedule schedule)
-      : inner_(std::move(inner)), schedule_(schedule) {}
-
-  LayerKind kind() const override { return inner_->kind(); }
-  Shape output_shape(std::span<const Shape> in) const override {
-    return inner_->output_shape(in);
-  }
-  bool analyzable() const override { return inner_->analyzable(); }
-  LayerCost cost(std::span<const Shape> in) const override { return inner_->cost(in); }
-  const Tensor* weights() const override { return inner_->weights(); }
-  Tensor* mutable_weights() override { return inner_->mutable_weights(); }
-  const Tensor* bias() const override { return inner_->bias(); }
-  Tensor* mutable_bias() override { return inner_->mutable_bias(); }
-
-  void forward(std::span<const Tensor* const> in, Tensor& out) const override {
-    inner_->forward(in, out);
-    if (!armed_) return;
-    const int call = calls_++;
-    if (call < schedule_.first_call || call > schedule_.last_call) return;
-    if (schedule_.period > 1 && (call - schedule_.first_call) % schedule_.period != 0) return;
-    poison(out);
-  }
-
-  int calls() const { return calls_; }
-  void reset_calls() { calls_ = 0; }
-  // Disarmed, the wrapper is a transparent pass-through and calls are not
-  // counted — used so weight calibration sees the healthy network.
-  void arm(bool on) { armed_ = on; }
-
- private:
-  void poison(Tensor& out) const {
-    auto data = out.span();
-    if (data.empty()) return;
-    const auto n = static_cast<std::size_t>(
-        std::clamp(schedule_.fraction, 0.0, 1.0) * static_cast<double>(data.size()));
-    const std::size_t stride = n > 0 ? std::max<std::size_t>(data.size() / n, 1) : data.size();
-    float v = 0.0f;
-    switch (schedule_.kind) {
-      case FaultKind::kNaN: v = std::numeric_limits<float>::quiet_NaN(); break;
-      case FaultKind::kInf: v = std::numeric_limits<float>::infinity(); break;
-      case FaultKind::kSaturate: v = 1e6f; break;
-    }
-    for (std::size_t i = 0; i < data.size(); i += stride) data[i] = v;
-  }
-
-  std::unique_ptr<Layer> inner_;
-  FaultSchedule schedule_;
-  mutable int calls_ = 0;
-  bool armed_ = true;
-};
+using mupod::FaultKind;
+using mupod::FaultSchedule;
+using mupod::FaultyLayer;
 
 struct FaultyNet {
   Network net;

@@ -6,6 +6,7 @@
 
 #include "data/synthetic.hpp"
 #include "io/plan_io.hpp"
+#include "obs/metrics.hpp"
 #include "zoo/zoo.hpp"
 
 namespace mupod {
@@ -389,6 +390,92 @@ TEST(PlanService, ClearPlanMemoKeepsProfileAndSigma) {
   EXPECT_TRUE(again.profile_cached); // ...but the expensive stages remain
   EXPECT_TRUE(again.sigma_cached);
   expect_alloc_equal(first.alloc, again.alloc);
+}
+
+TEST(PlanService, ExportProfileRoundTripsThroughLoadProfile) {
+  // export_profile is the replication-side inverse of load_profile: a
+  // bundle exported from one service seeds a fresh one, which then skips
+  // the fit measurements and answers bit-identically.
+  const ServiceFixture& f = fixture();
+  PlanServiceConfig scfg;
+  scfg.pipeline = fast_pipeline_config();
+  PlanService source(scfg);
+  const PlanKey key = source.register_network(f.model.net, f.model.analyzed, *f.dataset);
+  EXPECT_THROW(source.export_profile(key), std::runtime_error);  // not measured yet
+  source.ensure_profile(key);
+  const ProfileBundle bundle = source.export_profile(key);
+  EXPECT_EQ(bundle.net_hash, key.net_hash);
+  EXPECT_EQ(bundle.models.size(), f.model.analyzed.size());
+  EXPECT_EQ(bundle.layer_names.size(), f.model.analyzed.size());
+
+  PlanService seeded(scfg);
+  const PlanKey key2 = seeded.register_network(f.model.net, f.model.analyzed, *f.dataset);
+  EXPECT_EQ(key2, key);
+  EXPECT_TRUE(seeded.load_profile(key2, bundle));
+
+  PlanQuery q;
+  q.accuracy_target = 0.05;
+  q.objective = objective_input_bits(f.model.net, f.model.analyzed);
+  const PlanResult a = source.plan(key, q);
+  const PlanResult b = seeded.plan(key2, q);
+  expect_alloc_equal(a.alloc, b.alloc);
+  EXPECT_EQ(a.sigma_used, b.sigma_used);
+  EXPECT_LT(seeded.forward_count(key2), source.forward_count(key));
+}
+
+TEST(PlanService, CacheLifecycleCountersMatchMetricsSnapshot) {
+  // Symmetry contract: the cache-lifecycle numbers in CacheStats (hits,
+  // misses, waits, evictions, loads, rejections) and the serve.* metrics
+  // family must tell the same story — sweep_tool --json reports both.
+  set_metrics_enabled(true);
+  metrics().reset();
+
+  const ServiceFixture& f = fixture();
+  PlanServiceConfig scfg;
+  scfg.pipeline = fast_pipeline_config();
+  scfg.max_plans_per_entry = 1;  // force an eviction below
+  PlanService service(scfg);
+  const PlanKey key = service.register_network(f.model.net, f.model.analyzed, *f.dataset);
+
+  // One rejected load (hashless bundle), then churn the plan memo.
+  ProfileBundle bad;
+  bad.network = f.model.net.name();
+  bad.net_hash = 0;
+  bad.models.resize(f.model.analyzed.size());
+  bad.ranges.resize(f.model.analyzed.size(), 1.0);
+  EXPECT_FALSE(service.load_profile(key, bad));
+
+  PlanQuery qa;
+  qa.accuracy_target = 0.05;
+  qa.objective = objective_input_bits(f.model.net, f.model.analyzed);
+  PlanQuery qb = qa;
+  qb.objective = objective_mac_energy(f.model.net, f.model.analyzed);
+  service.plan(key, qa);
+  service.plan(key, qb);  // evicts qa's memo
+  service.plan(key, qb);  // plan-memo hit
+
+  // One accepted load, into a second service sharing the fixture.
+  PlanService seeded(scfg);
+  const PlanKey key2 = seeded.register_network(f.model.net, f.model.analyzed, *f.dataset);
+  EXPECT_TRUE(seeded.load_profile(key2, service.export_profile(key)));
+
+  const CacheStats s = service.stats();
+  const CacheStats s2 = seeded.stats();
+  const MetricsSnapshot snap = metrics().snapshot();
+  set_metrics_enabled(false);
+
+  EXPECT_EQ(s.profile_load_rejected, 1);
+  EXPECT_EQ(s.plan_evictions, 1);
+  EXPECT_EQ(s2.profile_loads, 1);
+  // The metrics registry is process-global: it saw both services.
+  EXPECT_EQ(snap.counter("serve.profile.load_rejected"),
+            s.profile_load_rejected + s2.profile_load_rejected);
+  EXPECT_EQ(snap.counter("serve.profile.loads"), s.profile_loads + s2.profile_loads);
+  EXPECT_EQ(snap.counter("serve.plan.evictions"), s.plan_evictions + s2.plan_evictions);
+  EXPECT_EQ(snap.counter("serve.plan.hits"), s.plan_hits + s2.plan_hits);
+  EXPECT_EQ(snap.counter("serve.plan.misses"), s.plan_misses + s2.plan_misses);
+  EXPECT_EQ(snap.counter("serve.profile.misses"), s.profile_misses + s2.profile_misses);
+  EXPECT_EQ(snap.counter("serve.sigma.misses"), s.sigma_misses + s2.sigma_misses);
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+// serve_tool: stand up the online inference server on a zoo model and
+// drive it with a small closed-loop client fleet — the deployment-shaped
+// end of the pipeline. The integer path is installed the way a real
+// deployment would: the PlanService answers a precision query (profile +
+// sigma search + allocation, memoized as usual) and the resulting plan is
+// hot-swapped into the running server with install_plan, without stalling
+// the in-flight float traffic.
+//
+// Usage:
+//   serve_tool [--net tiny|nin|alexnet|...] [--requests N] [--clients N]
+//              [--batch N] [--wait-us N] [--deadline-us N] [--drop D]
+//              [--float-only] [--metrics]
+//
+// Prints per-backend throughput, a latency table (p50/p90/p99 from the
+// infer.latency.ms histogram via HistogramMetric::summary), the batch-size
+// distribution, and the full ServerStats accounting. --metrics dumps the
+// raw obs registry snapshot to stderr afterwards.
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "infer/server.hpp"
+#include "obs/metrics.hpp"
+#include "serve/plan_service.hpp"
+#include "zoo/zoo.hpp"
+
+using namespace mupod;
+
+namespace {
+
+struct LoadReport {
+  double wall_s = 0.0;
+  int requests = 0;
+  int correct = 0;
+  HistogramSummary latency;
+  HistogramSummary batch;
+};
+
+LoadReport drive(InferenceServer& server, const SyntheticImageDataset& data, const ZooModel& m,
+                 InferBackend backend, int requests, int clients, std::int64_t deadline_us) {
+  metrics().reset();
+  std::vector<std::future<InferenceResult>> futs(static_cast<std::size_t>(requests));
+  std::vector<std::thread> fleet;
+  std::atomic<int> next{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    fleet.emplace_back([&] {
+      Tensor img(Shape({1, m.channels, m.height, m.width}));
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= requests) return;
+        data.render_image(i, img, 0);
+        InferOptions opts;
+        opts.backend = backend;
+        opts.deadline_us = deadline_us;
+        futs[static_cast<std::size_t>(i)] = server.submit(Tensor(img), opts);
+        futs[static_cast<std::size_t>(i)].wait();
+      }
+    });
+  }
+  for (auto& t : fleet) t.join();
+
+  LoadReport r;
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  r.requests = requests;
+  for (int i = 0; i < requests; ++i) {
+    const InferenceResult res = futs[static_cast<std::size_t>(i)].get();
+    if (res.status == InferStatus::kOk && res.predicted == data.label_of(i)) ++r.correct;
+  }
+  const MetricsSnapshot snap = metrics().snapshot();
+  for (const auto& h : snap.histograms) {
+    if (h.name == "infer.latency.ms") r.latency = h.summary();
+    if (h.name == "infer.batch.size") r.batch = h.summary();
+  }
+  return r;
+}
+
+void print_report(const char* label, const LoadReport& r) {
+  std::printf("%-8s %7.1f req/s   top-1 %5.1f%%   batch mean %.2f\n", label,
+              static_cast<double>(r.requests) / r.wall_s,
+              100.0 * r.correct / static_cast<double>(r.requests), r.batch.mean);
+  std::printf("         latency ms   p50 %7.2f   p90 %7.2f   p99 %7.2f   mean %7.2f\n",
+              r.latency.p50, r.latency.p90, r.latency.p99, r.latency.mean);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net_name = "tiny";
+  int requests = 128;
+  int clients = 8;
+  int batch = 8;
+  std::int64_t wait_us = 2000;
+  std::int64_t deadline_us = 0;
+  double drop = 0.05;
+  bool float_only = false;
+  bool show_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--net" && i + 1 < argc) net_name = argv[++i];
+    else if (arg == "--requests" && i + 1 < argc) requests = std::max(8, std::atoi(argv[++i]));
+    else if (arg == "--clients" && i + 1 < argc) clients = std::max(1, std::atoi(argv[++i]));
+    else if (arg == "--batch" && i + 1 < argc) batch = std::max(1, std::atoi(argv[++i]));
+    else if (arg == "--wait-us" && i + 1 < argc) wait_us = std::atoll(argv[++i]);
+    else if (arg == "--deadline-us" && i + 1 < argc) deadline_us = std::atoll(argv[++i]);
+    else if (arg == "--drop" && i + 1 < argc) drop = std::atof(argv[++i]);
+    else if (arg == "--float-only") float_only = true;
+    else if (arg == "--metrics") show_metrics = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: serve_tool [--net NAME] [--requests N] [--clients N] [--batch N]\n"
+                   "                  [--wait-us N] [--deadline-us N] [--drop D]\n"
+                   "                  [--float-only] [--metrics]\n");
+      return 2;
+    }
+  }
+
+  set_metrics_enabled(true);
+
+  ZooOptions zo;
+  zo.num_classes = 10;
+  const ZooModel model = build_model(net_name, zo);
+  DatasetConfig dc;
+  dc.num_classes = zo.num_classes;
+  dc.channels = model.channels;
+  dc.height = model.height;
+  dc.width = model.width;
+  SyntheticImageDataset dataset(dc);
+
+  InferenceServerConfig cfg;
+  cfg.batch.max_batch = batch;
+  cfg.batch.max_wait_us = wait_us;
+  InferenceServer server(cfg);
+  server.register_model(net_name, model.net, model.analyzed);
+  server.start();
+
+  std::printf("serving %s: cap %d, window %lld us, %d clients, %d requests/backend\n\n",
+              net_name.c_str(), batch, static_cast<long long>(wait_us), clients, requests);
+
+  const LoadReport fp = drive(server, dataset, model, InferBackend::kFloat, requests, clients,
+                              deadline_us);
+  print_report("float", fp);
+
+  if (!float_only) {
+    // Deployment path: answer a precision query through the PlanService and
+    // hot-swap the lowered plan into the running server.
+    std::fprintf(stderr, "\n[plan] running the precision pipeline (drop budget %.3f)...\n", drop);
+    PlanServiceConfig scfg;
+    scfg.pipeline.harness.profile_images = 16;
+    scfg.pipeline.harness.eval_images = 128;
+    scfg.pipeline.profiler.points = 6;
+    PlanService service(scfg);
+    const PlanKey key = service.register_network(model.net, model.analyzed, dataset);
+    PlanQuery q;
+    q.accuracy_target = drop;
+    q.objective = objective_input_bits(model.net, model.analyzed);
+    const std::uint64_t version = server.install_plan(net_name, service, key, q);
+    std::fprintf(stderr, "[plan] installed plan version %llu\n\n",
+                 static_cast<unsigned long long>(version));
+
+    const LoadReport qi = drive(server, dataset, model, InferBackend::kInteger, requests,
+                                clients, deadline_us);
+    print_report("integer", qi);
+  }
+
+  server.stop();
+  const ServerStats s = server.stats();
+  std::printf("\nstats: submitted %lld  ok %lld  rejected %lld  expired %lld  late %lld  "
+              "errors %lld  batches %lld  swaps %lld\n",
+              static_cast<long long>(s.submitted), static_cast<long long>(s.completed),
+              static_cast<long long>(s.rejected_queue_full + s.rejected_deadline),
+              static_cast<long long>(s.expired_in_queue),
+              static_cast<long long>(s.deadline_exceeded), static_cast<long long>(s.errors),
+              static_cast<long long>(s.batches), static_cast<long long>(s.plan_swaps));
+
+  if (show_metrics) std::fputs(metrics().snapshot().render_text().c_str(), stderr);
+  return 0;
+}

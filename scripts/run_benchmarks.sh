@@ -1,7 +1,9 @@
 #!/bin/bash
-# Machine-readable benchmark runner: executes the serving-layer benchmark
+# Machine-readable benchmark runner: executes every serving-layer benchmark
 # and leaves BENCH_*.json files in bench_logs/ for dashboards or CI
-# thresholds to consume. (run_all_benches.sh remains the human-readable
+# thresholds to consume, plus BENCH_manifest.json recording which benches
+# ran (and their exit status) so a dashboard can tell "bench failed" from
+# "bench never ran". (run_all_benches.sh remains the human-readable
 # paper-reproduction sweep.)
 #
 # BENCH_sweep.json records, for a 3-objective x 4-target grid:
@@ -21,11 +23,19 @@
 # cluster: straggler p50/p99 with hedging on vs off, hedge win rate,
 # breaker time-to-open after a node kill and time-to-recover after the
 # revive, and the byte-identical-plans contract (mismatched must be 0).
+#
+# BENCH_serve.json records the online inference server under load: closed-
+# loop throughput and p50/p99 latency per backend (sequential caller vs
+# client fleet against the cap-8 batcher, plus the cap-1 no-batching
+# reference), batch-size histograms, open-loop shed/expiry behaviour over
+# capacity, and the batched == sequential bitwise-determinism gate.
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p bench_logs
 
-for b in bench_sweep bench_observability bench_forward bench_cluster; do
+BENCHES="bench_sweep bench_observability bench_forward bench_cluster bench_serve"
+
+for b in $BENCHES; do
   if [ ! -x "build/bench/$b" ]; then
     echo "build/bench/$b not found — build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -33,27 +43,32 @@ for b in bench_sweep bench_observability bench_forward bench_cluster; do
   fi
 done
 
-echo "=== bench_sweep $(date +%H:%M:%S) (MUPOD_THREADS=${MUPOD_THREADS:-unset}) ==="
-./build/bench/bench_sweep --json bench_logs/BENCH_sweep.json | tee bench_logs/bench_sweep.txt
+overall=0
+manifest_entries=""
+for b in $BENCHES; do
+  json="bench_logs/BENCH_${b#bench_}.json"
+  echo "=== $b $(date +%H:%M:%S) (MUPOD_THREADS=${MUPOD_THREADS:-unset}) ==="
+  status=0
+  "./build/bench/$b" --json "$json" | tee "bench_logs/$b.txt" || status=$?
+  [ "$status" -ne 0 ] && overall=1
+  [ -n "$manifest_entries" ] && manifest_entries="$manifest_entries,"
+  manifest_entries="$manifest_entries
+  {\"bench\": \"$b\", \"json\": \"$json\", \"exit_status\": $status}"
+  echo
+done
 
-echo
-echo "=== bench_observability $(date +%H:%M:%S) ==="
-./build/bench/bench_observability --json bench_logs/BENCH_observability.json \
-  | tee bench_logs/bench_observability.txt
+# The manifest is the one line dashboards read first: which benches ran,
+# where each report landed, and whether its internal contract passed.
+cat > bench_logs/BENCH_manifest.json <<EOF
+{"generated_by": "scripts/run_benchmarks.sh", "benches": [$manifest_entries
+]}
+EOF
 
+echo "manifest: $(tr -d '\n' < bench_logs/BENCH_manifest.json)"
 echo
-echo "=== bench_forward $(date +%H:%M:%S) (MUPOD_THREADS=${MUPOD_THREADS:-unset}) ==="
-./build/bench/bench_forward --json bench_logs/BENCH_forward.json \
-  | tee bench_logs/bench_forward.txt
-
-echo
-echo "=== bench_cluster $(date +%H:%M:%S) ==="
-./build/bench/bench_cluster --json bench_logs/BENCH_cluster.json \
-  | tee bench_logs/bench_cluster.txt
-
-echo
-for f in bench_logs/BENCH_sweep.json bench_logs/BENCH_observability.json \
-         bench_logs/BENCH_forward.json bench_logs/BENCH_cluster.json; do
+for b in $BENCHES; do
+  f="bench_logs/BENCH_${b#bench_}.json"
   echo "wrote $f:"
   cat "$f"
 done
+exit $overall

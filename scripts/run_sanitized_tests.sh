@@ -10,7 +10,10 @@
 # labeled `sanitize` or `quant` (ctest -L 'sanitize|quant'): the
 # DiagnosticSink / metrics / PlanService threading hammers in
 # tests/test_diag_threading.cpp, the GEMM pack/tile-task suite in
-# tests/test_gemm.cpp, and the integer-backend battery in
+# tests/test_gemm.cpp, the cluster chaos suite in tests/test_cluster.cpp,
+# the inference-server battery in tests/test_infer.cpp (batcher thread,
+# shared-mutex plan hot-swap under load, concurrent submitters, seeded
+# kDelay chaos on the forward path), and the integer-backend battery in
 # tests/test_qgemm_property.cpp + test_plan_conformance.cpp (the qgemm
 # pack/tile tasks and quantize-on-load chunking cross threads) — the
 # interesting ones under TSan; the full suite under TSan is an order of

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/clock.hpp"
 #include "obs/metrics.hpp"
 
 namespace mupod {
@@ -50,16 +51,9 @@ double u01(std::uint64_t* s) { return static_cast<double>(splitmix(s) >> 11) * 0
 
 }  // namespace
 
-std::chrono::steady_clock::time_point cluster_origin() {
-  static const auto origin = std::chrono::steady_clock::now();
-  return origin;
-}
+std::chrono::steady_clock::time_point cluster_origin() { return mono_origin(); }
 
-std::int64_t cluster_now_us() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
-                                                               cluster_origin())
-      .count();
-}
+std::int64_t cluster_now_us() { return mono_now_us(); }
 
 SealedProfile seal_profile(const ProfileBundle& bundle) {
   SealedProfile s;

@@ -63,7 +63,9 @@
 namespace mupod {
 
 // One steady-clock timeline shared by every breaker and deadline in the
-// process (microseconds since the first call).
+// process (microseconds since the first call). Aliases of core/clock.hpp's
+// mono_origin/mono_now_us, kept so cluster call sites read in cluster
+// vocabulary; the inference server (src/infer) shares the same origin.
 std::chrono::steady_clock::time_point cluster_origin();
 std::int64_t cluster_now_us();
 

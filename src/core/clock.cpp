@@ -1,0 +1,16 @@
+#include "core/clock.hpp"
+
+namespace mupod {
+
+std::chrono::steady_clock::time_point mono_origin() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+std::int64_t mono_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               mono_origin())
+      .count();
+}
+
+}  // namespace mupod

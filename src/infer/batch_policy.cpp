@@ -1,0 +1,46 @@
+#include "infer/batch_policy.hpp"
+
+#include <algorithm>
+
+namespace mupod {
+
+const char* batch_trigger_name(BatchTrigger t) {
+  switch (t) {
+    case BatchTrigger::kNone: return "none";
+    case BatchTrigger::kSize: return "size";
+    case BatchTrigger::kTimeout: return "timeout";
+    case BatchTrigger::kDrain: return "drain";
+  }
+  return "?";
+}
+
+BatchPolicy::BatchPolicy(BatchPolicyConfig cfg) : cfg_(cfg) {
+  cfg_.max_batch = std::max(cfg_.max_batch, 1);
+  cfg_.max_wait_us = std::max<std::int64_t>(cfg_.max_wait_us, 0);
+}
+
+BatchDecision BatchPolicy::decide(int depth, std::int64_t oldest_enqueue_us,
+                                  std::int64_t now_us, bool draining) const {
+  BatchDecision d;
+  if (depth <= 0) return d;
+  if (depth >= cfg_.max_batch) {
+    d.flush = true;
+    d.trigger = BatchTrigger::kSize;
+    return d;
+  }
+  if (draining) {
+    d.flush = true;
+    d.trigger = BatchTrigger::kDrain;
+    return d;
+  }
+  const std::int64_t due = oldest_enqueue_us + cfg_.max_wait_us;
+  if (now_us >= due) {
+    d.flush = true;
+    d.trigger = BatchTrigger::kTimeout;
+    return d;
+  }
+  d.flush_due_us = due;
+  return d;
+}
+
+}  // namespace mupod

@@ -17,6 +17,47 @@ int obs_thread_slot() {
   return slot;
 }
 
+// --- histogram percentiles -------------------------------------------------
+
+double histogram_percentile(const std::vector<double>& bounds,
+                            const std::vector<std::int64_t>& counts, double q) {
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) total += c;
+  if (total <= 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile among `total` samples, 1-based.
+  const double rank = q * static_cast<double>(total - 1) + 1.0;
+  std::int64_t below = 0;  // samples in buckets before the current one
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::int64_t c = counts[i];
+    if (c == 0) continue;
+    if (rank <= static_cast<double>(below + c)) {
+      if (i >= bounds.size()) return bounds.back();  // overflow: no upper edge
+      const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = (rank - static_cast<double>(below)) / static_cast<double>(c);
+      return lo + (hi - lo) * frac;
+    }
+    below += c;
+  }
+  return bounds.back();
+}
+
+namespace {
+HistogramSummary summarize(const std::vector<double>& bounds,
+                           const std::vector<std::int64_t>& counts, std::int64_t count,
+                           double sum) {
+  HistogramSummary s;
+  s.count = count;
+  s.sum = sum;
+  s.mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  s.p50 = histogram_percentile(bounds, counts, 0.50);
+  s.p90 = histogram_percentile(bounds, counts, 0.90);
+  s.p99 = histogram_percentile(bounds, counts, 0.99);
+  return s;
+}
+}  // namespace
+
 // --- HistogramMetric -------------------------------------------------------
 
 HistogramMetric::HistogramMetric(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -44,6 +85,16 @@ std::vector<std::int64_t> HistogramMetric::counts() const {
 }
 
 double HistogramMetric::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double HistogramMetric::percentile(double q) const { return histogram_percentile(bounds_, counts(), q); }
+
+HistogramSummary HistogramMetric::summary() const {
+  return summarize(bounds_, counts(), count(), sum());
+}
+
+HistogramSummary MetricsSnapshot::HistogramValue::summary() const {
+  return summarize(bounds, counts, count, sum);
+}
 
 void HistogramMetric::reset() {
   for (auto& b : buckets_) b->store(0, std::memory_order_relaxed);
@@ -73,6 +124,9 @@ void MetricsSnapshot::write_json(JsonWriter& j) const {
     j.kv("count", h.count);
     j.kv("sum", h.sum);
     j.kv("mean", h.mean());
+    j.kv("p50", h.percentile(0.50));
+    j.kv("p90", h.percentile(0.90));
+    j.kv("p99", h.percentile(0.99));
     j.key("bounds").begin_array();
     for (double b : h.bounds) j.value(b);
     j.end_array();

@@ -33,6 +33,19 @@
 // `cluster.timeouts`), breaker transitions (`cluster.breaker.opened/
 // reopened/half_open/closed`), and per-node cache/replication integrity
 // (`cluster.cache.*`, `cluster.poison.*`, `cluster.replicate.*`).
+// The online inference server reports the `infer.*` family
+// (docs/method.md §14), mirrored field-for-field by ServerStats
+// (src/infer/server.hpp; asserted by the symmetry test in
+// tests/test_infer.cpp): request
+// outcomes (`infer.requests.submitted/ok/failed/shutdown`), admission and
+// deadline decisions (`infer.admission.rejected`,
+// `infer.deadline.rejected/expired_queued/exceeded`), batcher behaviour
+// (`infer.batches`, `infer.batch.rows`,
+// `infer.batch.size_flushes/timeout_flushes/drain_flushes`, histogram
+// `infer.batch.size`), plan hot-swaps (`infer.plan.swaps`), queue state
+// (gauge `infer.queue.depth`), and latency histograms (`infer.latency.ms`
+// end-to-end, `infer.queue.ms` time-in-queue) whose p50/p99 come from
+// HistogramMetric::percentile below.
 #pragma once
 
 #include <array>
@@ -91,6 +104,27 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+// Quantile estimate from fixed buckets: finds the bucket holding rank
+// q * count and interpolates linearly inside it (bucket i spans
+// (bounds[i-1], bounds[i]]; the first bucket's lower edge is
+// min(0, bounds[0])). The overflow bucket has no upper edge, so any rank
+// landing there reports the last bound — a fixed-bucket histogram cannot
+// resolve beyond its range. q is clamped to [0, 1]; empty counts yield 0.
+double histogram_percentile(const std::vector<double>& bounds,
+                            const std::vector<std::int64_t>& counts, double q);
+
+// The headline numbers a latency report wants from one histogram, computed
+// once (bench_serve and the serve_tool latency table consume this instead
+// of hand-rolling percentile extraction).
+struct HistogramSummary {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
 // Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one
 // implicit overflow bucket counts the rest. Bounds are fixed at first
 // registration (re-registering with different bounds keeps the original —
@@ -105,6 +139,9 @@ class HistogramMetric {
   std::vector<std::int64_t> counts() const;
   std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
+  // histogram_percentile over a point-in-time copy of the buckets.
+  double percentile(double q) const;
+  HistogramSummary summary() const;
   void reset();
 
  private:
@@ -132,6 +169,8 @@ struct MetricsSnapshot {
     std::int64_t count = 0;
     double sum = 0.0;
     double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+    double percentile(double q) const { return histogram_percentile(bounds, counts, q); }
+    HistogramSummary summary() const;
   };
 
   std::vector<CounterValue> counters;

@@ -33,6 +33,10 @@ Counter* stage_counter(ForwardStage s) {
       static Counter& c = metrics().counter("stage.objective.forwards");
       return &c;
     }
+    case ForwardStage::kServe: {
+      static Counter& c = metrics().counter("stage.serve.forwards");
+      return &c;
+    }
   }
   return nullptr;
 }
@@ -45,6 +49,7 @@ const char* forward_stage_name(ForwardStage s) {
     case ForwardStage::kProfile: return "profile";
     case ForwardStage::kSigma: return "sigma";
     case ForwardStage::kObjective: return "objective";
+    case ForwardStage::kServe: return "serve";
   }
   return "?";
 }

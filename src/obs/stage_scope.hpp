@@ -28,6 +28,7 @@ enum class ForwardStage {
   kProfile,    // Eq. 5 lambda/theta fits
   kSigma,      // Sec. V-C binary search + calibration
   kObjective,  // per-objective validation / refinement / weight search
+  kServe,      // online inference batches (src/infer) + plan validation runs
 };
 
 const char* forward_stage_name(ForwardStage s);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/stage_scope.hpp"
 
 namespace mupod {
 
@@ -113,6 +114,11 @@ Tensor QuantizedNetwork::forward(const Tensor& input) const {
   const Network& net = *net_;
   assert(net.finalized());
   forwards_.fetch_add(1, std::memory_order_relaxed);
+  // Charge the batch to the calling thread's stage, exactly as
+  // Network::forward does — integer-executed images are forward passes in
+  // the same cost currency (the inference server runs these under
+  // ForwardStage::kServe, validate_plan under its serve span).
+  note_forwards(input.shape().n());
   if (metrics_enabled()) {
     static Counter& calls = metrics().counter("qexec.forward.calls");
     calls.add(1);

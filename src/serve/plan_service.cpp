@@ -515,25 +515,43 @@ PlanResult PlanService::plan(const PlanKey& key, const PlanQuery& query) {
   return r;
 }
 
+LoweredPlan PlanService::lower_plan(const PlanKey& key, const PlanQuery& query) {
+  LoweredPlan lp;
+  lp.plan = plan(key, query);  // leaves the entry's profile (and network) ready
+  Entry& e = entry(key);
+  const Network* net = nullptr;
+  const std::vector<int>* analyzed = nullptr;
+  {
+    // Immutable once profile_ready (guaranteed by the plan() above), so
+    // the borrowed pointers stay valid outside the lock.
+    std::lock_guard<std::mutex> lk(e.mu);
+    net = e.net;
+    analyzed = &e.analyzed;
+  }
+  QExecOptions qopts;
+  qopts.weight_bits = cfg_.weight_bits;
+  lp.qnet = std::make_shared<QuantizedNetwork>(*net, *analyzed, lp.plan.alloc.formats, qopts);
+  return lp;
+}
+
 PlanValidation PlanService::validate_plan(const PlanKey& key, const PlanQuery& query,
                                           double tolerance) {
   ScopedSpan span("serve.validate", "serve");
   PlanValidation v;
-  v.plan = plan(key, query);  // leaves the entry's profile (and harness) ready
+  LoweredPlan lp = lower_plan(key, query);
+  v.plan = lp.plan;
   v.weight_bits = cfg_.weight_bits;
   v.tolerance = tolerance;
   v.float_accuracy = v.plan.float_accuracy;
   v.predicted_drop = v.plan.accuracy_loss;
 
   Entry& e = entry(key);
-  const Network* net = nullptr;
   const std::vector<int>* analyzed = nullptr;
   const AnalysisHarness* harness = nullptr;
   {
-    // Immutable once profile_ready (guaranteed by the plan() above), so
+    // Immutable once profile_ready (guaranteed by lower_plan's plan()), so
     // the borrowed pointers stay valid outside the lock.
     std::lock_guard<std::mutex> lk(e.mu);
-    net = e.net;
     analyzed = &e.analyzed;
     harness = e.harness.get();
   }
@@ -550,11 +568,9 @@ PlanValidation PlanService::validate_plan(const PlanKey& key, const PlanQuery& q
     v.emulated_accuracy = harness->accuracy_with_injection(inject);
   }
 
-  // Ground truth: lower onto the integer backend and run the SAME eval
-  // set against the SAME references.
-  QExecOptions qopts;
-  qopts.weight_bits = cfg_.weight_bits;
-  QuantizedNetwork qnet(*net, *analyzed, v.plan.alloc.formats, qopts);
+  // Ground truth: the lowered integer network runs the SAME eval set
+  // against the SAME references.
+  QuantizedNetwork& qnet = *lp.qnet;
   v.lowered_layers = qnet.num_lowered();
   v.integer_accuracy =
       harness->accuracy_with_executor([&](const Tensor& x) { return qnet.forward(x); });

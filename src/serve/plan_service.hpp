@@ -46,6 +46,7 @@
 #include "hw/accelerator_sim.hpp"
 #include "io/plan_io.hpp"
 #include "io/profile_io.hpp"
+#include "quant/qexec.hpp"
 
 namespace mupod {
 
@@ -138,6 +139,18 @@ struct PlanValidation {
 // integer_drop to accuracy_target + this.
 inline constexpr double kValidationTolerance = 0.02;
 
+// A plan answer lowered onto the integer backend (quant/qexec,
+// cfg.weight_bits weights): the query's per-layer formats bound to the
+// entry's registered Network as a ready-to-run QuantizedNetwork. The
+// lowered network borrows that Network — which the caller already
+// guarantees outlives the service — so the shared_ptr may be handed to
+// long-lived consumers (the inference server holds one per serving
+// snapshot and hot-swaps it on plan refresh).
+struct LoweredPlan {
+  PlanResult plan;
+  std::shared_ptr<QuantizedNetwork> qnet;
+};
+
 // Charged-once accounting: each computed profile/sigma stage is charged to
 // exactly ONE plan() query as its miss (the first query that consumes it,
 // even when a warm-up computed it); every later consumer is a hit. So for
@@ -215,6 +228,13 @@ class PlanService {
   // Answers one query: profile and sigma stages from cache (computing them
   // on first need), then the cheap allocate+validate tail. Thread-safe.
   PlanResult plan(const PlanKey& key, const PlanQuery& query);
+
+  // plan() plus lowering: answers the query and binds the resulting
+  // formats to the registered network on the integer backend. Thread-safe;
+  // the plan itself is memoized as usual, the lowering is built fresh per
+  // call (each consumer owns its snapshot). validate_plan executes through
+  // this; InferenceServer::install_plan serves from it.
+  LoweredPlan lower_plan(const PlanKey& key, const PlanQuery& query);
 
   // plan() plus ground truth: lowers the answer onto the integer backend
   // (quant/qexec, cfg.weight_bits weights), runs the eval set through the

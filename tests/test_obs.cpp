@@ -254,6 +254,61 @@ TEST(Metrics, SnapshotIsSortedQueryableAndJsonClean) {
   EXPECT_NE(snap.render_text().find("test.gauge"), std::string::npos);
 }
 
+TEST(Metrics, HistogramPercentileInterpolatesWithinTheCrossingBucket) {
+  // Hand-built buckets keep the arithmetic checkable: bounds {10, 20, 30},
+  // two samples in (0, 10], two in (10, 20].
+  const std::vector<double> bounds{10.0, 20.0, 30.0};
+  const std::vector<std::int64_t> counts{2, 2, 0, 0};
+  // rank(q) = q * (total - 1) + 1: q=0 is the first sample, q=1 the last.
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, counts, 0.0), 5.0);    // rank 1 of 2 in (0, 10]
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, counts, 0.5), 12.5);   // rank 2.5 -> (10, 20]
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, counts, 1.0), 20.0);   // rank 4 = bucket top
+  // q is clamped; empty histograms report 0.
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, counts, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, {0, 0, 0, 0}, 0.5), 0.0);
+  // Ranks landing in the overflow bucket cap at the last bound — a
+  // fixed-bucket histogram cannot resolve beyond its range.
+  EXPECT_DOUBLE_EQ(histogram_percentile(bounds, {0, 0, 0, 5}, 0.99), 30.0);
+  // A negative first bound extends the first bucket's lower edge.
+  EXPECT_DOUBLE_EQ(histogram_percentile({-10.0, 10.0}, {1, 0, 0}, 0.0), -10.0);
+}
+
+TEST(Metrics, HistogramSummaryReportsCountSumMeanAndQuantiles) {
+  ObsReset reset;
+  HistogramMetric& h = metrics().histogram("test.summary", {1.0, 2.0, 4.0});
+  for (const double x : {0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 100.0}) h.record(x);
+
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 7);
+  EXPECT_DOUBLE_EQ(s.sum, 112.5);
+  EXPECT_DOUBLE_EQ(s.mean, 112.5 / 7.0);
+  // Buckets: {1, 2, 3, 1}. rank(0.5) = 4 -> bucket (2, 4] at frac 1/3.
+  EXPECT_DOUBLE_EQ(s.p50, 2.0 + 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.p50, h.percentile(0.5));
+  // p99's rank lands on the overflow sample: capped at the last bound.
+  EXPECT_DOUBLE_EQ(s.p99, 4.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+
+  // The snapshot view computes the identical numbers from its copied
+  // buckets (this is what bench reports and serve_tool print).
+  const MetricsSnapshot snap = metrics().snapshot();
+  for (const auto& hv : snap.histograms) {
+    if (hv.name != "test.summary") continue;
+    EXPECT_DOUBLE_EQ(hv.percentile(0.5), s.p50);
+    const HistogramSummary s2 = hv.summary();
+    EXPECT_EQ(s2.count, s.count);
+    EXPECT_DOUBLE_EQ(s2.p99, s.p99);
+  }
+
+  // write_json carries the summary quantiles alongside the raw buckets.
+  JsonWriter j;
+  snap.write_json(j);
+  ASSERT_TRUE(j.complete());
+  EXPECT_NE(j.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(j.str().find("\"p99\""), std::string::npos);
+}
+
 // ----------------------------------------------------------------- trace --
 
 TEST(Trace, RingBufferKeepsNewestCountsDropped) {

@@ -9,12 +9,15 @@
 // Usage:
 //   serve_tool [--net tiny|nin|alexnet|...] [--requests N] [--clients N]
 //              [--batch N] [--wait-us N] [--deadline-us N] [--drop D]
-//              [--float-only] [--metrics]
+//              [--float-only] [--metrics] [--trace FILE]
 //
 // Prints per-backend throughput, a latency table (p50/p90/p99 from the
 // infer.latency.ms histogram via HistogramMetric::summary), the batch-size
 // distribution, and the full ServerStats accounting. --metrics dumps the
-// raw obs registry snapshot to stderr afterwards.
+// raw obs registry snapshot to stderr afterwards; --trace FILE writes a
+// Chrome-trace JSON of the served requests (request-correlated async
+// lanes + flow arrows, docs/method.md §15) for chrome://tracing /
+// Perfetto.
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -25,6 +28,7 @@
 #include "data/synthetic.hpp"
 #include "infer/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/plan_service.hpp"
 #include "zoo/zoo.hpp"
 
@@ -99,6 +103,7 @@ int main(int argc, char** argv) {
   double drop = 0.05;
   bool float_only = false;
   bool show_metrics = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--net" && i + 1 < argc) net_name = argv[++i];
@@ -110,16 +115,18 @@ int main(int argc, char** argv) {
     else if (arg == "--drop" && i + 1 < argc) drop = std::atof(argv[++i]);
     else if (arg == "--float-only") float_only = true;
     else if (arg == "--metrics") show_metrics = true;
+    else if (arg == "--trace" && i + 1 < argc) trace_out = argv[++i];
     else {
       std::fprintf(stderr,
                    "usage: serve_tool [--net NAME] [--requests N] [--clients N] [--batch N]\n"
                    "                  [--wait-us N] [--deadline-us N] [--drop D]\n"
-                   "                  [--float-only] [--metrics]\n");
+                   "                  [--float-only] [--metrics] [--trace FILE]\n");
       return 2;
     }
   }
 
   set_metrics_enabled(true);
+  if (!trace_out.empty()) set_tracing_enabled(true);
 
   ZooOptions zo;
   zo.num_classes = 10;
@@ -178,5 +185,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(s.batches), static_cast<long long>(s.plan_swaps));
 
   if (show_metrics) std::fputs(metrics().snapshot().render_text().c_str(), stderr);
+  if (!trace_out.empty()) {
+    if (!write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu events, %lld dropped)\n", trace_out.c_str(),
+                 tracer().size(), static_cast<long long>(tracer().dropped()));
+  }
   return 0;
 }

@@ -1,0 +1,55 @@
+#!/bin/bash
+# Metric-name lint: every metric-name string literal in src/ must follow
+# the naming scheme (docs/method.md §10) and be listed in the method.md
+# naming tables, so the docs registry can never silently drift from the
+# code. Run standalone or via scripts/run_sanitized_tests.sh.
+#
+# Scheme: dot-separated lowercase `<area>.<object>.<property>`, 2-4
+# segments, [a-z0-9_] per segment, first segment starting with a letter
+# (units are suffixes like _us / _ms, not extra segments).
+#
+# Extraction: the files are whitespace-collapsed before scanning so a
+# wrapped call (name literal on the line after the open paren) and a
+# ternary (`bump(cond ? "a.b" : "a.c")`) are both caught — a naive
+# line-based grep misses both shapes.
+set -eu
+cd "$(dirname "$0")/.."
+
+DOC=docs/method.md
+SCHEME='^[a-z][a-z0-9_]*(\.[a-z0-9_]+){1,3}$'
+
+# Every dotted string literal inside a metric-instrument call
+# (counter/gauge/histogram accessors and the bump() helpers).
+names=$(
+  find src -name '*.cpp' -o -name '*.hpp' | sort | while read -r f; do
+    tr '\n' ' ' < "$f"
+    echo
+  done |
+  grep -oE '(counter|gauge|histogram|bump)[[:space:]]*\([^;{}]*' |
+  grep -oE '"[a-z][a-z0-9_]*(\.[a-z0-9_]+)+"' |
+  tr -d '"' | sort -u
+)
+
+if [ -z "$names" ]; then
+  echo "check_metric_names: extracted no metric names from src/ — extractor broken?" >&2
+  exit 1
+fi
+
+total=0
+bad_scheme=0
+undocumented=0
+for n in $names; do
+  total=$((total + 1))
+  if ! echo "$n" | grep -qE "$SCHEME"; then
+    echo "SCHEME VIOLATION: '$n' (want <area>.<object>.<property>, 2-4 lowercase segments)" >&2
+    bad_scheme=$((bad_scheme + 1))
+    continue
+  fi
+  if ! grep -qF "$n" "$DOC"; then
+    echo "UNDOCUMENTED: '$n' missing from the $DOC naming tables" >&2
+    undocumented=$((undocumented + 1))
+  fi
+done
+
+echo "check_metric_names: $total metric name(s) checked, $bad_scheme scheme violation(s), $undocumented undocumented"
+[ "$bad_scheme" -eq 0 ] && [ "$undocumented" -eq 0 ]

@@ -29,11 +29,15 @@
 # client fleet against the cap-8 batcher, plus the cap-1 no-batching
 # reference), batch-size histograms, open-loop shed/expiry behaviour over
 # capacity, and the batched == sequential bitwise-determinism gate.
+#
+# BENCH_telemetry.json records the full-observability cost on the serving
+# path (tracing + metrics + flight recorder on vs everything off, min-of-N
+# through InferenceServer) and fails the run when it exceeds 3%.
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p bench_logs
 
-BENCHES="bench_sweep bench_observability bench_forward bench_cluster bench_serve"
+BENCHES="bench_sweep bench_observability bench_forward bench_cluster bench_serve bench_telemetry"
 
 for b in $BENCHES; do
   if [ ! -x "build/bench/$b" ]; then
@@ -58,9 +62,26 @@ for b in $BENCHES; do
 done
 
 # The manifest is the one line dashboards read first: which benches ran,
-# where each report landed, and whether its internal contract passed.
+# where each report landed, and whether its internal contract passed —
+# stamped with the commit, build flags, and wall-clock so a bench
+# trajectory stays attributable across PRs.
+git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+git_dirty=false
+[ -n "$(git status --porcelain 2>/dev/null)" ] && git_dirty=true
+timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+build_type=unknown
+native=unknown
+sanitize=unknown
+if [ -f build/CMakeCache.txt ]; then
+  build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt)
+  native=$(sed -n 's/^MUPOD_NATIVE:[^=]*=//p' build/CMakeCache.txt)
+  sanitize=$(sed -n 's/^MUPOD_SANITIZE:[^=]*=//p' build/CMakeCache.txt)
+fi
 cat > bench_logs/BENCH_manifest.json <<EOF
-{"generated_by": "scripts/run_benchmarks.sh", "benches": [$manifest_entries
+{"generated_by": "scripts/run_benchmarks.sh",
+ "git_sha": "$git_sha", "git_dirty": $git_dirty, "timestamp": "$timestamp",
+ "build": {"type": "$build_type", "native": "$native", "sanitize": "$sanitize"},
+ "benches": [$manifest_entries
 ]}
 EOF
 

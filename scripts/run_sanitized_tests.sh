@@ -30,6 +30,11 @@ if [ "${1:-}" = "--tsan" ]; then
   shift
 fi
 
+# Cheap static gate before the expensive sanitized build: every metric-name
+# literal in src/ must follow the naming scheme and appear in the
+# docs/method.md registry tables (§15).
+scripts/check_metric_names.sh
+
 if [ "$MODE" = "thread" ]; then
   BUILD_DIR=build-tsan
   CTEST_EXTRA=(-L 'sanitize|quant')

@@ -8,6 +8,7 @@
 
 #include "core/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mupod {
 
@@ -227,6 +228,16 @@ bool WorkerNode::seed_profile(const PlanKey& key, const SealedProfile& sealed) {
 void WorkerNode::execute(const std::shared_ptr<ClusterDispatch>& d) {
   if (d->q->finished()) return;  // settled (or cancelled) while queued
 
+  // Install the dispatch's trace context for the duration: the attempt
+  // span becomes a child of the query, and every PlanService stage span
+  // under service_.plan() chains off the attempt automatically.
+  TraceContextScope tscope(d->ctx);
+  ScopedSpan attempt_span("cluster.attempt", "cluster");
+  attempt_span.arg("node", id_);
+  attempt_span.arg("attempt", d->attempt);
+  attempt_span.arg("hedge", d->hedge ? 1 : 0);
+  trace_flow('t', "cluster.query", d->ctx);
+
   if (faults_ != nullptr) {
     if (auto a = faults_->check(point_)) {
       switch (a->kind) {
@@ -323,6 +334,7 @@ void WorkerNode::execute(const std::shared_ptr<ClusterDispatch>& d) {
   if (!posted && lost_to_winner && ok) {
     hedge_losses_.fetch_add(1, std::memory_order_relaxed);
     bump("cluster.hedge_losses");
+    trace_async('n', "cluster.hedge_lost", d->ctx, "node", id_);
   }
   d->completed.store(true, std::memory_order_release);
   if (!d->breaker_resolved.exchange(true, std::memory_order_acq_rel)) {
@@ -382,6 +394,12 @@ ClusterController::ClusterController(ClusterConfig cfg, PlanServiceConfig servic
                      "node " + std::to_string(i) + " circuit breaker " +
                          breaker_state_name(from) + " -> open",
                      "queries fast-fail over to the other replicas until a probe succeeds");
+        // A breaker opening is an incident by definition: capture the
+        // recent request records + correlated spans while they are hot.
+        if (flight_recording_enabled())
+          flight_recorder().incident("breaker_open",
+                                     "node " + std::to_string(i) + " circuit breaker " +
+                                         breaker_state_name(from) + " -> open");
       } else if (to == BreakerState::kClosed) {
         bump("cluster.breaker.closed");
         diag_.report(DiagSeverity::kInfo, PipelineStage::kServe, -1,
@@ -488,9 +506,17 @@ ClusterQueryResult ClusterController::plan(const PlanKey& key, const PlanQuery& 
   const std::int64_t deadline = t0 + std::max<std::int64_t>(deadline_us, 1);
   auto q = std::make_shared<ClusterQueryState>();
   const std::vector<int> replicas = replicas_for_hash(key.net_hash);
-  std::uint64_t rng =
-      cfg_.seed ^ (query_seq_.fetch_add(1, std::memory_order_relaxed) * 0x9e3779b97f4a7c15ull) ^
-      key.net_hash;
+  const std::uint64_t qid = query_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t rng = cfg_.seed ^ (qid * 0x9e3779b97f4a7c15ull) ^ key.net_hash;
+
+  // Root of the query's trace: the async lane opens here and closes when
+  // the query settles; each dispatch carries a child context to its node.
+  const TraceContext root = mint_trace();
+  trace_async('b', "cluster.query", root, "query", static_cast<std::int64_t>(qid));
+  trace_flow('s', "cluster.query", root);
+  TraceContextScope trace_scope(root);
+  ScopedSpan query_span("cluster.query", "cluster");
+  query_span.arg("query", static_cast<std::int64_t>(qid));
 
   ClusterQueryResult out;
   // Each dispatch paired with its attempt deadline, so a straggler that
@@ -529,7 +555,10 @@ ClusterQueryResult ClusterController::plan(const PlanKey& key, const PlanQuery& 
     d->key = key;
     d->query = query;
     d->node = primary.node;
+    d->attempt = out.attempts;
+    d->ctx = child_span(current_trace_context());
     d->probe = primary.probe;
+    trace_async('n', "cluster.dispatch", d->ctx, "node", primary.node);
     outstanding.emplace_back(d, attempt_deadline);
     nodes_[static_cast<std::size_t>(primary.node)]->submit(d);
 
@@ -549,8 +578,11 @@ ClusterQueryResult ClusterController::plan(const PlanKey& key, const PlanQuery& 
           hd->key = key;
           hd->query = query;
           hd->node = hedge.node;
+          hd->attempt = out.attempts;
+          hd->ctx = child_span(current_trace_context());
           hd->probe = hedge.probe;
           hd->hedge = true;
+          trace_async('n', "cluster.hedge", hd->ctx, "node", hedge.node);
           outstanding.emplace_back(hd, attempt_deadline);
           nodes_[static_cast<std::size_t>(hedge.node)]->submit(hd);
           ++out.hedges;
@@ -604,7 +636,9 @@ ClusterQueryResult ClusterController::plan(const PlanKey& key, const PlanQuery& 
       out.plan = std::move(q->resp.plan);
     }
   }
-  out.wall_ms = static_cast<double>(cluster_now_us() - t0) / 1000.0;
+  const std::int64_t t_done = cluster_now_us();
+  out.wall_ms = static_cast<double>(t_done - t0) / 1000.0;
+  out.trace_id = root.trace_id;
   if (!done) {
     std::ostringstream os;
     os << "cluster: query on " << key.to_string() << " exhausted its deadline ("
@@ -640,6 +674,26 @@ ClusterQueryResult ClusterController::plan(const PlanKey& key, const PlanQuery& 
   hedges_.fetch_add(out.hedges, std::memory_order_relaxed);
   timeouts_.fetch_add(out.timeouts, std::memory_order_relaxed);
   breaker_rejections_.fetch_add(out.rejected, std::memory_order_relaxed);
+
+  if (out.hedge_won) trace_async('n', "cluster.hedge_won", root, "node", out.node);
+  trace_async('e', "cluster.query", root, "ok", out.ok ? 1 : 0);
+  trace_flow('f', "cluster.query", root);
+  if (flight_recording_enabled()) {
+    RequestRecord rec;
+    rec.trace_id = root.trace_id;
+    rec.request_id = qid;
+    rec.source = "cluster";
+    rec.status = out.ok ? "ok" : (done ? "error" : "deadline_exhausted");
+    rec.ok = out.ok;
+    rec.deadline_hit = !done;  // the query ran out its overall deadline
+    rec.exec_us = t_done - t0;
+    rec.total_us = t_done - t0;
+    rec.node_id = out.node;
+    rec.retries = static_cast<int>(retries);
+    rec.hedges = out.hedges;
+    rec.t_us = t_done;
+    flight_recorder().record(rec);
+  }
   return out;
 }
 

@@ -58,6 +58,7 @@
 #include "cluster/breaker.hpp"
 #include "core/fault.hpp"
 #include "io/profile_io.hpp"
+#include "obs/trace.hpp"
 #include "serve/plan_service.hpp"
 
 namespace mupod {
@@ -131,6 +132,11 @@ struct ClusterDispatch {
   PlanKey key;
   PlanQuery query;
   int node = -1;
+  int attempt = 0;     // 1-based attempt round that issued this dispatch
+  // Child context of the query's trace, carried across the node-queue hop;
+  // the executing worker installs it so its attempt span (and the
+  // PlanService stage spans under it) correlate to the query.
+  TraceContext ctx;
   bool probe = false;  // admitted as the node's half-open probe
   bool hedge = false;
   std::atomic<bool> completed{false};
@@ -150,6 +156,9 @@ struct ClusterQueryResult {
   int timeouts = 0;    // dispatches abandoned at attempt_timeout
   int rejected = 0;    // breaker fast-fails observed while routing
   double wall_ms = 0.0;
+  // Correlation id of the query's trace (0 when tracing was off): joins
+  // this result to its Chrome-trace lane and flight-recorder record.
+  std::uint64_t trace_id = 0;
 };
 
 struct NodeStats {

@@ -17,7 +17,18 @@
 
 namespace mupod {
 
-std::chrono::steady_clock::time_point mono_origin();
-std::int64_t mono_now_us();
+// Inline (C++17 single-instance function-local static) rather than living
+// in mupod_core, so layers below core — mupod_obs needs timestamps for
+// telemetry records — share the same origin without a link cycle.
+inline std::chrono::steady_clock::time_point mono_origin() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+inline std::int64_t mono_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                               mono_origin())
+      .count();
+}
 
 }  // namespace mupod

@@ -10,6 +10,7 @@
 #include "core/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_scope.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mupod {
 
@@ -185,6 +186,12 @@ std::future<InferenceResult> InferenceServer::submit(Tensor image, InferOptions 
 
   auto r = std::make_unique<Request>();
   r->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // Root of the request's trace: the async lane opens here and closes in
+  // resolve(); the flow arrow connects the submitter's lane to the
+  // batcher's. Invalid (all no-ops) when tracing is off.
+  r->ctx = mint_trace();
+  trace_async('b', "infer.request", r->ctx, "request_id", static_cast<std::int64_t>(r->id));
+  trace_flow('s', "infer.request", r->ctx);
   r->opts = std::move(opts);
   if (r->opts.model.empty()) {
     std::shared_lock lk(models_mu_);
@@ -330,8 +337,18 @@ void InferenceServer::execute_batch(std::vector<std::unique_ptr<Request>> batch,
   const int rows = static_cast<int>(batch.size());
   const std::int64_t collected_us = mono_now_us();
 
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  // Batch sequence number: joins every rider's result/trace/flight record
+  // to the one coalesced forward that served them.
+  const std::int64_t batch_id = batches_.fetch_add(1, std::memory_order_relaxed) + 1;
   rows_.fetch_add(rows, std::memory_order_relaxed);
+
+  ScopedSpan batch_span("infer.batch", "infer");
+  batch_span.arg("batch", batch_id);
+  batch_span.arg("rows", rows);
+  for (const auto& r : batch) {
+    trace_async('n', "infer.dispatch", r->ctx, "batch", batch_id);
+    trace_flow('t', "infer.request", r->ctx);
+  }
   switch (trigger) {
     case BatchTrigger::kSize: size_flushes_.fetch_add(1, std::memory_order_relaxed); break;
     case BatchTrigger::kTimeout: timeout_flushes_.fetch_add(1, std::memory_order_relaxed); break;
@@ -371,6 +388,7 @@ void InferenceServer::execute_batch(std::vector<std::unique_ptr<Request>> batch,
       res.error = why;
       res.batch_rows = rows;
       res.trigger = trigger;
+      res.batch_id = batch_id;
       res.queue_us = collected_us - r->submit_us;
       resolve(std::move(r), std::move(res));
     }
@@ -425,6 +443,7 @@ void InferenceServer::execute_batch(std::vector<std::unique_ptr<Request>> batch,
     res.backend = backend;
     res.batch_rows = rows;
     res.trigger = trigger;
+    res.batch_id = batch_id;
     res.plan_version = backend == InferBackend::kInteger ? snap.plan_version : 0;
     res.queue_us = collected_us - r->submit_us;
     res.run_us = run_us;
@@ -451,9 +470,28 @@ void InferenceServer::resolve(std::unique_ptr<Request> r, InferenceResult&& res)
   res.model = r->opts.model;
   res.backend = r->opts.backend;
   res.total_us = now - r->submit_us;
+  res.trace_id = r->ctx.trace_id;
   if (metrics_enabled()) {
     im().latency_ms.record(static_cast<double>(res.total_us) / 1000.0);
     im().queue_ms.record(static_cast<double>(res.queue_us) / 1000.0);
+  }
+  trace_async('e', "infer.request", r->ctx, "status", static_cast<std::int64_t>(res.status));
+  trace_flow('f', "infer.request", r->ctx);
+  if (flight_recording_enabled()) {
+    RequestRecord rec;
+    rec.trace_id = r->ctx.trace_id;
+    rec.request_id = r->id;
+    rec.source = "infer";
+    rec.status = infer_status_name(res.status);
+    rec.ok = res.status == InferStatus::kOk;
+    rec.deadline_hit = res.status == InferStatus::kDeadlineExceeded ||
+                       res.status == InferStatus::kExpiredInQueue;
+    rec.queue_us = res.queue_us;
+    rec.exec_us = res.run_us;
+    rec.total_us = res.total_us;
+    rec.batch_id = res.batch_id;
+    rec.t_us = now;
+    flight_recorder().record(rec);
   }
   r->promise.set_value(std::move(res));
 }

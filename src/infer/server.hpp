@@ -66,6 +66,7 @@
 
 #include "core/fault.hpp"
 #include "infer/batch_policy.hpp"
+#include "obs/trace.hpp"
 #include "quant/qexec.hpp"
 #include "serve/plan_service.hpp"
 #include "tensor/tensor.hpp"
@@ -120,6 +121,12 @@ struct InferenceResult {
   std::int64_t run_us = 0;    // the batch's forward wall time
   std::int64_t total_us = 0;  // submit -> future resolved
   std::string error;          // diagnosis for kError / rejections
+  // Correlation: the request's trace id (0 when tracing was off at
+  // submit) and the sequence number of the batch that executed it (-1 if
+  // it never reached a batch). These join the result to the Chrome-trace
+  // lane and the flight-recorder record for the same request.
+  std::uint64_t trace_id = 0;
+  std::int64_t batch_id = -1;
 };
 
 struct InferenceServerConfig {
@@ -219,6 +226,7 @@ class InferenceServer {
     std::promise<InferenceResult> promise;
     std::int64_t submit_us = 0;
     std::int64_t deadline_abs_us = 0;  // 0 = none (process clock)
+    TraceContext ctx;  // minted at submit; carried across the batcher hop
   };
 
   struct ModelEntry {

@@ -116,13 +116,14 @@ std::string render_report(const Network& net, const std::vector<int>& analyzed,
         os << t.render_markdown() << '\n';
       }
       if (!snap.histograms.empty()) {
-        TextTable t({"histogram", "count", "mean", "buckets"});
+        // Percentiles (HistogramMetric::summary), not raw bucket counts:
+        // the report reader wants the latency shape, not the bucketing.
+        TextTable t({"histogram", "count", "mean", "p50", "p90", "p99"});
         for (const auto& h : snap.histograms) {
-          std::ostringstream buckets;
-          for (std::size_t i = 0; i < h.counts.size(); ++i)
-            buckets << (i > 0 ? " " : "") << h.counts[i];
+          const HistogramSummary s = h.summary();
           t.add_row({h.name, std::to_string(h.count), TextTable::fmt(h.mean(), 3),
-                     buckets.str()});
+                     TextTable::fmt(s.p50, 3), TextTable::fmt(s.p90, 3),
+                     TextTable::fmt(s.p99, 3)});
         }
         os << t.render_markdown();
       }

@@ -144,7 +144,9 @@ std::string MetricsSnapshot::render_text() const {
   for (const CounterValue& c : counters) os << c.name << " " << c.value << "\n";
   for (const GaugeValue& g : gauges) os << g.name << " " << g.value << "\n";
   for (const HistogramValue& h : histograms) {
-    os << h.name << " count=" << h.count << " mean=" << h.mean() << " buckets=[";
+    const HistogramSummary s = h.summary();
+    os << h.name << " count=" << h.count << " mean=" << h.mean() << " p50=" << s.p50
+       << " p90=" << s.p90 << " p99=" << s.p99 << " buckets=[";
     for (std::size_t i = 0; i < h.counts.size(); ++i)
       os << (i > 0 ? " " : "") << h.counts[i];
     os << "]\n";

@@ -16,7 +16,63 @@ std::uint64_t steady_us() {
                                         std::chrono::steady_clock::now().time_since_epoch())
                                         .count());
 }
+
+// Id mint: a process-global sequence scrambled through splitmix64 so ids
+// are unique, nonzero, and visually distinct in trace viewers. The
+// sequence (not the clock) provides uniqueness, so minting is wait-free.
+std::atomic<std::uint64_t> g_next_id{1};
+
+std::uint64_t mint_id() {
+  std::uint64_t z = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;  // 0 means "invalid"; the scramble maps only 0x... rarities there
+}
+
+thread_local TraceContext tls_ctx;
+
+void append_hex(std::string* out, std::uint64_t v) {
+  char buf[19];
+  int n = 0;
+  buf[n++] = '0';
+  buf[n++] = 'x';
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const int nib = static_cast<int>((v >> shift) & 0xF);
+    if (nib == 0 && !started && shift != 0) continue;
+    started = true;
+    buf[n++] = "0123456789abcdef"[nib];
+  }
+  out->append(buf, static_cast<std::size_t>(n));
+}
 }  // namespace
+
+TraceContext mint_trace() {
+  if (!tracing_enabled()) return {};
+  TraceContext c;
+  c.trace_id = mint_id();
+  c.span_id = mint_id();
+  c.parent_id = 0;
+  return c;
+}
+
+TraceContext child_span(const TraceContext& ctx) {
+  if (!ctx.valid()) return {};
+  TraceContext c;
+  c.trace_id = ctx.trace_id;
+  c.span_id = mint_id();
+  c.parent_id = ctx.span_id;
+  return c;
+}
+
+TraceContext current_trace_context() { return tls_ctx; }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx) : prev_(tls_ctx) {
+  tls_ctx = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { tls_ctx = prev_; }
 
 Tracer::Tracer(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity), epoch_us_(steady_us()) {
@@ -82,13 +138,29 @@ std::string Tracer::chrome_trace_json() const {
     j.begin_object();
     j.kv("name", e.name);
     j.kv("cat", e.category);
-    j.kv("ph", "X");
+    {
+      const char ph[2] = {e.ph, '\0'};
+      j.kv("ph", ph);
+    }
     j.kv("ts", static_cast<std::int64_t>(e.ts_us));
-    j.kv("dur", static_cast<std::int64_t>(e.dur_us));
+    if (e.ph == 'X') j.kv("dur", static_cast<std::int64_t>(e.dur_us));
     j.kv("pid", 1);
     j.kv("tid", e.tid);
-    if (e.n_args > 0) {
+    if (e.ctx.valid() && e.ph != 'X') {
+      // Async and flow events are grouped/connected by id in the viewer;
+      // the trace id IS the request identity.
+      std::string id;
+      append_hex(&id, e.ctx.trace_id);
+      j.kv("id", id);
+      if (e.ph == 'f') j.kv("bp", "e");  // bind the arrow to the enclosing slice
+    }
+    if (e.n_args > 0 || e.ctx.valid()) {
       j.key("args").begin_object();
+      if (e.ctx.valid()) {
+        j.kv("trace_id", static_cast<std::int64_t>(e.ctx.trace_id));
+        j.kv("span_id", static_cast<std::int64_t>(e.ctx.span_id));
+        j.kv("parent_id", static_cast<std::int64_t>(e.ctx.parent_id));
+      }
       for (int a = 0; a < e.n_args; ++a) j.kv(e.args[static_cast<std::size_t>(a)].first,
                                               e.args[static_cast<std::size_t>(a)].second);
       j.end_object();
@@ -113,9 +185,46 @@ void set_tracing_enabled(bool enabled) {
   g_tracing_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+void trace_async(char ph, const char* name, const TraceContext& ctx, const char* k,
+                 std::int64_t v) {
+  if (!ctx.valid() || !tracing_enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = "request";
+  e.ph = ph;
+  e.ts_us = tracer().now_us();
+  e.tid = obs_thread_slot();
+  e.ctx = ctx;
+  if (k != nullptr) {
+    e.args[0] = {k, v};
+    e.n_args = 1;
+  }
+  tracer().record(std::move(e));
+}
+
+void trace_flow(char ph, const char* name, const TraceContext& ctx) {
+  if (!ctx.valid() || !tracing_enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = "flow";
+  e.ph = ph;
+  e.ts_us = tracer().now_us();
+  e.tid = obs_thread_slot();
+  e.ctx = ctx;
+  tracer().record(std::move(e));
+}
+
 ScopedSpan::ScopedSpan(const char* name, const char* category)
     : active_(tracing_enabled()), name_(name), category_(category) {
-  if (active_) start_us_ = tracer().now_us();
+  if (!active_) return;
+  start_us_ = tracer().now_us();
+  const TraceContext ambient = current_trace_context();
+  if (ambient.valid()) {
+    ctx_ = child_span(ambient);
+    prev_ctx_ = ambient;
+    tls_ctx = ctx_;
+    installed_ = true;
+  }
 }
 
 void ScopedSpan::arg(const char* key, std::int64_t value) {
@@ -125,6 +234,7 @@ void ScopedSpan::arg(const char* key, std::int64_t value) {
 
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
+  if (installed_) tls_ctx = prev_ctx_;
   TraceEvent e;
   e.name = name_;
   e.category = category_;
@@ -132,6 +242,7 @@ ScopedSpan::~ScopedSpan() {
   const std::uint64_t end = tracer().now_us();
   e.dur_us = end >= start_us_ ? end - start_us_ : 0;
   e.tid = obs_thread_slot();
+  e.ctx = ctx_;
   e.args = args_;
   e.n_args = n_args_;
   tracer().record(std::move(e));

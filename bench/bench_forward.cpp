@@ -35,6 +35,7 @@
 #include "quant/qexec.hpp"
 #include "stats/rng.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/parallel.hpp"
 #include "zoo/zoo.hpp"
 
@@ -136,8 +137,8 @@ int main(int argc, char** argv) {
 
   bench::print_header("forward throughput: legacy scalar path vs blocked GEMM path",
                       "forward hot path (Eq. 5 profiling / sigma search cost)");
-  std::printf("workers %d (MUPOD_THREADS to pin), min of %d rep(s)\n\n",
-              parallel_worker_count(), reps);
+  std::printf("workers %d (MUPOD_THREADS to pin), min of %d rep(s), kernel ISA %s\n\n",
+              parallel_worker_count(), reps, kernel_isa_name(kernel_isa()));
   std::printf("%-10s %5s  %12s %12s %8s %12s %10s %10s\n", "net", "batch", "legacy ms",
               "blocked ms", "speedup", "max |diff|", "int16 ms", "int8 ms");
 
@@ -205,6 +206,7 @@ int main(int argc, char** argv) {
     j.kv("bench", "forward");
     j.kv("workers", parallel_worker_count());
     j.kv("reps", reps);
+    j.kv("kernel_isa", kernel_isa_name(kernel_isa()));
     j.kv("paths_agree", all_finite);
     j.key("rows").begin_array();
     for (const Row& r : rows) {

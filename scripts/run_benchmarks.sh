@@ -33,11 +33,21 @@
 # BENCH_telemetry.json records the full-observability cost on the serving
 # path (tracing + metrics + flight recorder on vs everything off, min-of-N
 # through InferenceServer) and fails the run when it exceeds 3%.
-set -eu
+#
+# BENCH_micro_kernels.json records the SIMD micro-kernel roofline sweep
+# (bench_micro_kernels --json): per kernel x available ISA, min-of-N
+# achieved GFLOPS/GOPS/Gelem-per-s vs the theoretical per-cycle peak.
+#
+# pipefail: each bench pipes through tee for the .txt transcript; without
+# it the pipeline's status is tee's (always 0) and a crashed bench would
+# be recorded as exit_status 0 in the manifest AND the script would exit
+# clean. With it, a failed bench marks its manifest row nonzero and the
+# script exits 1 — loud, so CI can gate on it.
+set -eu -o pipefail
 cd "$(dirname "$0")/.."
 mkdir -p bench_logs
 
-BENCHES="bench_sweep bench_observability bench_forward bench_cluster bench_serve bench_telemetry"
+BENCHES="bench_sweep bench_observability bench_forward bench_cluster bench_serve bench_telemetry bench_micro_kernels"
 
 for b in $BENCHES; do
   if [ ! -x "build/bench/$b" ]; then
@@ -65,6 +75,7 @@ done
 # where each report landed, and whether its internal contract passed —
 # stamped with the commit, build flags, and wall-clock so a bench
 # trajectory stays attributable across PRs.
+kernel_isa=$("./build/bench/bench_micro_kernels" --print-isa 2>/dev/null || echo unknown)
 git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 git_dirty=false
 [ -n "$(git status --porcelain 2>/dev/null)" ] && git_dirty=true
@@ -80,6 +91,7 @@ fi
 cat > bench_logs/BENCH_manifest.json <<EOF
 {"generated_by": "scripts/run_benchmarks.sh",
  "git_sha": "$git_sha", "git_dirty": $git_dirty, "timestamp": "$timestamp",
+ "kernel_isa": "$kernel_isa",
  "build": {"type": "$build_type", "native": "$native", "sanitize": "$sanitize"},
  "benches": [$manifest_entries
 ]}

@@ -49,3 +49,20 @@ fi
 cmake -B "$BUILD_DIR" -S . -DMUPOD_SANITIZE="$MODE" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "${CTEST_EXTRA[@]}" "$@"
+
+# Second lane, forced-scalar kernels: the AVX2/FMA intrinsic TUs sit
+# behind runtime CPUID dispatch, so on AVX2 hardware the run above never
+# executes the generic C++ kernel paths that non-x86 builds (and older
+# CPUs) fall back to. MUPOD_FORCE_KERNEL=scalar re-runs the kernel-facing
+# batteries (`sanitize` covers gemm + dispatch, `quant` the integer
+# backend) through those paths under the same sanitizer. Same build dir:
+# dispatch is a startup env read, no recompile needed. PlanConformance is
+# excluded here, not hidden: its golden file pins end-to-end numbers
+# recorded under the machine's *detected* ISA, and forcing scalar shifts
+# the float calibration (no FMA contraction) those numbers depend on —
+# the cross-ISA contracts that must hold exactly (integer byte equality,
+# float tolerance) are asserted by the included batteries instead.
+echo "=== re-running kernel batteries with MUPOD_FORCE_KERNEL=scalar ($MODE) ==="
+MUPOD_FORCE_KERNEL=scalar \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    -L 'sanitize|quant' -E 'PlanConformance' "$@"

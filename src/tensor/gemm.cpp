@@ -5,28 +5,24 @@
 #include <cassert>
 
 #include "obs/metrics.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/parallel.hpp"
 
 namespace mupod {
 namespace {
 
-// Micro-tile geometry. The accumulator array (MR x NR floats) must fit in
-// the vector register file with room left for the B strip loads and the A
-// broadcast: with AVX (8-wide) a 6x16 tile uses 12 of 16 ymm registers;
-// on baseline x86-64 (SSE2, 4-wide) 4x8 uses 8 of 16 xmm. The cache
-// blocks follow BLIS sizing: an MR x KC strip of packed A lives in L1
-// under the k-loop, the MC x KC packed block in L2, the KC x NC packed B
-// panel in L3.
-#if defined(__AVX__)
-constexpr int MR = 6;
-constexpr int NR = 16;
-#else
-constexpr int MR = 4;
-constexpr int NR = 8;
-#endif
+// Micro-tile geometry now comes from the dispatched kernel registry
+// (tensor/kernels/kernels.hpp): the AVX2/FMA intrinsic micro-kernels use a
+// 6x16 tile (12 of 16 ymm registers for the accumulator, leaving room for
+// the two B strip loads and the A broadcast), the scalar reference 4x8 on
+// baseline x86-64 (8 of 16 xmm) — so -DMUPOD_NATIVE is no longer needed
+// for vectorized kernels. The cache blocks follow BLIS sizing, scaled
+// from the micro-tile: an MR x KC strip of packed A lives in L1 under the
+// k-loop, the MC x KC packed block in L2, the KC x NC packed B panel in
+// L3.
 constexpr int KC = 256;
-constexpr int MC = 24 * MR;  // 144 (AVX) / 96 (SSE2) rows, ~96-144 KiB packed
-constexpr int NC = 64 * NR;  // 1024 (AVX) / 512 (SSE2) columns
+constexpr int kMcStrips = 24;  // MC = 24 * MR rows, ~96-144 KiB packed
+constexpr int kNcStrips = 64;  // NC = 64 * NR columns
 
 // Below this many multiply-accumulates a GEMM runs its tile loop inline:
 // the pool dispatch (mutex + condvar wakeup) costs more than it buys.
@@ -37,96 +33,75 @@ inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1
 // ---------------------------------------------------------------------------
 // Packing
 
-// Packs rows [i0, i0+mr_cur) x ks [p0, p0+kc) of A into an MR-wide strip:
-// ap[kk*MR + r], rows beyond mr_cur zero-padded so the micro-kernel never
+// Packs rows [i0, i0+mr_cur) x ks [p0, p0+kc) of A into an mr-wide strip:
+// ap[kk*mr + r], rows beyond mr_cur zero-padded so the micro-kernel never
 // branches on the row count.
-void pack_a_strip(const float* a, std::int64_t lda, std::int64_t i0, int mr_cur,
+void pack_a_strip(const float* a, std::int64_t lda, std::int64_t i0, int mr, int mr_cur,
                   std::int64_t p0, int kc, float* ap) {
   const float* src = a + i0 * lda + p0;
-  if (mr_cur == MR) {
+  if (mr_cur == mr) {
     for (int kk = 0; kk < kc; ++kk)
-      for (int r = 0; r < MR; ++r) ap[kk * MR + r] = src[r * lda + kk];
+      for (int r = 0; r < mr; ++r) ap[kk * mr + r] = src[r * lda + kk];
     return;
   }
   for (int kk = 0; kk < kc; ++kk) {
     int r = 0;
-    for (; r < mr_cur; ++r) ap[kk * MR + r] = src[r * lda + kk];
-    for (; r < MR; ++r) ap[kk * MR + r] = 0.0f;
+    for (; r < mr_cur; ++r) ap[kk * mr + r] = src[r * lda + kk];
+    for (; r < mr; ++r) ap[kk * mr + r] = 0.0f;
   }
 }
 
-// Packs columns [j0, j0+nr_cur) x ks [p0, p0+kc) of B into an NR-wide
-// strip bp[kk*NR + c], zero-padding columns beyond nr_cur. With trans_b
+// Packs columns [j0, j0+nr_cur) x ks [p0, p0+kc) of B into an nr-wide
+// strip bp[kk*nr + c], zero-padding columns beyond nr_cur. With trans_b
 // the memory holds Bᵀ (n x k), so the pack is the transpose gather.
-void pack_b_strip(const float* b, std::int64_t ldb, bool trans_b, std::int64_t j0, int nr_cur,
-                  std::int64_t p0, int kc, float* bp) {
+void pack_b_strip(const float* b, std::int64_t ldb, bool trans_b, std::int64_t j0, int nr,
+                  int nr_cur, std::int64_t p0, int kc, float* bp) {
   if (!trans_b) {
     const float* src = b + p0 * ldb + j0;
-    if (nr_cur == NR) {
+    if (nr_cur == nr) {
       for (int kk = 0; kk < kc; ++kk)
-        for (int c = 0; c < NR; ++c) bp[kk * NR + c] = src[kk * ldb + c];
+        for (int c = 0; c < nr; ++c) bp[kk * nr + c] = src[kk * ldb + c];
       return;
     }
     for (int kk = 0; kk < kc; ++kk) {
       int c = 0;
-      for (; c < nr_cur; ++c) bp[kk * NR + c] = src[kk * ldb + c];
-      for (; c < NR; ++c) bp[kk * NR + c] = 0.0f;
+      for (; c < nr_cur; ++c) bp[kk * nr + c] = src[kk * ldb + c];
+      for (; c < nr; ++c) bp[kk * nr + c] = 0.0f;
     }
     return;
   }
   for (int c = 0; c < nr_cur; ++c) {
     const float* src = b + (j0 + c) * ldb + p0;
-    for (int kk = 0; kk < kc; ++kk) bp[kk * NR + c] = src[kk];
+    for (int kk = 0; kk < kc; ++kk) bp[kk * nr + c] = src[kk];
   }
-  for (int c = nr_cur; c < NR; ++c)
-    for (int kk = 0; kk < kc; ++kk) bp[kk * NR + c] = 0.0f;
+  for (int c = nr_cur; c < nr; ++c)
+    for (int kk = 0; kk < kc; ++kk) bp[kk * nr + c] = 0.0f;
 }
 
 // ---------------------------------------------------------------------------
 // Micro-kernels
 //
-// Both kernels consume packed strips (A r-contiguous per k, B c-contiguous
-// per k) and accumulate k in ascending order into a local register tile,
-// touching C exactly once at the end — this fixed order is what makes the
-// whole GEMM bitwise independent of the task decomposition.
+// The full-tile kernel is the registry's sgemm_micro entry (scalar
+// reference, AVX2 mul+add, or FMA — see tensor/kernels/). All kernels
+// consume packed strips (A r-contiguous per k, B c-contiguous per k) and
+// accumulate k in ascending order into a local register tile, touching C
+// exactly once at the end — this fixed order is what makes the whole GEMM
+// bitwise independent of the task decomposition (within a fixed ISA).
 
-// Full MR x NR tile.
-void micro_full(int kc, const float* __restrict ap, const float* __restrict bp,
-                float* __restrict c, std::int64_t ldc, float beta) {
-  float acc[MR][NR] = {};
-  for (int kk = 0; kk < kc; ++kk) {
-    const float* __restrict ak = ap + static_cast<std::ptrdiff_t>(kk) * MR;
-    const float* __restrict bk = bp + static_cast<std::ptrdiff_t>(kk) * NR;
-    for (int r = 0; r < MR; ++r) {
-      const float av = ak[r];
-      for (int cc = 0; cc < NR; ++cc) acc[r][cc] += av * bk[cc];
-    }
-  }
-  for (int r = 0; r < MR; ++r) {
-    float* crow = c + r * ldc;
-    if (beta == 0.0f) {
-      for (int cc = 0; cc < NR; ++cc) crow[cc] = acc[r][cc];
-    } else if (beta == 1.0f) {
-      for (int cc = 0; cc < NR; ++cc) crow[cc] += acc[r][cc];
-    } else {
-      for (int cc = 0; cc < NR; ++cc) crow[cc] = beta * crow[cc] + acc[r][cc];
-    }
-  }
-}
-
-// Edge tile (mr_cur < MR and/or nr_cur < NR). Accumulates column-major so
-// the inner loop runs over the r-contiguous packed A strip; only the valid
-// nr_cur columns are computed, which keeps the n == 1 (GEMV) case at full
-// efficiency instead of wasting NR-1 padded lanes.
-void micro_edge(int kc, int mr_cur, int nr_cur, const float* __restrict ap,
+// Edge tile (mr_cur < mr and/or nr_cur < nr), generic over the registry
+// geometry. Accumulates column-major so the inner loop runs over the
+// r-contiguous packed A strip; only the valid nr_cur columns are computed,
+// which keeps the n == 1 (GEMV) case at full efficiency instead of
+// wasting nr-1 padded lanes.
+void micro_edge(int kc, int mr, int nr, int mr_cur, int nr_cur, const float* __restrict ap,
                 const float* __restrict bp, float* __restrict c, std::int64_t ldc, float beta) {
-  float acc[NR][MR] = {};
+  float acc[kMaxNr][kMaxMr] = {};
   for (int kk = 0; kk < kc; ++kk) {
-    const float* __restrict ak = ap + static_cast<std::ptrdiff_t>(kk) * MR;
-    const float* __restrict bk = bp + static_cast<std::ptrdiff_t>(kk) * NR;
+    const float* __restrict ak = ap + static_cast<std::ptrdiff_t>(kk) * mr;
+    const float* __restrict bk = bp + static_cast<std::ptrdiff_t>(kk) * nr;
     for (int cc = 0; cc < nr_cur; ++cc) {
       const float bv = bk[cc];
-      for (int r = 0; r < MR; ++r) acc[cc][r] += ak[r] * bv;
+      for (int r = 0; r < mr; ++r) acc[cc][r] += ak[r] * bv;
     }
   }
   for (int r = 0; r < mr_cur; ++r) {
@@ -150,12 +125,28 @@ struct GemmCounters {
   Counter* calls;
   Counter* flops;
   Counter* tiles;
+  // Per-kernel dispatch counters: which SGEMM micro-kernel served each call.
+  Counter* sgemm_scalar;
+  Counter* sgemm_avx2;
+  Counter* sgemm_fma;
 };
 
 GemmCounters& gemm_counters() {
-  static GemmCounters c{&metrics().counter("gemm.calls"), &metrics().counter("gemm.flops"),
-                        &metrics().counter("gemm.tiles")};
+  static GemmCounters c{&metrics().counter("gemm.calls"),
+                        &metrics().counter("gemm.flops"),
+                        &metrics().counter("gemm.tiles"),
+                        &metrics().counter("kernel.sgemm.scalar"),
+                        &metrics().counter("kernel.sgemm.avx2"),
+                        &metrics().counter("kernel.sgemm.fma")};
   return c;
+}
+
+void note_sgemm_kernel(GemmCounters& gc, KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar: gc.sgemm_scalar->add(1); break;
+    case KernelIsa::kAvx2: gc.sgemm_avx2->add(1); break;
+    case KernelIsa::kAvx2Fma: gc.sgemm_fma->add(1); break;
+  }
 }
 
 std::atomic<std::int64_t> g_scratch_bytes{0};
@@ -173,7 +164,10 @@ void note_scratch_growth(std::int64_t delta) {
 GemmMode gemm_mode() { return g_mode.load(std::memory_order_relaxed); }
 void set_gemm_mode(GemmMode m) { g_mode.store(m, std::memory_order_relaxed); }
 
-GemmBlocking gemm_blocking() { return {MR, NR, MC, KC, NC}; }
+GemmBlocking gemm_blocking() {
+  const KernelRegistry& reg = kernel_registry();
+  return {reg.mr, reg.nr, kMcStrips * reg.mr, KC, kNcStrips * reg.nr};
+}
 
 // ---------------------------------------------------------------------------
 // GemmScratch
@@ -236,11 +230,20 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
     return;
   }
 
+  // One registry read per call: the ISA (and so the geometry) is stable
+  // for the whole GEMM even if set_kernel_isa races from a test harness.
+  const KernelRegistry& reg = kernel_registry();
+  const int MR = reg.mr;
+  const int NR = reg.nr;
+  const std::int64_t MC = static_cast<std::int64_t>(kMcStrips) * MR;
+  const std::int64_t NC = static_cast<std::int64_t>(kNcStrips) * NR;
+
   if (metrics_enabled()) {
     GemmCounters& gc = gemm_counters();
     gc.calls->add(1);
     gc.flops->add(2 * m * n * k);
     gc.tiles->add(ceil_div(m, MR) * ceil_div(n, NR) * ceil_div(k, KC));
+    note_sgemm_kernel(gc, reg.isa);
   }
 
   const bool par = 2 * m * n * k >= kSerialMacCutoff;
@@ -260,7 +263,7 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
         for (std::int64_t js = sb; js < se; ++js) {
           const std::int64_t j0 = jc + js * NR;
           const int nr_cur = static_cast<int>(std::min<std::int64_t>(NR, n - j0));
-          pack_b_strip(b, ldb, trans_b, j0, nr_cur, pc, kc,
+          pack_b_strip(b, ldb, trans_b, j0, NR, nr_cur, pc, kc,
                        bp + static_cast<std::size_t>(js) * kc * NR);
         }
       };
@@ -286,7 +289,7 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
           if (ic != packed_ic) {
             for (std::int64_t ir = 0; ir < n_ir; ++ir) {
               const int mr_cur = static_cast<int>(std::min<std::int64_t>(MR, mc_cur - ir * MR));
-              pack_a_strip(a, lda, i0 + ir * MR, mr_cur, pc, kc,
+              pack_a_strip(a, lda, i0 + ir * MR, MR, mr_cur, pc, kc,
                            ap + static_cast<std::size_t>(ir) * kc * MR);
             }
             packed_ic = ic;
@@ -299,9 +302,9 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
             const float* as = ap + static_cast<std::size_t>(ir) * kc * MR;
             float* ct = c + (i0 + ir * MR) * ldc + j0;
             if (mr_cur == MR && nr_cur == NR)
-              micro_full(kc, as, bs, ct, ldc, beta_pc);
+              reg.sgemm_micro(kc, as, bs, ct, ldc, beta_pc);
             else
-              micro_edge(kc, mr_cur, nr_cur, as, bs, ct, ldc, beta_pc);
+              micro_edge(kc, MR, NR, mr_cur, nr_cur, as, bs, ct, ldc, beta_pc);
           }
         }
       };

@@ -1,0 +1,60 @@
+// FMA 6x16 SGEMM micro-kernel — the only TU compiled with -mfma. Keeping
+// fused multiply-add isolated here means the kAvx2 registry's mul+add
+// kernel (kernels_avx2.cpp, no -mfma) can never be silently contracted,
+// so each ISA's float results are stable properties of the kernel, not of
+// compiler flags. Integer kernels are shared with kAvx2 (see
+// avx2_fma_kernel_registry in kernels_avx2.cpp) — exact arithmetic has
+// nothing to gain from FMA.
+//
+// Accuracy note (docs/method.md §16): relative to the scalar/mul+add
+// kernels, each fused a*b+acc skips one float rounding. The per-element
+// divergence after k accumulation steps is bounded by ~k * eps * |a|·|b|
+// summed over the reduction — the test battery checks against the scalar
+// reference with the same 1e-4 * sqrt(k) relative bound used for
+// reference-vs-blocked parity.
+#include "tensor/kernels/kernels_internal.hpp"
+
+#ifdef MUPOD_HAVE_AVX2_KERNELS
+
+#include <immintrin.h>
+
+namespace mupod::internal {
+
+void sgemm_micro_6x16_fma(int kc, const float* __restrict ap, const float* __restrict bp,
+                          float* __restrict c, std::int64_t ldc, float beta) {
+  constexpr int MR = 6;
+  constexpr int NR = 16;
+  __m256 acc[MR][2];
+  for (int r = 0; r < MR; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (int kk = 0; kk < kc; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(bp + static_cast<std::ptrdiff_t>(kk) * NR);
+    const __m256 b1 = _mm256_loadu_ps(bp + static_cast<std::ptrdiff_t>(kk) * NR + 8);
+    const float* ak = ap + static_cast<std::ptrdiff_t>(kk) * MR;
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_broadcast_ss(ak + r);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = c + r * ldc;
+    if (beta == 0.0f) {
+      _mm256_storeu_ps(crow, acc[r][0]);
+      _mm256_storeu_ps(crow + 8, acc[r][1]);
+    } else if (beta == 1.0f) {
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
+      _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[r][1]));
+    } else {
+      const __m256 vb = _mm256_set1_ps(beta);
+      _mm256_storeu_ps(crow, _mm256_fmadd_ps(vb, _mm256_loadu_ps(crow), acc[r][0]));
+      _mm256_storeu_ps(crow + 8, _mm256_fmadd_ps(vb, _mm256_loadu_ps(crow + 8), acc[r][1]));
+    }
+  }
+}
+
+}  // namespace mupod::internal
+
+#endif  // MUPOD_HAVE_AVX2_KERNELS

@@ -21,12 +21,16 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 #include "nn/layers.hpp"
+#include "obs/metrics.hpp"
 #include "quant/fixed_point.hpp"
 #include "quant/qexec.hpp"
 #include "stats/rng.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/qgemm.hpp"
 
@@ -293,6 +297,158 @@ TEST(QGemmDeterminism, BitIdenticalAcrossWorkerCounts) {
   for (std::size_t w = 1; w < results.size(); ++w)
     for (std::size_t i = 0; i < results[0].size(); ++i)
       ASSERT_EQ(results[0][i], results[w][i]) << "worker config " << w << " element " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Per-ISA bit equality. Integer kernels compute exact products in modular
+// arithmetic, so EVERY compiled ISA variant (scalar templates, AVX2
+// vpmaddwd pair kernel, vpmaddubsw quad fast path, GEMV dot kernels) must
+// produce byte-identical outputs — across ISAs AND worker counts
+// simultaneously. memcmp, not tolerance.
+
+struct IsaGuard {
+  KernelIsa saved = kernel_isa();
+  ~IsaGuard() { set_kernel_isa(saved); }
+};
+
+std::vector<KernelIsa> available_isas() {
+  std::vector<KernelIsa> v;
+  for (KernelIsa isa : {KernelIsa::kScalar, KernelIsa::kAvx2, KernelIsa::kAvx2Fma})
+    if (kernel_isa_available(isa)) v.push_back(isa);
+  return v;
+}
+
+template <typename T>
+void run_isa_equality_case(QType type, std::int64_t m, std::int64_t n, std::int64_t k,
+                           int bits, bool trans_b, std::uint64_t seed) {
+  const std::int64_t lda = k, ldb = trans_b ? k : n, ldc = n;
+  const auto a32 = random_ints(static_cast<std::size_t>(m * k), bits, seed);
+  const auto b32 = random_ints(static_cast<std::size_t>(k * n), bits, seed + 1);
+  const auto a = narrow<T>(a32);
+  const auto b = narrow<T>(b32);
+  QGemmEpilogue ep;
+  ep.quant_store = true;
+  ep.requant = make_requant(0.0007391);
+  ep.lo = -(std::int32_t{1} << (bits - 1));
+  ep.hi = (std::int32_t{1} << (bits - 1)) - 1;
+
+  IsaGuard guard;
+  set_kernel_isa(KernelIsa::kScalar);
+  std::vector<T> want(static_cast<std::size_t>(m * n), T(-1));
+  qgemm(type, m, n, k, a.data(), lda, b.data(), ldb, want.data(), ldc, ep, trans_b);
+
+  for (KernelIsa isa : available_isas()) {
+    for (const int workers : {1, 3}) {
+      set_kernel_isa(isa);
+      set_parallel_worker_count(workers);
+      std::vector<T> got(static_cast<std::size_t>(m * n), T(-2));
+      qgemm(type, m, n, k, a.data(), lda, b.data(), ldb, got.data(), ldc, ep, trans_b);
+      set_parallel_worker_count(0);
+      ASSERT_EQ(0, std::memcmp(want.data(), got.data(), want.size() * sizeof(T)))
+          << kernel_isa_name(isa) << " workers=" << workers << " " << qtype_name(type) << " "
+          << m << "x" << n << "x" << k << " bits=" << bits;
+    }
+  }
+}
+
+TEST(QGemmKernelIsa, Int8ByteIdenticalAcrossIsasAndWorkers) {
+  // Full-range int8 -> the vpmaddwd pair kernel (quad path ineligible).
+  run_isa_equality_case<std::int8_t>(QType::kInt8, 37, 53, 129, 8, false, 101);
+  run_isa_equality_case<std::int8_t>(QType::kInt8, 61, 83, 210, 8, true, 102);
+  run_isa_equality_case<std::int8_t>(QType::kInt8, 5, 17, 1, 8, false, 103);  // K = 1
+}
+
+TEST(QGemmKernelIsa, Int8MaddubsFastPathByteIdentical) {
+  // 7-bit B operands (|b| <= 64) select the vpmaddubsw offset-trick
+  // kernel on AVX2; its -128*colsum compensation must cancel exactly.
+  run_isa_equality_case<std::int8_t>(QType::kInt8, 37, 53, 129, 7, false, 201);
+  run_isa_equality_case<std::int8_t>(QType::kInt8, 29, 31, 64, 5, true, 202);
+  run_isa_equality_case<std::int8_t>(QType::kInt8, 4, 16, 257, 7, false, 203);  // odd k tail
+}
+
+TEST(QGemmKernelIsa, MaddubsEligibilityDispatchesAsCounted) {
+  // Guard against the fast path silently decaying: with AVX2 available,
+  // a 7-bit B operand must route through the maddubs kernel and a
+  // full-range one through the pair kernel, visible in the dispatch
+  // counters.
+  if (!kernel_isa_available(KernelIsa::kAvx2)) GTEST_SKIP() << "AVX2 kernels not compiled/usable";
+  IsaGuard guard;
+  set_kernel_isa(KernelIsa::kAvx2);
+  metrics().reset();
+  set_metrics_enabled(true);
+  const std::int64_t m = 8, n = 32, k = 40;
+  const auto a = narrow<std::int8_t>(random_ints(static_cast<std::size_t>(m * k), 8, 71));
+  const auto b7 = narrow<std::int8_t>(random_ints(static_cast<std::size_t>(k * n), 7, 72));
+  const auto b8 = narrow<std::int8_t>(random_ints(static_cast<std::size_t>(k * n), 8, 73));
+  QGemmEpilogue ep;
+  ep.scale = 1.0 / 64.0;
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  qgemm(QType::kInt8, m, n, k, a.data(), k, b7.data(), n, c.data(), n, ep);
+  EXPECT_EQ(metrics().counter("kernel.qgemm.maddubs").value(), 1);
+  qgemm(QType::kInt8, m, n, k, a.data(), k, b8.data(), n, c.data(), n, ep);
+  // b8 spans the full int8 range (seeded wide), so it must take the pair
+  // kernel unless the draw landed entirely inside [-64, 64].
+  EXPECT_EQ(metrics().counter("kernel.qgemm.maddubs").value() +
+                metrics().counter("kernel.qgemm.madd").value(),
+            2);
+  set_metrics_enabled(false);
+}
+
+TEST(QGemmKernelIsa, Int8GemvByteIdentical) {
+  // n == 1 takes the qdot8 row-dot path on AVX2 (the batch-1 FC shape).
+  run_isa_equality_case<std::int8_t>(QType::kInt8, 257, 1, 300, 8, false, 301);
+  run_isa_equality_case<std::int8_t>(QType::kInt8, 1000, 1, 1024, 8, false, 302);
+}
+
+TEST(QGemmKernelIsa, Int16ByteIdenticalAcrossIsasAndWorkers) {
+  // Full-range int16 INCLUDING -32768: the driver must detect it and
+  // fall back to the exact path, still byte-identical.
+  run_isa_equality_case<std::int16_t>(QType::kInt16, 37, 53, 129, 16, false, 401);
+  run_isa_equality_case<std::int16_t>(QType::kInt16, 61, 83, 210, 16, true, 402);
+  // 15-bit operands cannot hit the vpmaddwd corner -> SIMD path runs.
+  run_isa_equality_case<std::int16_t>(QType::kInt16, 37, 53, 129, 15, false, 403);
+  run_isa_equality_case<std::int16_t>(QType::kInt16, 257, 1, 300, 15, false, 404);  // GEMV
+}
+
+TEST(QGemmKernelIsa, QuantizeToByteIdenticalAcrossIsas) {
+  // The vectorized quantize-on-load must match the scalar grid contract
+  // bit-for-bit, including NaN -> 0, saturation clamps, and the count.
+  const std::int64_t n = 1003;  // odd: exercises the vector tail
+  std::vector<float> x(static_cast<std::size_t>(n));
+  Rng rng(777);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-600.0, 600.0));
+  x[0] = std::numeric_limits<float>::quiet_NaN();
+  x[1] = std::numeric_limits<float>::infinity();
+  x[2] = -std::numeric_limits<float>::infinity();
+  x[3] = 0.5f;   // rounds to even: 0
+  x[4] = 1.5f;   // rounds to even: 2
+  x[5] = -0.5f;
+  const double step = 1.0 / 8.0;
+
+  IsaGuard guard;
+  for (QType type : {QType::kInt8, QType::kInt16}) {
+    const int bits = qtype_bits(type);
+    const std::int32_t hi = (std::int32_t{1} << (bits - 1)) - 1;
+    const std::int32_t lo = -(std::int32_t{1} << (bits - 1));
+    set_kernel_isa(KernelIsa::kScalar);
+    std::vector<std::int16_t> want16(static_cast<std::size_t>(n));
+    std::vector<std::int8_t> want8(static_cast<std::size_t>(n));
+    void* want = type == QType::kInt8 ? static_cast<void*>(want8.data())
+                                      : static_cast<void*>(want16.data());
+    const std::int64_t want_sat = quantize_to(type, x.data(), n, step, lo, hi, want);
+
+    for (KernelIsa isa : available_isas()) {
+      set_kernel_isa(isa);
+      std::vector<std::int16_t> got16(static_cast<std::size_t>(n), 99);
+      std::vector<std::int8_t> got8(static_cast<std::size_t>(n), 99);
+      void* got = type == QType::kInt8 ? static_cast<void*>(got8.data())
+                                       : static_cast<void*>(got16.data());
+      const std::int64_t got_sat = quantize_to(type, x.data(), n, step, lo, hi, got);
+      EXPECT_EQ(got_sat, want_sat) << kernel_isa_name(isa) << " " << qtype_name(type);
+      ASSERT_EQ(0, std::memcmp(want, got, static_cast<std::size_t>(n) * qtype_bytes(type)))
+          << kernel_isa_name(isa) << " " << qtype_name(type);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -17,7 +17,11 @@
 #
 # BENCH_forward.json records min-of-N forward wall time per zoo network
 # (NiN, AlexNet, MobileNet) x batch {1, 8}, legacy scalar path vs blocked
-# GEMM path, plus the old/new max |diff| parity check.
+# GEMM path, plus the old/new max |diff| parity check — and the §17
+# graph-compiler columns: fused float (bitwise parity gate) and fused
+# int8 vs unfused int8, with per-row fusion counts and the
+# fused_int8_wins_batch1 serving claim. The manifest embeds the per-net
+# fusion counts (bench_forward --print-fusion) next to the kernel ISA.
 #
 # BENCH_cluster.json records the chaos bench on the sharded plan-serving
 # cluster: straggler p50/p99 with hedging on vs off, hedge win rate,
@@ -76,6 +80,7 @@ done
 # stamped with the commit, build flags, and wall-clock so a bench
 # trajectory stays attributable across PRs.
 kernel_isa=$("./build/bench/bench_micro_kernels" --print-isa 2>/dev/null || echo unknown)
+fusion_counts=$("./build/bench/bench_forward" --print-fusion 2>/dev/null || echo '{}')
 git_sha=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 git_dirty=false
 [ -n "$(git status --porcelain 2>/dev/null)" ] && git_dirty=true
@@ -92,6 +97,7 @@ cat > bench_logs/BENCH_manifest.json <<EOF
 {"generated_by": "scripts/run_benchmarks.sh",
  "git_sha": "$git_sha", "git_dirty": $git_dirty, "timestamp": "$timestamp",
  "kernel_isa": "$kernel_isa",
+ "fusion": $fusion_counts,
  "build": {"type": "$build_type", "native": "$native", "sanitize": "$sanitize"},
  "benches": [$manifest_entries
 ]}

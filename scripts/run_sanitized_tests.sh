@@ -13,9 +13,12 @@
 # tests/test_gemm.cpp, the cluster chaos suite in tests/test_cluster.cpp,
 # the inference-server battery in tests/test_infer.cpp (batcher thread,
 # shared-mutex plan hot-swap under load, concurrent submitters, seeded
-# kDelay chaos on the forward path), and the integer-backend battery in
-# tests/test_qgemm_property.cpp + test_plan_conformance.cpp (the qgemm
-# pack/tile tasks and quantize-on-load chunking cross threads) — the
+# kDelay chaos on the forward path), the graph-compiler battery in
+# tests/test_compile*.cpp (fused gemm/qgemm epilogues cross threads, and
+# the differential equivalence checks sweep worker counts), and the
+# integer-backend battery in tests/test_qgemm_property.cpp +
+# test_plan_conformance.cpp (the qgemm pack/tile tasks and
+# quantize-on-load chunking cross threads) — the
 # interesting ones under TSan; the full suite under TSan is an order of
 # magnitude slower for no extra interleaving coverage. The TSan run pins
 # MUPOD_THREADS=4 so the pool (and the GEMM tile fan-out) exercises real

@@ -96,6 +96,9 @@ void InferenceServer::register_model(const std::string& name, const Network& net
   ModelEntry e;
   e.net = &net;
   e.analyzed = std::move(analyzed);
+  // Compile the float serving artifact up front (fused ReLU/norm
+  // epilogues; bitwise identical to net.forward, see test_compile_*).
+  e.compiled_float = std::make_shared<const CompiledNetwork>(GraphCompiler().compile(net));
   models_.emplace(name, std::move(e));
   if (default_model_.empty()) default_model_ = name;
 }
@@ -115,10 +118,15 @@ std::uint64_t InferenceServer::install_plan(const std::string& name,
     analyzed = it->second.analyzed;
   }
   auto qnet = std::make_shared<const QuantizedNetwork>(*net, analyzed, formats, opts);
+  CompileOptions copts;
+  copts.weight_bits = opts.weight_bits;
+  auto cnet = std::make_shared<const CompiledNetwork>(
+      GraphCompiler(copts).compile(*net, analyzed, formats));
 
   std::unique_lock lk(models_mu_);
   ModelEntry& e = models_.at(name);
   e.qnet = std::move(qnet);
+  e.compiled_int = std::move(cnet);
   e.plan_version += 1;
   plan_swaps_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_enabled()) im().plan_swaps.add(1);
@@ -375,7 +383,9 @@ void InferenceServer::execute_batch(std::vector<std::unique_ptr<Request>> batch,
     std::shared_lock lk(models_mu_);
     const ModelEntry& e = models_.at(model);
     snap.net = e.net;
-    snap.qnet = e.qnet;  // shared_ptr copy: a hot-swap cannot pull it away
+    // shared_ptr copies: a hot-swap cannot pull them away mid-batch.
+    snap.compiled_float = e.compiled_float;
+    snap.compiled_int = e.compiled_int;
     snap.plan_version = e.plan_version;
   }
 
@@ -394,7 +404,7 @@ void InferenceServer::execute_batch(std::vector<std::unique_ptr<Request>> batch,
     }
   };
 
-  if (backend == InferBackend::kInteger && snap.qnet == nullptr) {
+  if (backend == InferBackend::kInteger && snap.compiled_int == nullptr) {
     fail_batch("no integer plan installed for model: " + model);
     return;
   }
@@ -425,7 +435,8 @@ void InferenceServer::execute_batch(std::vector<std::unique_ptr<Request>> batch,
     std::this_thread::sleep_for(std::chrono::microseconds(fault->delay_us));
   try {
     ForwardStageScope scope(ForwardStage::kServe);
-    out = backend == InferBackend::kInteger ? snap.qnet->forward(in) : snap.net->forward(in);
+    out = backend == InferBackend::kInteger ? snap.compiled_int->forward(in)
+                                            : snap.compiled_float->forward(in);
   } catch (const std::exception& e) {
     fail_batch(std::string("forward failed: ") + e.what());
     return;

@@ -30,13 +30,17 @@
 //    (finished late -> kDeadlineExceeded, the logits are still attached —
 //    the caller decides whether late data is useful).
 //
-//  * MODEL REGISTRY: models live behind a shared_mutex. The float path
-//    serves the registered Network; install_plan lowers a precision plan
-//    (directly or via PlanService) into a QuantizedNetwork snapshot and
-//    swaps it in under the write lock. Executing batches hold shared_ptr
-//    snapshots, so a hot-swap never stalls in-flight work and an in-flight
-//    batch never sees a half-installed plan; each result records the
-//    plan_version it was served under.
+//  * MODEL REGISTRY: models live behind a shared_mutex. Both paths serve
+//    COMPILED artifacts (compile/graph_compiler.hpp): registration
+//    compiles the float network (fused ReLU/norm epilogues, bitwise
+//    identical to Network::forward), and install_plan lowers a precision
+//    plan (directly or via PlanService) into a QuantizedNetwork plus a
+//    fused CompiledNetwork — requantize elision keeps activations integer
+//    across fused regions — and swaps both in under the write lock.
+//    Executing batches hold shared_ptr snapshots, so a hot-swap never
+//    stalls in-flight work and an in-flight batch never sees a
+//    half-installed plan; each result records the plan_version it was
+//    served under.
 //
 //  * OBSERVABILITY: every decision increments an infer.* instrument
 //    (naming table in src/obs/metrics.hpp) and its ServerStats mirror;
@@ -64,6 +68,7 @@
 #include <thread>
 #include <vector>
 
+#include "compile/compiled_network.hpp"
 #include "core/fault.hpp"
 #include "infer/batch_policy.hpp"
 #include "obs/trace.hpp"
@@ -232,7 +237,13 @@ class InferenceServer {
   struct ModelEntry {
     const Network* net = nullptr;
     std::vector<int> analyzed;
+    // Fused float artifact (graph compiler), built at registration — the
+    // float path serves this, bitwise identical to net->forward.
+    std::shared_ptr<const CompiledNetwork> compiled_float;
     std::shared_ptr<const QuantizedNetwork> qnet;  // null until install_plan
+    // Fused integer artifact for the installed plan; recompiled by every
+    // install_plan (hot-swap) alongside qnet.
+    std::shared_ptr<const CompiledNetwork> compiled_int;
     std::uint64_t plan_version = 0;
   };
 
@@ -240,7 +251,8 @@ class InferenceServer {
   // entry taken under the read lock.
   struct ModelSnapshot {
     const Network* net = nullptr;
-    std::shared_ptr<const QuantizedNetwork> qnet;
+    std::shared_ptr<const CompiledNetwork> compiled_float;
+    std::shared_ptr<const CompiledNetwork> compiled_int;
     std::uint64_t plan_version = 0;
   };
 

@@ -145,7 +145,11 @@ void conv_forward_integer(const Conv2DLayer::Config& cfg, const QLayerBinding& q
   const std::int64_t spatial = static_cast<std::int64_t>(OH) * OW;
   const bool is_pointwise = KH == 1 && KW == 1 && stride == 1 && pad == 0;
 
-  const T* xq = quantize_activations<T>(q, x.data(), x.numel());
+  // Fused-region input: the producer already stored `type` integers on
+  // this layer's activation grid (bit-cast in the float buffer), so the
+  // quantize-on-load pass — and its memory traffic — disappears.
+  const T* xq = q.in_quantized ? reinterpret_cast<const T*>(x.data())
+                               : quantize_activations<T>(q, x.data(), x.numel());
   const T* wq = static_cast<const T*>(q.weights);
   float* ydata = out.data();
 
@@ -165,10 +169,22 @@ void conv_forward_integer(const Conv2DLayer::Config& cfg, const QLayerBinding& q
         im2col_group(ximg, icg, H, W, KH, KW, stride, pad, OH, OW, col);
         bmat = col;
       }
-      float* yg = ydata + n * y_img + static_cast<std::int64_t>(g) * ocg * spatial;
+      const std::int64_t y_off = n * y_img + static_cast<std::int64_t>(g) * ocg * spatial;
       QGemmEpilogue ep;
       ep.bias_row = q.bias != nullptr ? q.bias + static_cast<std::int64_t>(g) * ocg : nullptr;
       ep.scale = q.acc_scale;
+      ep.relu = q.relu;
+      void* yg = ydata + y_off;
+      if (q.quant_store) {
+        // Fused-region output: requantize straight onto the consumer's
+        // grid, skipping the dequantize/quantize round trip.
+        ep.quant_store = true;
+        ep.requant = q.store_requant;
+        ep.lo = q.store_lo;
+        ep.hi = q.store_hi;
+        ep.saturated = q.act_saturated;
+        yg = reinterpret_cast<T*>(ydata) + y_off;
+      }
       qgemm(q.type, ocg, spatial, k_dim, wq + static_cast<std::int64_t>(g) * ocg * k_dim, k_dim,
             bmat, spatial, yg, spatial, ep);
     }
@@ -204,6 +220,26 @@ void Conv2DLayer::forward(std::span<const Tensor* const> in, Tensor& out) const 
   const int groups = cfg_.groups;
   const int icg = C / groups;   // input channels per group
   const int ocg = OC / groups;  // output channels per group
+
+  // Fused float epilogue (folded norm affine and/or ReLU), bound by the
+  // compiled executor on the calling thread. Read once here so the pool
+  // workers below see it via capture, not via their own thread-locals.
+  const FloatFusion* fu = current_float_fusion();
+  const bool fu_relu = fu != nullptr && fu->relu;
+  const float* fu_scale = fu != nullptr ? fu->scale : nullptr;
+  const float* fu_shift = fu != nullptr ? fu->shift : nullptr;
+  // Per-output-plane epilogue: the exact BatchNormScaleLayer expression
+  // followed by the exact ReLULayer expression, so fused == separate
+  // layers bitwise. `oc` is the global output channel.
+  const auto fuse_plane = [&](float* yplane, std::int64_t count, int oc) {
+    if (fu_scale != nullptr) {
+      const float a = fu_scale[oc];
+      const float b = fu_shift[oc];
+      for (std::int64_t i = 0; i < count; ++i) yplane[i] = yplane[i] * a + b;
+    }
+    if (fu_relu)
+      for (std::int64_t i = 0; i < count; ++i) yplane[i] = yplane[i] > 0.0f ? yplane[i] : 0.0f;
+  };
 
   const float* wdata = weights_.data();
   const float* bdata = cfg_.has_bias ? bias_.data() : nullptr;
@@ -277,8 +313,16 @@ void Conv2DLayer::forward(std::span<const Tensor* const> in, Tensor& out) const 
           }
           beta = 1.0f;
         }
+        // ReLU-only fusion runs inside the GEMM store (zero extra pass);
+        // a folded norm needs the per-channel affine first, so it takes
+        // the post-loop with the ReLU behind it.
         gemm(ocg, spatial, k_dim, wdata + static_cast<std::int64_t>(g) * ocg * k_dim, k_dim,
-             bmat, spatial, beta, yg, spatial);
+             bmat, spatial, beta, yg, spatial, /*trans_b=*/false,
+             /*relu=*/fu_relu && fu_scale == nullptr);
+        if (fu_scale != nullptr)
+          for (int oc_local = 0; oc_local < ocg; ++oc_local)
+            fuse_plane(yg + static_cast<std::int64_t>(oc_local) * spatial, spatial,
+                       g * ocg + oc_local);
       }
     };
     if (jobs >= parallel_worker_count() && jobs > 1)
@@ -312,6 +356,7 @@ void Conv2DLayer::forward(std::span<const Tensor* const> in, Tensor& out) const 
             const float* crow = col.data() + k * spatial;
             for (std::int64_t j = 0; j < spatial; ++j) yplane[j] += a * crow[j];
           }
+          fuse_plane(yplane, spatial, oc);
         }
       }
     });
@@ -353,6 +398,7 @@ void Conv2DLayer::forward(std::span<const Tensor* const> in, Tensor& out) const 
           yplane[static_cast<std::int64_t>(oh) * OW + ow] = acc;
         }
       }
+      fuse_plane(yplane, static_cast<std::int64_t>(OH) * OW, oc);
     }
   });
 }

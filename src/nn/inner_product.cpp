@@ -37,31 +37,50 @@ void ip_forward_integer(const QLayerBinding& q, const Tensor& x, Tensor& out,
                         int in_f, int out_f) {
   const int N = x.shape().dim(0);
   const std::int64_t numel = x.numel();
-  T* xq = reinterpret_cast<T*>(
-      GemmScratch::local().qact(static_cast<std::size_t>(numel) * sizeof(T)));
-  std::atomic<std::int64_t> sat{0};
-  const auto body = [&](std::int64_t b, std::int64_t e) {
-    const std::int64_t s =
-        quantize_to(q.type, x.data() + b, e - b, q.act_step, q.act_lo, q.act_hi, xq + b);
-    if (s != 0) sat.fetch_add(s, std::memory_order_relaxed);
-  };
-  if (numel >= (1 << 14))
-    parallel_for_chunked(0, numel, body);
-  else
-    body(0, numel);
-  const std::int64_t total = sat.load(std::memory_order_relaxed);
-  if (total != 0 && q.act_saturated != nullptr)
-    q.act_saturated->fetch_add(total, std::memory_order_relaxed);
+  const T* xq;
+  if (q.in_quantized) {
+    // Fused-region input: the producer already stored `type` integers on
+    // this layer's grid — no quantize-on-load pass.
+    xq = reinterpret_cast<const T*>(x.data());
+  } else {
+    T* buf = reinterpret_cast<T*>(
+        GemmScratch::local().qact(static_cast<std::size_t>(numel) * sizeof(T)));
+    std::atomic<std::int64_t> sat{0};
+    const auto body = [&](std::int64_t b, std::int64_t e) {
+      const std::int64_t s =
+          quantize_to(q.type, x.data() + b, e - b, q.act_step, q.act_lo, q.act_hi, buf + b);
+      if (s != 0) sat.fetch_add(s, std::memory_order_relaxed);
+    };
+    if (numel >= (1 << 14))
+      parallel_for_chunked(0, numel, body);
+    else
+      body(0, numel);
+    const std::int64_t total = sat.load(std::memory_order_relaxed);
+    if (total != 0 && q.act_saturated != nullptr)
+      q.act_saturated->fetch_add(total, std::memory_order_relaxed);
+    xq = buf;
+  }
 
   const T* wq = static_cast<const T*>(q.weights);
   QGemmEpilogue ep;
   ep.scale = q.acc_scale;
+  ep.relu = q.relu;
+  void* y = out.data();
+  if (q.quant_store) {
+    // Fused-region output: single cross-layer requantize in the store.
+    ep.quant_store = true;
+    ep.requant = q.store_requant;
+    ep.lo = q.store_lo;
+    ep.hi = q.store_hi;
+    ep.saturated = q.act_saturated;
+    y = reinterpret_cast<T*>(out.data());
+  }
   if (N == 1) {
     ep.bias_row = q.bias;
-    qgemm(q.type, out_f, 1, in_f, wq, in_f, xq, 1, out.data(), 1, ep);
+    qgemm(q.type, out_f, 1, in_f, wq, in_f, xq, 1, y, 1, ep);
   } else {
     ep.bias_col = q.bias;
-    qgemm(q.type, N, out_f, in_f, xq, in_f, wq, in_f, out.data(), out_f, ep,
+    qgemm(q.type, N, out_f, in_f, xq, in_f, wq, in_f, y, out_f, ep,
           /*trans_b=*/true);
   }
 }
@@ -98,6 +117,11 @@ void InnerProductLayer::forward(std::span<const Tensor* const> in, Tensor& out) 
   float* ydata = out.data();
   const int in_f = in_features_, out_f = out_features_;
 
+  // Fused float ReLU (norm never follows an inner product — BatchNormScale
+  // is rank-4-only — so only the relu flag can be bound here).
+  const FloatFusion* fu = current_float_fusion();
+  const bool fu_relu = fu != nullptr && fu->relu;
+
   if (gemm_mode() == GemmMode::kLegacy) {
     // Legacy per-row dot product (kept for bench_forward's old-vs-new
     // trajectory).
@@ -110,6 +134,7 @@ void InnerProductLayer::forward(std::span<const Tensor* const> in, Tensor& out) 
         const float* wrow = wdata + static_cast<std::int64_t>(o) * in_f;
         float acc = bdata != nullptr ? bdata[o] : 0.0f;
         for (int i = 0; i < in_f; ++i) acc += xrow[i] * wrow[i];
+        if (fu_relu) acc = acc > 0.0f ? acc : 0.0f;
         ydata[idx] = acc;
       }
     });
@@ -128,12 +153,13 @@ void InnerProductLayer::forward(std::span<const Tensor* const> in, Tensor& out) 
     // Single image: compute the transposed product y = W·x so the m
     // dimension (out_f) carries the register tiles — y (1 x out_f) and
     // yᵀ (out_f x 1) share the same memory.
-    gemm(out_f, 1, in_f, wdata, in_f, xdata, 1, beta, ydata, 1);
+    gemm(out_f, 1, in_f, wdata, in_f, xdata, 1, beta, ydata, 1,
+         /*trans_b=*/false, /*relu=*/fu_relu);
   } else {
     // Y[N x out_f] = X[N x in_f] · Wᵀ; packing absorbs the transpose of
     // the (out, in) weight matrix.
     gemm(N, out_f, in_f, xdata, in_f, wdata, in_f, beta, ydata, out_f,
-         /*trans_b=*/true);
+         /*trans_b=*/true, /*relu=*/fu_relu);
   }
 }
 

@@ -9,26 +9,16 @@
 
 namespace mupod {
 
-namespace {
-
-// Integer grid of a fixed-point format: values q with q * step ==
-// representable value, q in [-2^(B-1), 2^(B-1)-1]. Bit-compatible with
-// quantize_tensor's value clamp [min_value, max_value] because step is a
-// power of two (see quantize_to's contract in tensor/qgemm.hpp).
-struct Grid {
-  double step = 1.0;
-  std::int32_t lo = -1;
-  std::int32_t hi = 0;
-};
-
-Grid grid_for(const FixedPointFormat& fmt) {
+QGrid qgrid_for(const FixedPointFormat& fmt) {
   const int bits = std::clamp(fmt.total_bits(), 1, 31);
-  Grid g;
+  QGrid g;
   g.step = fmt.step();
   g.lo = -(std::int32_t{1} << (bits - 1));
   g.hi = (std::int32_t{1} << (bits - 1)) - 1;
   return g;
 }
+
+namespace {
 
 void* storage_for(QLayerLowering& L, std::size_t numel) {
   switch (L.type) {
@@ -50,6 +40,43 @@ const void* QLayerLowering::weights_ptr() const {
   return nullptr;
 }
 
+bool lower_layer_operands(int node, FixedPointFormat act_fmt, int weight_bits,
+                          const Tensor* w, const Tensor* b, QLayerLowering* out) {
+  if (w == nullptr || w->numel() == 0) return false;  // no weights: stays float
+
+  QLayerLowering L;
+  L.node = node;
+  L.act_fmt = act_fmt;
+
+  // Weight format mirrors Network::quantize_weights_uniform: I from the
+  // layer's max |w|, F = weight_bits - I.
+  double wmax = 0.0;
+  const float* wd = w->data();
+  for (std::int64_t j = 0; j < w->numel(); ++j) wmax = std::max(wmax, std::abs(double{wd[j]}));
+  L.w_fmt.integer_bits = FixedPointFormat::integer_bits_for_range(wmax);
+  L.w_fmt.fraction_bits = weight_bits - L.w_fmt.integer_bits;
+
+  // Narrowest homogeneous storage holding BOTH operand grids.
+  L.type = qtype_for_bits(std::max(L.act_fmt.total_bits(), L.w_fmt.total_bits()));
+
+  const QGrid wg = qgrid_for(L.w_fmt);
+  void* wq = storage_for(L, static_cast<std::size_t>(w->numel()));
+  L.weight_saturated = quantize_to(L.type, wd, w->numel(), wg.step, wg.lo, wg.hi, wq);
+
+  // Bias in accumulator scale, rounded once offline.
+  if (b != nullptr && b->numel() > 0) {
+    const QGrid ag = qgrid_for(L.act_fmt);
+    const double acc_scale = ag.step * wg.step;
+    L.bias.resize(static_cast<std::size_t>(b->numel()));
+    const float* bd = b->data();
+    for (std::int64_t j = 0; j < b->numel(); ++j)
+      L.bias[static_cast<std::size_t>(j)] = std::llrint(double{bd[j]} / acc_scale);
+  }
+
+  *out = std::move(L);
+  return true;
+}
+
 QuantizedNetwork::QuantizedNetwork(const Network& net, const std::vector<int>& analyzed,
                                    const std::vector<FixedPointFormat>& formats,
                                    const QExecOptions& opts)
@@ -61,38 +88,10 @@ QuantizedNetwork::QuantizedNetwork(const Network& net, const std::vector<int>& a
   for (std::size_t i = 0; i < analyzed.size(); ++i) {
     const int node = analyzed[i];
     const Layer& layer = net.layer(node);
-    const Tensor* w = layer.weights();
-    if (w == nullptr || w->numel() == 0) continue;  // no weights: stays float
-
     QLayerLowering L;
-    L.node = node;
-    L.act_fmt = formats[i];
-
-    // Weight format mirrors Network::quantize_weights_uniform: I from the
-    // layer's max |w|, F = weight_bits - I.
-    double wmax = 0.0;
-    const float* wd = w->data();
-    for (std::int64_t j = 0; j < w->numel(); ++j) wmax = std::max(wmax, std::abs(double{wd[j]}));
-    L.w_fmt.integer_bits = FixedPointFormat::integer_bits_for_range(wmax);
-    L.w_fmt.fraction_bits = opts_.weight_bits - L.w_fmt.integer_bits;
-
-    // Narrowest homogeneous storage holding BOTH operand grids.
-    L.type = qtype_for_bits(std::max(L.act_fmt.total_bits(), L.w_fmt.total_bits()));
-
-    const Grid wg = grid_for(L.w_fmt);
-    void* wq = storage_for(L, static_cast<std::size_t>(w->numel()));
-    L.weight_saturated = quantize_to(L.type, wd, w->numel(), wg.step, wg.lo, wg.hi, wq);
-
-    // Bias in accumulator scale, rounded once offline.
-    if (const Tensor* b = layer.bias(); b != nullptr && b->numel() > 0) {
-      const Grid ag = grid_for(L.act_fmt);
-      const double acc_scale = ag.step * wg.step;
-      L.bias.resize(static_cast<std::size_t>(b->numel()));
-      const float* bd = b->data();
-      for (std::int64_t j = 0; j < b->numel(); ++j)
-        L.bias[static_cast<std::size_t>(j)] = std::llrint(double{bd[j]} / acc_scale);
-    }
-
+    if (!lower_layer_operands(node, formats[i], opts_.weight_bits, layer.weights(), layer.bias(),
+                              &L))
+      continue;
     lowered_index_[static_cast<std::size_t>(node)] = static_cast<int>(lowered_.size());
     lowered_.push_back(std::move(L));
   }
@@ -160,8 +159,8 @@ Tensor QuantizedNetwork::forward(const Tensor& input) const {
     const int li = lowered_index_[static_cast<std::size_t>(id)];
     if (li >= 0) {
       const QLayerLowering& L = lowered_[static_cast<std::size_t>(li)];
-      const Grid ag = grid_for(L.act_fmt);
-      const Grid wg = grid_for(L.w_fmt);
+      const QGrid ag = qgrid_for(L.act_fmt);
+      const QGrid wg = qgrid_for(L.w_fmt);
       QLayerBinding b;
       b.type = L.type;
       b.weights = L.weights_ptr();

@@ -45,6 +45,17 @@ struct QExecOptions {
   int weight_bits = 16;
 };
 
+// Integer grid of a fixed-point format: values q with q * step ==
+// representable value, q in [-2^(B-1), 2^(B-1)-1]. Bit-compatible with
+// quantize_tensor's value clamp [min_value, max_value] because step is a
+// power of two (see quantize_to's contract in tensor/qgemm.hpp).
+struct QGrid {
+  double step = 1.0;
+  std::int32_t lo = -1;
+  std::int32_t hi = 0;
+};
+QGrid qgrid_for(const FixedPointFormat& fmt);
+
 // One lowered layer: the integer operands for node `node` of the source
 // network plus the formats they were derived from.
 struct QLayerLowering {
@@ -64,6 +75,17 @@ struct QLayerLowering {
 
   const void* weights_ptr() const;
 };
+
+// Lowers one layer's operands onto the plan's `act_fmt` x a weight grid
+// derived from max |w| at `weight_bits` total bits — the exact math the
+// QuantizedNetwork constructor applies per analyzed node, exposed so the
+// graph compiler (src/compile/) lowers fused regions with byte-identical
+// operands. `w`/`b` are normally the layer's own tensors; the compiler
+// passes norm-folded copies instead (b may be null for a bias-free
+// layer). Returns false — leaving *out* untouched — when `w` is null or
+// empty (the layer stays float).
+bool lower_layer_operands(int node, FixedPointFormat act_fmt, int weight_bits,
+                          const Tensor* w, const Tensor* b, QLayerLowering* out);
 
 // A Network bound to one precision plan. Borrows the network (it must
 // outlive the QuantizedNetwork); owns all integer operands. Thread-safe

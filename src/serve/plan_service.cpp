@@ -531,6 +531,10 @@ LoweredPlan PlanService::lower_plan(const PlanKey& key, const PlanQuery& query) 
   QExecOptions qopts;
   qopts.weight_bits = cfg_.weight_bits;
   lp.qnet = std::make_shared<QuantizedNetwork>(*net, *analyzed, lp.plan.alloc.formats, qopts);
+  CompileOptions copts;
+  copts.weight_bits = cfg_.weight_bits;
+  lp.compiled = std::make_shared<CompiledNetwork>(
+      GraphCompiler(copts).compile(*net, *analyzed, lp.plan.alloc.formats));
   return lp;
 }
 
@@ -576,17 +580,28 @@ PlanValidation PlanService::validate_plan(const PlanKey& key, const PlanQuery& q
       harness->accuracy_with_executor([&](const Tensor& x) { return qnet.forward(x); });
   v.act_saturated = qnet.act_saturated();
 
+  // Compiled path: the fused artifact the inference server serves, run on
+  // the SAME eval set — the plan is only conformant if the artifact that
+  // actually answers requests also holds the budget.
+  CompiledNetwork& cnet = *lp.compiled;
+  v.compiled_accuracy =
+      harness->accuracy_with_executor([&](const Tensor& x) { return cnet.forward(x); });
+  v.fusion = cnet.coverage();
+
   if (v.float_accuracy > 0.0) {
     if (v.emulated_accuracy >= 0.0)
       v.emulated_drop = std::max(0.0, 1.0 - v.emulated_accuracy / v.float_accuracy);
     v.integer_drop = std::max(0.0, 1.0 - v.integer_accuracy / v.float_accuracy);
+    v.compiled_drop = std::max(0.0, 1.0 - v.compiled_accuracy / v.float_accuracy);
   }
   v.within_budget = v.integer_drop <= query.accuracy_target + tolerance;
+  v.compiled_within_budget = v.compiled_drop <= query.accuracy_target + tolerance;
 
   bump("serve.validate.calls");
-  if (!v.within_budget) bump("serve.validate.violations");
+  if (!v.within_budget || !v.compiled_within_budget) bump("serve.validate.violations");
   span.arg("lowered_layers", v.lowered_layers);
   span.arg("within_budget", v.within_budget ? 1 : 0);
+  span.arg("compiled_within_budget", v.compiled_within_budget ? 1 : 0);
   return v;
 }
 

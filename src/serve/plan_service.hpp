@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "compile/compiled_network.hpp"
 #include "core/pipeline.hpp"
 #include "hw/accelerator_sim.hpp"
 #include "io/plan_io.hpp"
@@ -132,6 +133,15 @@ struct PlanValidation {
   bool within_budget = false;       // integer_drop <= target + tolerance
   std::int64_t act_saturated = 0;   // activations clipped by quantize-on-load
   int lowered_layers = 0;           // layers actually executed in integer
+  // Compiled path (compile/graph_compiler.hpp): the SAME plan run through
+  // the fused artifact the inference server actually serves. Held to the
+  // same budget; the fused region boundaries requantize once instead of
+  // dequantize+requantize, so compiled_drop may differ from integer_drop
+  // by at most the one-step boundary contract (docs/method.md Sec. 17).
+  double compiled_accuracy = -1.0;
+  double compiled_drop = 0.0;
+  bool compiled_within_budget = false;
+  FusionCoverage fusion;            // the compiled artifact's fusion report
 };
 
 // Committed emulated-vs-executed tolerance: the conformance battery
@@ -149,6 +159,10 @@ inline constexpr double kValidationTolerance = 0.02;
 struct LoweredPlan {
   PlanResult plan;
   std::shared_ptr<QuantizedNetwork> qnet;
+  // The fused artifact for the same plan (graph compiler: norm folding,
+  // ReLU epilogues, cross-layer requantize). This is what the inference
+  // server serves; qnet stays the unfused reference executor.
+  std::shared_ptr<CompiledNetwork> compiled;
 };
 
 // Charged-once accounting: each computed profile/sigma stage is charged to

@@ -216,16 +216,18 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
           const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb,
           float beta, float* c, std::int64_t ldc,
-          bool trans_b) {
+          bool trans_b, bool relu) {
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {
-    // Degenerate product is all-zero; apply beta only.
+    // Degenerate product is all-zero; apply beta (and the fused ReLU) only.
     for (std::int64_t i = 0; i < m; ++i) {
       float* crow = c + i * ldc;
       if (beta == 0.0f)
         std::fill(crow, crow + n, 0.0f);
       else if (beta != 1.0f)
         for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      if (relu)
+        for (std::int64_t j = 0; j < n; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
     }
     return;
   }
@@ -255,6 +257,11 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
     for (std::int64_t pc = 0; pc < k; pc += KC) {
       const int kc = static_cast<int>(std::min<std::int64_t>(KC, k - pc));
       const float beta_pc = pc == 0 ? beta : 1.0f;
+      // The fused ReLU must see the COMPLETE accumulation, so it fires
+      // only on the final KC panel, right after each tile's store — every
+      // C element is written exactly once per panel, so this clamps each
+      // value exactly once.
+      const bool relu_pc = relu && pc + KC >= k;
 
       // Pack the KC x NC panel of B into NR strips. The buffer belongs to
       // the calling thread's arena; tile tasks only read it.
@@ -305,6 +312,13 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
               reg.sgemm_micro(kc, as, bs, ct, ldc, beta_pc);
             else
               micro_edge(kc, MR, NR, mr_cur, nr_cur, as, bs, ct, ldc, beta_pc);
+            if (relu_pc) {
+              for (int r = 0; r < mr_cur; ++r) {
+                float* crow = ct + r * ldc;
+                for (int cc = 0; cc < nr_cur; ++cc)
+                  crow[cc] = crow[cc] > 0.0f ? crow[cc] : 0.0f;
+              }
+            }
           }
         }
       };

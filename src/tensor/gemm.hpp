@@ -61,6 +61,10 @@ GemmBlocking gemm_blocking();
 //   C: m x n with leading dimension ldc.
 // beta == 0 never reads C (safe on uninitialised output buffers); any
 // other beta scales the existing C into the first KC step.
+// relu applies the exact ReLULayer expression (x > 0 ? x : 0) to each
+// output element once its full-k accumulation completes (on the last KC
+// panel, per tile) — bitwise identical to a separate elementwise pass,
+// without re-reading C.
 // Parallelises over (MC block x NR strip) tile tasks on the global pool;
 // inside an existing parallel region it runs serial with identical
 // results (see the determinism contract above).
@@ -68,7 +72,7 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k,
           const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb,
           float beta, float* c, std::int64_t ldc,
-          bool trans_b = false);
+          bool trans_b = false, bool relu = false);
 
 // Per-thread grow-only scratch arena. One instance lives per worker
 // thread for the thread's lifetime; buffers only ever grow, so steady

@@ -1,6 +1,7 @@
 #include "tensor/qgemm.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -31,6 +32,7 @@ inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1
 
 thread_local ExecMode t_exec_mode = ExecMode::kFloat;
 thread_local const QLayerBinding* t_qlayer = nullptr;
+thread_local const FloatFusion* t_float_fusion = nullptr;
 
 struct QGemmCounters {
   Counter* calls;
@@ -137,18 +139,26 @@ std::int64_t store_tile(const Acc acc[QMR][QNR], std::int64_t i0, std::int64_t j
       else if (ep.bias_col != nullptr)
         v += ep.bias_col[j0 + cc];
       if (!ep.quant_store) {
-        static_cast<float*>(c)[(i0 + r) * ldc + j0 + cc] =
-            static_cast<float>(static_cast<double>(v) * ep.scale);
+        float f = static_cast<float>(static_cast<double>(v) * ep.scale);
+        // Branchless relu: GCC compiles `f > 0 ? f : 0` (and std::max) to
+        // comiss+branch here, and that branch mispredicts ~50% on
+        // random-sign accumulators — costing more than the fused relu
+        // saves. Masking with the comparison result forces setcc+and and
+        // keeps the ternary's exact semantics (+0 for negatives, -0.0,
+        // and NaN alike).
+        if (ep.relu)
+          f = std::bit_cast<float>(std::bit_cast<std::uint32_t>(f) &
+                                   -static_cast<std::uint32_t>(f > 0.0f));
+        static_cast<float*>(c)[(i0 + r) * ldc + j0 + cc] = f;
       } else {
         std::int32_t q = apply_requant(v, ep.requant);
-        if (q > ep.hi) {
-          q = ep.hi;
-          ++sat;
-        } else if (q < ep.lo) {
-          q = ep.lo;
-          ++sat;
-        }
-        static_cast<T*>(c)[(i0 + r) * ldc + j0 + cc] = static_cast<T>(q);
+        if (ep.relu) q = std::max(q, 0);
+        // Branchless saturation: min/max compile to cmov while the
+        // compare-and-assign form branches, and requantized values land
+        // on both sides of the clamp range often enough to mispredict.
+        const std::int32_t qc = std::min(std::max(q, ep.lo), ep.hi);
+        sat += qc != q;
+        static_cast<T*>(c)[(i0 + r) * ldc + j0 + cc] = static_cast<T>(qc);
       }
     }
   }
@@ -583,6 +593,9 @@ void set_exec_mode(ExecMode m) { t_exec_mode = m; }
 const QLayerBinding* current_qlayer() { return t_qlayer; }
 void set_current_qlayer(const QLayerBinding* b) { t_qlayer = b; }
 
+const FloatFusion* current_float_fusion() { return t_float_fusion; }
+void set_current_float_fusion(const FloatFusion* f) { t_float_fusion = f; }
+
 const char* qtype_name(QType t) {
   switch (t) {
     case QType::kInt8: return "int8";
@@ -625,6 +638,24 @@ QRequant make_requant(double real_multiplier) {
 }
 
 std::int32_t apply_requant(std::int64_t acc, const QRequant& rq) {
+  // Power-of-two fast path: with multiplier == 2^30 the q31 product is
+  // acc << 30, so the rounding shift by s = 31 + shift collapses to a
+  // plain int64 add-half-floor shift by t = s - 30 — bit-identical to
+  // the 128-bit path below (the half-constant 2^(s-1) is (acc-domain)
+  // 2^(t-1) · 2^30 whenever t >= 1) and several times cheaper. This is
+  // the only shape the graph compiler emits: activation and weight steps
+  // are powers of two, so every cross-layer requantize multiplier is too.
+  if (rq.multiplier == (std::int32_t{1} << 30)) {
+    const int t = rq.shift + 1;
+    if (t >= 1 && t <= 62) {
+      const std::int64_t q = (acc + (std::int64_t{1} << (t - 1))) >> t;
+      if (q > std::numeric_limits<std::int32_t>::max())
+        return std::numeric_limits<std::int32_t>::max();
+      if (q < std::numeric_limits<std::int32_t>::min())
+        return std::numeric_limits<std::int32_t>::min();
+      return static_cast<std::int32_t>(q);
+    }
+  }
   // 128-bit product: |acc| < 2^63 and multiplier < 2^31 always fit.
   __int128 p = static_cast<__int128>(acc) * rq.multiplier;
   const int s = 31 + rq.shift;

@@ -96,6 +96,13 @@ struct QGemmEpilogue {
   // total is deterministic. Also mirrored into qgemm.requant.saturated
   // when metrics are enabled.
   std::atomic<std::int64_t>* saturated = nullptr;
+  // Fused ReLU, applied inside the store (no extra tensor pass). Float
+  // store: the exact ReLULayer expression (x > 0 ? x : 0) on the
+  // dequantized value. Requantize store: max(q, 0) on the integer value
+  // BEFORE the clamp — exact, because the grids are symmetric about 0,
+  // requantization is monotone, and 0 maps to 0 (relu zeros are semantic,
+  // never counted as saturations).
+  bool relu = false;
 };
 
 // C = A · B with the given epilogue, row-major, homogeneous operand type:
@@ -147,8 +154,42 @@ struct QLayerBinding {
   double acc_scale = 1.0;
   // Saturation sink for clipped activations (owned by the executor).
   std::atomic<std::int64_t>* act_saturated = nullptr;
+
+  // --- Fused-region fields, set by compile/CompiledNetwork only. The
+  // per-layer executor (quant/qexec) leaves them at the defaults, which
+  // reproduce its quantize-on-load / dequantize-on-store round trip. ---
+  // Input tensor already holds `type` integers on this layer's activation
+  // grid (bit-cast inside the float Tensor buffer): skip quantize-on-load
+  // and feed the carrier straight into the integer GEMM.
+  bool in_quantized = false;
+  // Store requantized integers on the CONSUMER layer's activation grid
+  // instead of dequantizing to float: one cross-layer requantize
+  // (acc_scale / consumer act_step as a q31 multiplier) replaces the
+  // dequantize/quantize pair the unfused path pays at the boundary.
+  bool quant_store = false;
+  QRequant store_requant;
+  std::int32_t store_lo = 0;
+  std::int32_t store_hi = 0;
+  // Fused ReLU in the store epilogue (see QGemmEpilogue::relu).
+  bool relu = false;
 };
 const QLayerBinding* current_qlayer();
 void set_current_qlayer(const QLayerBinding* b);
+
+// ---------------------------------------------------------------------------
+// Float-path fusion binding, bound by the compiled executor (compile/)
+// around a conv/FC forward on the same thread (thread-local, like
+// QLayerBinding). When scale/shift are non-null they hold one entry per
+// output channel and apply the folded BatchNormScale affine (x*a + b,
+// the exact expression of BatchNormScaleLayer::forward) ahead of the
+// optional ReLU — so the fused store is bitwise identical to running the
+// separate layers.
+struct FloatFusion {
+  bool relu = false;
+  const float* scale = nullptr;
+  const float* shift = nullptr;
+};
+const FloatFusion* current_float_fusion();
+void set_current_float_fusion(const FloatFusion* f);
 
 }  // namespace mupod

@@ -1,0 +1,184 @@
+// Shared helpers for the graph-compiler batteries (test_compile.cpp,
+// test_compile_equivalence.cpp): a seeded random-network generator that
+// deliberately exercises fusible and non-fusible boundaries — norm layers
+// on and off the conv spine, branching (multi-consumer producers),
+// depthwise convs, dropout/flatten noops including as the output node —
+// plus format pickers that create both homogeneous int8 regions and
+// mixed-precision region splits.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/network.hpp"
+#include "quant/fixed_point.hpp"
+#include "stats/rng.hpp"
+
+namespace mupod::compiletest {
+
+inline void fill_gaussian(Tensor* t, Rng* rng, double scale) {
+  float* p = t->data();
+  for (std::int64_t i = 0; i < t->numel(); ++i)
+    p[i] = static_cast<float>(rng->gaussian() * scale);
+}
+
+// Fills a freshly added weight-bearing layer so activations stay O(1).
+inline void init_layer(Network* net, int id, Rng* rng) {
+  Tensor* w = net->layer(id).mutable_weights();
+  if (w == nullptr || w->numel() == 0) return;
+  const std::int64_t fan_in = w->numel() / w->shape().dim(0);
+  fill_gaussian(w, rng, 1.2 / std::sqrt(static_cast<double>(fan_in)));
+  Tensor* b = net->layer(id).mutable_bias();
+  if (b != nullptr) fill_gaussian(b, rng, 0.1);
+}
+
+inline void init_norm(Network* net, int id, Rng* rng) {
+  auto& bn = static_cast<BatchNormScaleLayer&>(net->layer(id));
+  float* s = bn.scale().data();
+  float* t = bn.shift().data();
+  for (std::int64_t i = 0; i < bn.scale().numel(); ++i) {
+    s[i] = static_cast<float>(rng->uniform(0.6, 1.4));
+    t[i] = static_cast<float>(rng->gaussian() * 0.1);
+  }
+}
+
+struct RandomNet {
+  Network net{"rand"};
+  std::vector<int> analyzed;  // conv/fc node ids in topological order
+  int channels = 3, height = 8, width = 8;
+};
+
+// Deterministic function of `seed`. Every structural feature the rewriter
+// guards on appears with positive probability, so a modest seed sweep
+// covers all rule/non-rule boundaries (the vacuity guards assert it did).
+inline RandomNet make_random_net(std::uint64_t seed) {
+  RandomNet r;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 12345);
+  int ch = r.channels, hh = r.height, ww = r.width;
+  int cur = r.net.add_input("in", ch, hh, ww);
+  int name_id = 0;
+  const auto nm = [&](const char* base) { return std::string(base) + std::to_string(name_id++); };
+
+  const auto add_conv = [&](int in_id, int out_ch, int k, int pad, int groups) {
+    Conv2DLayer::Config cc;
+    cc.in_channels = ch;
+    cc.out_channels = out_ch;
+    cc.kernel_h = cc.kernel_w = k;
+    cc.pad = pad;
+    cc.groups = groups;
+    const int id = r.net.add(nm("conv"), std::make_unique<Conv2DLayer>(cc), std::vector<int>{in_id});
+    init_layer(&r.net, id, &rng);
+    r.analyzed.push_back(id);
+    ch = out_ch;
+    return id;
+  };
+
+  const int blocks = 2 + static_cast<int>(rng.uniform_index(3));
+  for (int b = 0; b < blocks; ++b) {
+    switch (rng.uniform_index(6)) {
+      case 0:
+      case 1: {  // conv spine: conv [+ BN] [+ ReLU] — the fusible shape
+        cur = add_conv(cur, 4 + 4 * static_cast<int>(rng.uniform_index(2)), 3, 1, 1);
+        if (rng.uniform() < 0.5) {
+          const int bn =
+              r.net.add(nm("bn"), std::make_unique<BatchNormScaleLayer>(ch), std::vector<int>{cur});
+          init_norm(&r.net, bn, &rng);
+          cur = bn;
+        }
+        if (rng.uniform() < 0.7)
+          cur = r.net.add(nm("relu"), std::make_unique<ReLULayer>(), std::vector<int>{cur});
+        break;
+      }
+      case 2: {  // depthwise conv (+ ReLU): fusible, group-lowered
+        cur = add_conv(cur, ch, 3, 1, ch);
+        if (rng.uniform() < 0.6)
+          cur = r.net.add(nm("relu"), std::make_unique<ReLULayer>(), std::vector<int>{cur});
+        break;
+      }
+      case 3: {  // pool: float interior layer, breaks integer regions
+        if (hh >= 4 && ww >= 4) {
+          PoolLayer::Config pc;
+          pc.mode = rng.uniform() < 0.5 ? PoolLayer::Mode::kMax : PoolLayer::Mode::kAvg;
+          cur = r.net.add(nm("pool"), std::make_unique<PoolLayer>(pc), std::vector<int>{cur});
+          hh /= 2;
+          ww /= 2;
+        } else {
+          cur = add_conv(cur, ch, 1, 0, 1);
+        }
+        break;
+      }
+      case 4: {  // branch + eltwise join: `cur` gets TWO consumers, so
+                 // nothing may fuse into it and its store stays float
+        const int keep_ch = ch;
+        const int a = add_conv(cur, keep_ch, 3, 1, 1);
+        ch = keep_ch;
+        const int bconv = add_conv(cur, keep_ch, 1, 0, 1);
+        cur = r.net.add(nm("add"), std::make_unique<EltwiseAddLayer>(), std::vector<int>{a, bconv});
+        if (rng.uniform() < 0.5)  // ReLU on a non-dot-product producer: must NOT fuse
+          cur = r.net.add(nm("relu"), std::make_unique<ReLULayer>(), std::vector<int>{cur});
+        break;
+      }
+      case 5: {  // norm with a non-conv producer: fold-norm must not fire
+        const int bn =
+            r.net.add(nm("bn"), std::make_unique<BatchNormScaleLayer>(ch), std::vector<int>{cur});
+        init_norm(&r.net, bn, &rng);
+        cur = bn;
+        break;
+      }
+    }
+  }
+
+  if (rng.uniform() < 0.4)
+    cur = r.net.add(nm("drop"), std::make_unique<DropoutLayer>(), std::vector<int>{cur});
+  if (rng.uniform() < 0.5)  // explicit flatten before the FC head (droppable)
+    cur = r.net.add(nm("flat"), std::make_unique<FlattenLayer>(), std::vector<int>{cur});
+  const int feats = ch * hh * ww;
+  {
+    const int fc = r.net.add(nm("fc"), std::make_unique<InnerProductLayer>(feats, 8),
+                             std::vector<int>{cur});
+    init_layer(&r.net, fc, &rng);
+    r.analyzed.push_back(fc);
+    cur = fc;
+  }
+  if (rng.uniform() < 0.6)
+    cur = r.net.add(nm("relu"), std::make_unique<ReLULayer>(), std::vector<int>{cur});
+  {
+    const int fc =
+        r.net.add(nm("fc"), std::make_unique<InnerProductLayer>(8, 5), std::vector<int>{cur});
+    init_layer(&r.net, fc, &rng);
+    r.analyzed.push_back(fc);
+    cur = fc;
+  }
+  if (rng.uniform() < 0.25)  // noop as the OUTPUT node: dropped, output resolves through it
+    cur = r.net.add(nm("drop"), std::make_unique<DropoutLayer>(), std::vector<int>{cur});
+
+  r.net.finalize();
+  return r;
+}
+
+// Homogeneous int8-able activation formats (7 bits; with 8-bit weights
+// every lowered layer lands in int8, maximizing fused regions).
+inline std::vector<FixedPointFormat> int8_formats(std::size_t n) {
+  return std::vector<FixedPointFormat>(n, FixedPointFormat{2, 5});
+}
+
+// Mixed formats: every third analyzed layer gets a 14-bit activation
+// (int16 storage), splitting the int8 regions at type boundaries.
+inline std::vector<FixedPointFormat> mixed_formats(std::size_t n) {
+  std::vector<FixedPointFormat> f(n, FixedPointFormat{2, 5});
+  for (std::size_t i = 2; i < n; i += 3) f[i] = FixedPointFormat{2, 12};
+  return f;
+}
+
+inline Tensor random_input(int n, int c, int h, int w, std::uint64_t seed) {
+  Tensor t(Shape({n, c, h, w}));
+  Rng rng(seed);
+  fill_gaussian(&t, &rng, 1.0);
+  return t;
+}
+
+}  // namespace mupod::compiletest

@@ -7,11 +7,19 @@
 //      plus kValidationTolerance — the same bound sweep_tool --validate
 //      gates on.
 //   2. A golden snapshot (tests/golden/plan_conformance.txt) of the full
-//      validation record — allocated bits, float/emulated/integer
-//      accuracy — so any change in the lowering, the kernels, or the
-//      planner shows up as a reviewable diff, not a silent drift. The
-//      whole pipeline is deterministic (see test_determinism.cpp), so the
-//      comparison is exact.
+//      validation record — allocated bits, float/emulated/integer/compiled
+//      accuracy — so any change in the lowering, the kernels, the graph
+//      compiler, or the planner shows up as a reviewable diff, not a
+//      silent drift. The whole pipeline is deterministic (see
+//      test_determinism.cpp), so the comparison is exact.
+//
+// The compiled columns (added with the graph compiler) measure the FUSED
+// artifact the inference server serves; `integer` stays the unfused qexec
+// path. The two may differ by at most one quantization step per fused
+// region boundary (requantize-once vs dequantize+requantize;
+// docs/method.md Sec. 17), which can flip individual argmaxes — hence
+// separate columns rather than an equality assertion. Both are held to
+// the same drop budget.
 //
 // Updating the golden after an intentional change:
 //   ./mupod_quant_tests --update-golden
@@ -69,9 +77,12 @@ std::string render_line(const ConformanceCase& c, const PlanValidation& v) {
     if (i > 0) os << ',';
     os << v.plan.alloc.bits[i];
   }
-  char buf[160];
-  std::snprintf(buf, sizeof buf, " float=%.6f emulated=%.6f integer=%.6f lowered=%d",
-                v.float_accuracy, v.emulated_accuracy, v.integer_accuracy, v.lowered_layers);
+  char buf[240];
+  std::snprintf(buf, sizeof buf,
+                " float=%.6f emulated=%.6f integer=%.6f compiled=%.6f lowered=%d relu_fused=%d "
+                "qdq_elided=%d regions=%d",
+                v.float_accuracy, v.emulated_accuracy, v.integer_accuracy, v.compiled_accuracy,
+                v.lowered_layers, v.fusion.relu_fused, v.fusion.qdq_elided, v.fusion.regions);
   os << buf;
   return os.str();
 }
@@ -120,6 +131,12 @@ TEST(PlanConformance, IntegerExecutionStaysWithinBudgetAndMatchesGolden) {
         << c.net << " " << c.objective << " drop budget " << c.drop << ": integer-executed drop "
         << v.integer_drop << " exceeds budget + tolerance " << (c.drop + v.tolerance);
     EXPECT_TRUE(v.within_budget);
+    // The fused serving artifact is held to the same contract.
+    EXPECT_GT(v.compiled_accuracy, 0.0);
+    EXPECT_LE(v.compiled_drop, c.drop + v.tolerance)
+        << c.net << " " << c.objective << ": compiled (fused) drop " << v.compiled_drop
+        << " exceeds budget + tolerance " << (c.drop + v.tolerance);
+    EXPECT_TRUE(v.compiled_within_budget);
 
     lines.push_back(render_line(c, v));
   }
@@ -176,6 +193,7 @@ TEST(PlanConformance, RepeatedValidationIsIdentical) {
   const PlanValidation v1 = service.validate_plan(key, q);
   const PlanValidation v2 = service.validate_plan(key, q);
   EXPECT_EQ(v1.integer_accuracy, v2.integer_accuracy);
+  EXPECT_EQ(v1.compiled_accuracy, v2.compiled_accuracy);
   EXPECT_EQ(v1.emulated_accuracy, v2.emulated_accuracy);
   EXPECT_EQ(v1.act_saturated, v2.act_saturated);
   EXPECT_EQ(v1.plan.alloc.bits, v2.plan.alloc.bits);
